@@ -1,0 +1,44 @@
+// bench_t1_census — Experiment T1.
+//
+// Regenerates the paper's PAX/CASPER enablement-mapping census: how many of
+// the 22 parallel computational phases (and 1188 lines of parallel code)
+// admit each mapping class, the 68%/68% "easily overlapped" aggregate, and
+// the >90% "extended effort" claim.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "casper/census.hpp"
+
+int main() {
+  using namespace pax;
+  using namespace pax::casper;
+  bench::print_banner(
+      "T1 — enablement-mapping census",
+      "6/9/4/2/1 of 22 phases; 266/551/262/78/31 of 1188 lines; 68% easy; "
+      ">90% with extended effort");
+
+  const CasperPipeline pipe = build_casper_pipeline();
+  const Census census = take_census(pipe);
+  census_table(pipe, census).print(std::cout);
+
+  std::printf(
+      "\nClassification is computed by infer_mapping() over each phase's\n"
+      "declared array accesses, honouring inter-phase serial actions, not\n"
+      "read from pipeline metadata (tests cross-check the two agree).\n");
+
+  // Per-transition detail, the way the paper discusses individual cases.
+  Table detail("per-transition classification");
+  detail.header({"current phase", "next phase", "mapping", "lines", "serial?"});
+  for (std::size_t i = 0; i < pipe.info.size(); ++i) {
+    const std::size_t next = (i + 1) % pipe.info.size();
+    const auto& cur = pipe.info[i];
+    detail.row({cur.name, pipe.info[next].name, to_string(cur.to_next),
+                std::to_string(cur.lines),
+                cur.serial_after
+                    ? (cur.serial_conflicts ? "conflicting" : "hoistable")
+                    : "-"});
+  }
+  detail.print(std::cout);
+  return 0;
+}

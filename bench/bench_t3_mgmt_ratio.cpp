@@ -1,0 +1,64 @@
+// bench_t3_mgmt_ratio — Experiment T3.
+//
+// The paper: "Operational experience shows that the ratio of computation to
+// management has been running at something in the neighborhood of 200."
+//
+// We run the synthetic CASPER pipeline and sweep the task grain; the
+// computation:management ratio scales with grain (fewer, larger tasks per
+// management cycle). The default cost model is calibrated so that a
+// plausible mid-size grain lands in the paper's neighbourhood of 200.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "casper/pipeline.hpp"
+
+int main() {
+  using namespace pax;
+  using namespace pax::bench;
+  print_banner("T3 — computation : management ratio",
+               "\"the ratio of computation to management has been running at "
+               "something in the neighborhood of 200\"");
+
+  const casper::CasperPipeline pipe = casper::build_casper_pipeline();
+  sim::MachineConfig mc;
+  mc.workers = 32;
+  mc.record_intervals = false;
+
+  Table t("T3 — CASPER pipeline, grain sweep (overlap on)");
+  t.header({"grain", "tasks", "makespan", "utilization", "exec ticks",
+            "comp:mgmt ratio"});
+  for (GranuleId grain : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    ExecConfig cfg;
+    cfg.grain = grain;
+    cfg.overlap = true;
+    cfg.early_serial = true;
+    cfg.indirect_subset = 64;
+    const auto res = sim::simulate(pipe.program, cfg, CostModel{}, pipe.workload, mc);
+    t.row({std::to_string(grain), Table::count(res.tasks_executed),
+           Table::count(res.makespan), Table::pct(res.utilization(), 1),
+           Table::count(res.exec_ticks), fixed(res.mgmt_ratio(), 1)});
+  }
+  t.print(std::cout);
+
+  // Where does management time go? Break the ledger down at grain 8.
+  ExecConfig cfg;
+  cfg.grain = 8;
+  cfg.overlap = true;
+  cfg.early_serial = true;
+  cfg.indirect_subset = 64;
+  const auto res = sim::simulate(pipe.program, cfg, CostModel{}, pipe.workload, mc);
+  Table l("management-operation ledger at grain 8");
+  l.header({"operation", "count", "ticks", "% of mgmt"});
+  for (std::size_t i = 0; i < kMgmtOpCount; ++i) {
+    const auto op = static_cast<MgmtOp>(i);
+    if (res.ledger.count(op) == 0 && res.ledger.units(op) == 0) continue;
+    l.row({to_string(op), Table::count(res.ledger.count(op)),
+           Table::count(res.ledger.units(op)),
+           Table::pct(static_cast<double>(res.ledger.units(op)) /
+                          static_cast<double>(res.ledger.total_units()),
+                      1)});
+  }
+  std::cout << '\n';
+  l.print(std::cout);
+  return 0;
+}

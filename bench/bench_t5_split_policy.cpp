@@ -1,0 +1,66 @@
+// bench_t5_split_policy — Experiment T5 (ablation).
+//
+// The paper debates how to split queued successor descriptions when the
+// current description splits: inline at worker-request time ("the
+// additional delays ... may represent an unacceptable situation"),
+// presplitting in executive idle time, or deferred successor-splitting
+// tasks. This bench compares the three policies under both executive
+// placements.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace pax;
+  using namespace pax::bench;
+  print_banner("T5 — successor split-propagation policy (identity mapping)",
+               "inline splitting delays the request path; presplitting and "
+               "successor-splitting tasks move it into executive idle time");
+
+  constexpr std::uint32_t kWorkers = 48;
+  constexpr GranuleId kGranules = 1536;  // 8 tasks/proc at grain 4
+
+  // Make split propagation expensive relative to other management so the
+  // policy choice is visible (e.g. descriptions with large attached state).
+  CostModel costs;
+  costs.set(MgmtOp::kSuccessorSplit, 24);
+
+  Table t("T5 — split policy x executive placement");
+  t.header({"policy", "placement", "makespan", "request latency", "p-like max",
+            "succ splits", "utilization"});
+
+  for (ExecPlacement placement :
+       {ExecPlacement::kWorkerStealing, ExecPlacement::kDedicated}) {
+    for (SplitPolicy policy :
+         {SplitPolicy::kInline, SplitPolicy::kPresplit, SplitPolicy::kDeferred}) {
+      TwoPhase tp = two_phase(kGranules, kGranules, MappingKind::kIdentity);
+      sim::Workload wl(51);
+      sim::PhaseWorkload pw;
+      pw.model = sim::DurationModel::kUniform;
+      pw.mean = 600;
+      pw.spread = 240;
+      wl.set_phase(tp.a, pw);
+      wl.set_phase(tp.b, pw);
+
+      sim::MachineConfig mc;
+      mc.workers = kWorkers;
+      mc.record_intervals = false;
+
+      ExecConfig cfg;
+      cfg.grain = 4;
+      cfg.overlap = true;
+      cfg.split_policy = policy;
+      cfg.placement = placement;
+
+      const auto res = sim::simulate(tp.program, cfg, costs, wl, mc);
+      t.row({to_string(policy), to_string(placement), Table::count(res.makespan),
+             Table::num(res.request_latency.mean(), 1),
+             Table::num(res.request_latency.max(), 0),
+             Table::count(res.ledger.count(MgmtOp::kSuccessorSplit)),
+             Table::pct(res.utilization(), 1)});
+    }
+    t.separator();
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// casper_pipeline — drive the synthetic CASPER workload end to end.
+//
+// Builds the 22-phase pipeline whose enablement-mapping census matches the
+// paper's published measurements, prints the census, then simulates two
+// iterations on a 64-processor machine with and without overlap, reporting
+// per-phase timing and the management ledger.
+#include <cstdio>
+#include <iostream>
+
+#include "casper/census.hpp"
+#include "casper/pipeline.hpp"
+#include "sim/machine.hpp"
+
+int main() {
+  using namespace pax;
+  using namespace pax::casper;
+
+  CasperOptions opt;
+  opt.iterations = 2;
+  const CasperPipeline pipe = build_casper_pipeline(opt);
+
+  const Census census = take_census(pipe);
+  census_table(pipe, census).print(std::cout);
+
+  auto run = [&](bool overlap) {
+    ExecConfig cfg;
+    cfg.overlap = overlap;
+    cfg.early_serial = true;
+    cfg.grain = 8;
+    cfg.indirect_subset = 64;
+    sim::MachineConfig mc;
+    mc.workers = 64;
+    mc.record_intervals = false;
+    return sim::simulate(pipe.program, cfg, CostModel{}, pipe.workload, mc);
+  };
+  const auto r_b = run(false);
+  const auto r_o = run(true);
+
+  std::printf("\n64 simulated processors, 2 iterations of the 22-phase cycle:\n");
+  std::printf("  barrier : makespan %9llu, utilization %5.1f%%, comp:mgmt %.0f\n",
+              static_cast<unsigned long long>(r_b.makespan),
+              100.0 * r_b.utilization(), r_b.mgmt_ratio());
+  std::printf("  overlap : makespan %9llu, utilization %5.1f%%, comp:mgmt %.0f\n",
+              static_cast<unsigned long long>(r_o.makespan),
+              100.0 * r_o.utilization(), r_o.mgmt_ratio());
+  std::printf("  speedup : %.3fx\n\n",
+              static_cast<double>(r_b.makespan) / static_cast<double>(r_o.makespan));
+
+  // Per-run lifecycle of the first iteration (overlap run): creation during
+  // the predecessor (the overlap window), opening, completion.
+  Table t("first-iteration run lifecycle (overlap on)");
+  t.header({"phase", "created", "opened", "first task", "completed"});
+  std::size_t shown = 0;
+  for (const auto& rec : r_o.runs) {
+    if (rec.phase == kNoPhase || shown >= pipe.info.size()) continue;
+    ++shown;
+    t.row({rec.phase_name, Table::count(rec.created), Table::count(rec.opened),
+           rec.first_task == kTimeNever ? "-" : Table::count(rec.first_task),
+           rec.completed == kTimeNever ? "-" : Table::count(rec.completed)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nA phase whose 'first task' precedes its 'opened' time was running\n"
+      "during its predecessor's rundown — the paper's overlap in action.\n");
+  return 0;
+}

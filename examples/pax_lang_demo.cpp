@@ -1,0 +1,119 @@
+// pax_lang_demo — the paper's language construct, end to end.
+//
+// Parses a PAX control program using the constructs from the "Language
+// Construction" section (DEFINE PHASE ... ENABLE, DISPATCH ... ENABLE with
+// interlock, ENABLE/BRANCHINDEPENDENT with a preprocessable branch), shows
+// the validator catching a bad program, then compiles and simulates the good
+// one.
+#include <cstdio>
+
+#include "lang/compiler.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+// A miniature CASPER-flavoured control stream. The branch after `smooth` is
+// independent of the phase's results (it tests the sweep counter), so the
+// executive may preprocess it and overlap the right arm.
+constexpr const char* kProgram = R"PAX(
+# -- phase definitions -------------------------------------------------
+DEFINE PHASE relax GRANULES=2048 LINES=61
+  READS  field
+  WRITES field_new
+END
+
+DEFINE PHASE smooth GRANULES=2048 LINES=62
+  READS  field_new
+  WRITES field
+  ENABLE [ residuals/MAPPING=UNIVERSAL, sample/MAPPING=UNIVERSAL ]
+END
+
+DEFINE PHASE residuals GRANULES=512 LINES=44
+  READS  resid_in
+  WRITES resid_out
+END
+
+DEFINE PHASE sample GRANULES=256 LINES=44
+  WRITES probe
+END
+
+# -- control stream ----------------------------------------------------
+LET sweep = 0
+LABEL top
+DISPATCH relax ENABLE [ smooth/MAPPING=IDENTITY ]
+DISPATCH smooth ENABLE/BRANCHDEPENDENT
+IF IMOD(sweep, 4) != 0 GOTO skip_residuals
+DISPATCH residuals
+LABEL skip_residuals
+DISPATCH sample
+SERIAL bump NOCONFLICT SET sweep = sweep + 1
+IF sweep < 8 GOTO top
+HALT
+)PAX";
+
+// Same program with a deliberate interlock violation: ENABLE names a phase
+// that cannot follow.
+constexpr const char* kBadProgram = R"PAX(
+DEFINE PHASE a GRANULES=64
+  WRITES X
+END
+DEFINE PHASE b GRANULES=64
+  READS X
+END
+DEFINE PHASE c GRANULES=64
+END
+DISPATCH a ENABLE [ c/MAPPING=UNIVERSAL ]
+DISPATCH b
+HALT
+)PAX";
+
+}  // namespace
+
+int main() {
+  using namespace pax;
+  using namespace pax::lang;
+
+  // 1. The validator rejects the bad program (the paper's interlock).
+  std::printf("--- validating a program with a wrong ENABLE target ---\n");
+  const CompileResult bad = compile_source(kBadProgram);
+  for (const auto& d : bad.diags) std::printf("  %s\n", d.render().c_str());
+  std::printf("  compile ok: %s (expected: no)\n\n", bad.ok ? "yes" : "no");
+
+  // 2. Compile the good program.
+  std::printf("--- compiling the CASPER-flavoured control stream ---\n");
+  const CompileResult good = compile_source(kProgram);
+  for (const auto& d : good.diags) std::printf("  %s\n", d.render().c_str());
+  if (!good.ok) {
+    std::printf("unexpected compile failure\n");
+    return 1;
+  }
+  std::printf("  compiled: %zu phases, %zu program nodes\n\n",
+              good.program.phase_count(), good.program.size());
+
+  // 3. Simulate with and without overlap.
+  sim::Workload wl(1986);
+  sim::PhaseWorkload pw;
+  pw.model = sim::DurationModel::kUniform;
+  pw.mean = 150;
+  pw.spread = 75;
+  for (PhaseId p = 0; p < good.program.phase_count(); ++p) wl.set_phase(p, pw);
+
+  sim::MachineConfig mc;
+  mc.workers = 48;
+  mc.record_intervals = false;
+
+  for (const bool overlap : {false, true}) {
+    ExecConfig cfg;
+    cfg.overlap = overlap;
+    cfg.early_serial = true;
+    cfg.grain = 8;
+    const auto res = sim::simulate(good.program, cfg, CostModel{}, wl, mc);
+    std::printf("%s: makespan %9llu ticks, utilization %5.1f%%, %llu granules\n",
+                overlap ? "overlap" : "barrier",
+                static_cast<unsigned long long>(res.makespan),
+                100.0 * res.utilization(),
+                static_cast<unsigned long long>(res.granules_executed));
+    for (const auto& d : res.diagnostics) std::printf("  diagnostic: %s\n", d.c_str());
+  }
+  return 0;
+}

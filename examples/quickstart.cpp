@@ -1,0 +1,79 @@
+// quickstart — the smallest useful PAX program.
+//
+// The paper's simplest identity example, as real code:
+//
+//     DO 100 I=1,N          |  first computational phase
+//       B(I)=A(I)           |
+//     DO 200 I=1,N          |  second computational phase
+//       C(I)=B(I)           |
+//
+// The identity mapping (I = I) lets granule I of the second phase start as
+// soon as granule I of the first completes — no barrier between the phases.
+// This example runs both phases on real threads with overlap enabled and
+// checks the result.
+#include <cstdio>
+#include <vector>
+
+#include "core/dataflow.hpp"
+#include "core/executive.hpp"
+#include "runtime/threaded_runtime.hpp"
+
+int main() {
+  using namespace pax;
+  constexpr GranuleId kN = 1 << 16;
+
+  std::vector<double> a(kN), b(kN), c(kN);
+  for (GranuleId i = 0; i < kN; ++i) a[i] = 0.5 * static_cast<double>(i);
+
+  // 1. Define the phases and their data accesses. The access declarations
+  //    let the library verify that the identity mapping is legal.
+  PhaseProgram program;
+  const PhaseId copy_ab =
+      program.define_phase(make_phase("copyA", kN).reads("A").writes("B"));
+  const PhaseId copy_bc =
+      program.define_phase(make_phase("copyB", kN).reads("B").writes("C"));
+
+  // 2. The control stream: DISPATCH copyA ENABLE [copyB/MAPPING=IDENTITY].
+  program.dispatch(copy_ab, {EnableClause{"copyB", MappingKind::kIdentity, {}}});
+  program.dispatch(copy_bc);
+  program.halt();
+
+  // Sanity: the mapping we requested is the one the dataflow implies.
+  const MappingAnalysis inferred =
+      infer_mapping(program.phase(copy_ab), program.phase(copy_bc));
+  std::printf("inferred mapping copyA -> copyB: %s (%s)\n",
+              to_string(inferred.kind), inferred.rationale.c_str());
+
+  // 3. Bind the phase bodies and run on a worker pool with overlap.
+  rt::BodyTable bodies;
+  bodies.set(copy_ab, [&](GranuleRange r, WorkerId) {
+    for (GranuleId i = r.lo; i < r.hi; ++i) b[i] = a[i];
+  });
+  bodies.set(copy_bc, [&](GranuleRange r, WorkerId) {
+    for (GranuleId i = r.lo; i < r.hi; ++i) c[i] = b[i];
+  });
+
+  ExecConfig config;
+  config.overlap = true;  // flip to false for the strict-barrier baseline
+  config.grain = 1024;
+
+  rt::ThreadedRuntime runtime(program, config, CostModel{}, bodies, {4});
+  const rt::RtResult result = runtime.run();
+
+  // 4. Verify and report.
+  std::size_t wrong = 0;
+  for (GranuleId i = 0; i < kN; ++i)
+    if (c[i] != a[i]) ++wrong;
+
+  std::printf("granules executed : %llu (expected %llu)\n",
+              static_cast<unsigned long long>(result.granules_executed),
+              static_cast<unsigned long long>(2ull * kN));
+  std::printf("tasks executed    : %llu\n",
+              static_cast<unsigned long long>(result.tasks_executed));
+  std::printf("wall time         : %.2f ms\n",
+              static_cast<double>(result.wall.count()) / 1e6);
+  std::printf("result check      : %s\n", wrong == 0 ? "OK" : "CORRUPT");
+  for (const auto& d : result.diagnostics)
+    std::printf("diagnostic: %s\n", d.c_str());
+  return wrong == 0 ? 0 : 1;
+}

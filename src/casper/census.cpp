@@ -1,0 +1,103 @@
+#include "casper/census.hpp"
+
+#include "core/dataflow.hpp"
+
+namespace pax::casper {
+
+double Census::easy_phase_fraction() const {
+  const auto& u = row(MappingKind::kUniversal);
+  const auto& i = row(MappingKind::kIdentity);
+  return total_phases
+             ? static_cast<double>(u.phases + i.phases) / total_phases
+             : 0.0;
+}
+
+double Census::easy_line_fraction() const {
+  const auto& u = row(MappingKind::kUniversal);
+  const auto& i = row(MappingKind::kIdentity);
+  return total_lines ? static_cast<double>(u.lines + i.lines) / total_lines : 0.0;
+}
+
+double Census::extended_phase_fraction() const {
+  // Filled by take_census via extended_phases_.
+  return extended_phases_known ? static_cast<double>(extended_phases_known) /
+                                     (total_phases ? total_phases : 1)
+                               : 0.0;
+}
+
+Census take_census(const CasperPipeline& pipe) {
+  Census census;
+  const std::size_t n = pipe.info.size();
+  census.total_phases = static_cast<std::uint32_t>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const CasperPhaseInfo& cur = pipe.info[i];
+    const std::size_t next = (i + 1) % n;
+    const PhaseSpec& cur_spec = pipe.program.phase(static_cast<PhaseId>(i));
+    const PhaseSpec& next_spec = pipe.program.phase(static_cast<PhaseId>(next));
+    // A serial action between the phases forces the null classification,
+    // exactly as in the paper ("serial actions and decisions had to occur
+    // between the phases").
+    const MappingAnalysis analysis =
+        infer_mapping(cur_spec, next_spec, cur.serial_after);
+    auto& row = census.rows[static_cast<std::size_t>(analysis.kind)];
+    row.kind = analysis.kind;
+    row.phases += 1;
+    row.lines += cur.lines;
+    census.total_lines += cur.lines;
+  }
+  census.extended_phases_known = extended_overlappable_phases(pipe);
+  return census;
+}
+
+std::uint32_t extended_overlappable_phases(const CasperPipeline& pipe) {
+  std::uint32_t count = 0;
+  const std::size_t n = pipe.info.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const CasperPhaseInfo& cur = pipe.info[i];
+    const std::size_t next = (i + 1) % n;
+    const PhaseSpec& cur_spec = pipe.program.phase(static_cast<PhaseId>(i));
+    const PhaseSpec& next_spec = pipe.program.phase(static_cast<PhaseId>(next));
+    // Extended effort: hoist non-conflicting serial actions, then ask again.
+    const bool serial_blocks = cur.serial_after && cur.serial_conflicts;
+    const MappingAnalysis analysis =
+        infer_mapping(cur_spec, next_spec, serial_blocks);
+    if (analysis.kind != MappingKind::kNull) ++count;
+  }
+  return count;
+}
+
+Table census_table(const CasperPipeline& pipe, const Census& census) {
+  // The paper's numbers, for side-by-side comparison.
+  struct PaperRow {
+    MappingKind kind;
+    std::uint32_t phases, lines;
+  };
+  static constexpr PaperRow kPaper[] = {
+      {MappingKind::kUniversal, 6, 266},  {MappingKind::kIdentity, 9, 551},
+      {MappingKind::kNull, 4, 262},       {MappingKind::kReverseIndirect, 2, 78},
+      {MappingKind::kForwardIndirect, 1, 31},
+  };
+
+  Table t("T1 — PAX/CASPER enablement-mapping census (paper vs this repo)");
+  t.header({"mapping", "phases", "paper", "% phases", "paper %", "lines", "paper",
+            "% lines", "paper %"});
+  for (const auto& p : kPaper) {
+    const CensusRow& r = census.row(p.kind);
+    t.row({to_string(p.kind), std::to_string(r.phases), std::to_string(p.phases),
+           Table::pct(r.phase_fraction(census.total_phases), 0),
+           Table::pct(static_cast<double>(p.phases) / 22.0, 0),
+           std::to_string(r.lines), std::to_string(p.lines),
+           Table::pct(r.line_fraction(census.total_lines), 0),
+           Table::pct(static_cast<double>(p.lines) / 1188.0, 0)});
+  }
+  t.separator();
+  t.row({"easily overlapped", "", "", Table::pct(census.easy_phase_fraction(), 0),
+         "68%", "", "", Table::pct(census.easy_line_fraction(), 0), "68%"});
+  const double ext =
+      static_cast<double>(extended_overlappable_phases(pipe)) /
+      static_cast<double>(census.total_phases);
+  t.row({"with extended effort", "", "", Table::pct(ext, 0), ">90%", "", "", "", ""});
+  return t;
+}
+
+}  // namespace pax::casper

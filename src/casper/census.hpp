@@ -1,0 +1,61 @@
+// census.hpp — the PAX/CASPER phase census (experiment T1).
+//
+// The paper reports, for each enablement-mapping class, how many of the 22
+// parallel computational phases and how many of the 1188 lines of parallel
+// code fall into it. This module recomputes the census from the synthetic
+// pipeline's *declared data accesses* (via pax::infer_mapping), so the table
+// is derived the way the paper derived it — by analysing the code — rather
+// than copied from the pipeline's ground-truth metadata. Tests cross-check
+// the two.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "casper/pipeline.hpp"
+#include "common/table.hpp"
+
+namespace pax::casper {
+
+struct CensusRow {
+  MappingKind kind{};
+  std::uint32_t phases = 0;
+  std::uint32_t lines = 0;
+  [[nodiscard]] double phase_fraction(std::uint32_t total) const {
+    return total ? static_cast<double>(phases) / total : 0.0;
+  }
+  [[nodiscard]] double line_fraction(std::uint32_t total) const {
+    return total ? static_cast<double>(lines) / total : 0.0;
+  }
+};
+
+struct Census {
+  std::array<CensusRow, 5> rows{};  // indexed by MappingKind order
+  std::uint32_t total_phases = 0;
+  std::uint32_t total_lines = 0;
+  std::uint32_t extended_phases_known = 0;
+
+  [[nodiscard]] const CensusRow& row(MappingKind k) const {
+    return rows[static_cast<std::size_t>(k)];
+  }
+
+  /// Universal + identity: "easily overlapped" in the paper (68% / 68%).
+  [[nodiscard]] double easy_phase_fraction() const;
+  [[nodiscard]] double easy_line_fraction() const;
+
+  /// Everything overlappable with extended effort: easy + indirect + null
+  /// transitions whose serial action does not conflict (>90% in the paper).
+  [[nodiscard]] double extended_phase_fraction() const;
+};
+
+/// Classify each of the pipeline's 22 transitions by running infer_mapping
+/// on the declared accesses, honouring serial actions between phases.
+[[nodiscard]] Census take_census(const CasperPipeline& pipe);
+
+/// Count of phases overlappable with extended effort (hoistable serials).
+[[nodiscard]] std::uint32_t extended_overlappable_phases(const CasperPipeline& pipe);
+
+/// Render the census as a paper-vs-measured table (used by bench_t1_census).
+[[nodiscard]] Table census_table(const CasperPipeline& pipe, const Census& census);
+
+}  // namespace pax::casper

@@ -1,0 +1,31 @@
+#include "casper/grid.hpp"
+
+#include <cmath>
+
+namespace pax::casper {
+
+void Grid::set_boundary(double hot, double cold) {
+  for (std::uint32_t x = 0; x < nx_; ++x) {
+    at(x, 0) = cold;
+    at(x, ny_ - 1) = hot;
+  }
+  for (std::uint32_t y = 0; y < ny_; ++y) {
+    at(0, y) = cold;
+    at(nx_ - 1, y) = cold;
+  }
+}
+
+double Grid::max_diff(const Grid& a, const Grid& b) {
+  PAX_CHECK(a.nx_ == b.nx_ && a.ny_ == b.ny_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.v_.size(); ++i)
+    m = std::max(m, std::fabs(a.v_[i] - b.v_[i]));
+  return m;
+}
+
+bool Grid::identical(const Grid& a, const Grid& b) {
+  PAX_CHECK(a.nx_ == b.nx_ && a.ny_ == b.ny_);
+  return a.v_ == b.v_;
+}
+
+}  // namespace pax::casper

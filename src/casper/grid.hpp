@@ -1,0 +1,52 @@
+// grid.hpp — 2D potential grid for the checkerboard SOR solver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pax::casper {
+
+/// Dense (nx x ny) grid of doubles, row-major, with the outermost ring held
+/// as Dirichlet boundary.
+class Grid {
+ public:
+  Grid(std::uint32_t nx, std::uint32_t ny, double fill = 0.0)
+      : nx_(nx), ny_(ny), v_(static_cast<std::size_t>(nx) * ny, fill) {
+    PAX_CHECK_MSG(nx >= 3 && ny >= 3, "grid needs an interior");
+  }
+
+  [[nodiscard]] std::uint32_t nx() const { return nx_; }
+  [[nodiscard]] std::uint32_t ny() const { return ny_; }
+
+  [[nodiscard]] double& at(std::uint32_t x, std::uint32_t y) {
+    PAX_DCHECK(x < nx_ && y < ny_);
+    return v_[static_cast<std::size_t>(y) * nx_ + x];
+  }
+  [[nodiscard]] double at(std::uint32_t x, std::uint32_t y) const {
+    PAX_DCHECK(x < nx_ && y < ny_);
+    return v_[static_cast<std::size_t>(y) * nx_ + x];
+  }
+
+  [[nodiscard]] bool interior(std::uint32_t x, std::uint32_t y) const {
+    return x > 0 && x + 1 < nx_ && y > 0 && y + 1 < ny_;
+  }
+
+  /// Apply a boundary profile: top edge at `hot`, other edges at `cold`.
+  void set_boundary(double hot, double cold);
+
+  /// Max |a - b| over all cells.
+  [[nodiscard]] static double max_diff(const Grid& a, const Grid& b);
+
+  /// Exact equality (bitwise) — the overlap-correctness check.
+  [[nodiscard]] static bool identical(const Grid& a, const Grid& b);
+
+  [[nodiscard]] const std::vector<double>& data() const { return v_; }
+
+ private:
+  std::uint32_t nx_, ny_;
+  std::vector<double> v_;
+};
+
+}  // namespace pax::casper

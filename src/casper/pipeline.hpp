@@ -1,0 +1,87 @@
+// pipeline.hpp — the synthetic CASPER pipeline.
+//
+// CASPER (Combined Aerodynamic and Structural Dynamic Problem Emulating
+// Routines, NASA TP-2418) is not available; this module builds a synthetic
+// 22-phase pipeline whose *enablement-mapping census matches the paper's
+// published measurements exactly*:
+//
+//   universal          6 phases   266 lines
+//   identity (direct)  9 phases   551 lines
+//   null               4 phases   262 lines
+//   reverse indirect   2 phases    78 lines
+//   forward indirect   1 phase     31 lines
+//   total             22 phases  1188 lines
+//
+// Two of the four null transitions are null because of *non-conflicting*
+// serial actions; hoisting them (ExecConfig::early_serial) makes 20 of 22
+// phases overlappable — the paper's "more than 90 percent ... with extended
+// effort".
+//
+// Phase names, relative sizes and duration models are invented but CASPER-
+// flavoured (aerodynamic + structural dynamic stages, conditional
+// computations, unpredictable execution times).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "runtime/body_table.hpp"
+#include "sim/workload.hpp"
+
+namespace pax::casper {
+
+/// Ground-truth metadata for one of the 22 phases.
+struct CasperPhaseInfo {
+  std::string name;
+  GranuleId granules = 0;
+  std::uint32_t lines = 0;
+  /// Mapping class of the transition from this phase to its successor
+  /// (phase 22 wraps to phase 1 of the next iteration).
+  MappingKind to_next = MappingKind::kNull;
+  /// A serial action follows this phase.
+  bool serial_after = false;
+  /// ... and it conflicts with the phase's data (true null) or not
+  /// (hoistable under early_serial).
+  bool serial_conflicts = false;
+  /// Underlying mapping once a non-conflicting serial action is hoisted.
+  MappingKind underlying = MappingKind::kNull;
+};
+
+struct CasperOptions {
+  /// Outer iterations of the 22-phase cycle.
+  std::uint32_t iterations = 1;
+  /// Multiplies every phase's granule count.
+  std::uint32_t scale = 1;
+  std::uint64_t seed = 1986;
+};
+
+struct CasperPipeline {
+  PhaseProgram program;
+  std::vector<CasperPhaseInfo> info;  // exactly 22 entries
+  sim::Workload workload;
+  CasperOptions options;
+
+  CasperPipeline() : workload(0) {}
+
+  [[nodiscard]] std::uint32_t total_lines() const;
+  [[nodiscard]] GranuleId total_granules() const;
+};
+
+/// Build the pipeline: program (with ENABLE clauses and loop), ground truth,
+/// and a CASPER-flavoured workload (mixed distributions, conditional tasks).
+[[nodiscard]] CasperPipeline build_casper_pipeline(const CasperOptions& opt = {});
+
+/// Real-thread bodies for the pipeline: each granule runs a small numeric
+/// kernel proportional to the phase's line count. `work_scale` tunes kernel
+/// iterations per line. The returned buffer owns the phases' output arrays.
+struct CasperBodies {
+  rt::BodyTable bodies;
+  std::shared_ptr<std::vector<std::vector<double>>> buffers;
+};
+[[nodiscard]] CasperBodies make_casper_bodies(const CasperPipeline& pipe,
+                                              std::uint32_t work_scale = 40);
+
+}  // namespace pax::casper

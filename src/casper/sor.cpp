@@ -1,0 +1,139 @@
+#include "casper/sor.hpp"
+
+namespace pax::casper {
+
+Checkerboard::Checkerboard(std::uint32_t nx, std::uint32_t ny) : nx_(nx), ny_(ny) {
+  PAX_CHECK(nx >= 3 && ny >= 3);
+  PAX_CHECK_MSG(nx <= 0xFFFF && ny <= 0xFFFF, "grid dimension exceeds 16 bits");
+  granule_index_[0].assign(static_cast<std::size_t>(nx) * ny, kNoGranule);
+  granule_index_[1].assign(static_cast<std::size_t>(nx) * ny, kNoGranule);
+  for (std::uint32_t y = 1; y + 1 < ny; ++y) {
+    for (std::uint32_t x = 1; x + 1 < nx; ++x) {
+      const int c = static_cast<int>((x + y) % 2);  // 0 = red
+      granule_index_[c][static_cast<std::size_t>(y) * nx + x] =
+          static_cast<GranuleId>(cells_[c].size());
+      cells_[c].push_back(x | (y << 16));
+    }
+  }
+}
+
+std::pair<std::uint32_t, std::uint32_t> Checkerboard::cell(Color c,
+                                                           GranuleId g) const {
+  const auto& v = cells_[static_cast<int>(c)];
+  PAX_CHECK(g < v.size());
+  return {v[g] & 0xFFFFu, v[g] >> 16};
+}
+
+GranuleId Checkerboard::granule_at(Color c, std::uint32_t x, std::uint32_t y) const {
+  const GranuleId g =
+      granule_index_[static_cast<int>(c)][static_cast<std::size_t>(y) * nx_ + x];
+  PAX_CHECK_MSG(g != kNoGranule, "cell is not an interior cell of that colour");
+  return g;
+}
+
+std::vector<GranuleId> Checkerboard::neighbours(Color next, GranuleId g) const {
+  const auto [x, y] = cell(next, g);
+  const Color cur = next == Color::kRed ? Color::kBlack : Color::kRed;
+  std::vector<GranuleId> out;
+  out.reserve(4);
+  const std::int32_t dx[4] = {-1, 1, 0, 0};
+  const std::int32_t dy[4] = {0, 0, -1, 1};
+  for (int k = 0; k < 4; ++k) {
+    const std::uint32_t nx2 = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(x) + dx[k]);
+    const std::uint32_t ny2 = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(y) + dy[k]);
+    if (nx2 == 0 || nx2 + 1 >= nx_ || ny2 == 0 || ny2 + 1 >= ny_)
+      continue;  // boundary neighbours never change
+    out.push_back(granule_at(cur, nx2, ny2));
+  }
+  return out;
+}
+
+void relax_cell(Grid& grid, std::uint32_t x, std::uint32_t y, double omega) {
+  const double sum = grid.at(x - 1, y) + grid.at(x + 1, y) + grid.at(x, y - 1) +
+                     grid.at(x, y + 1);
+  const double gs = 0.25 * sum;
+  grid.at(x, y) = (1.0 - omega) * grid.at(x, y) + omega * gs;
+}
+
+void solve_sequential(Grid& grid, double omega, std::uint32_t sweeps) {
+  Checkerboard board(grid.nx(), grid.ny());
+  for (std::uint32_t s = 0; s < sweeps; ++s) {
+    for (Color c : {Color::kRed, Color::kBlack}) {
+      const GranuleId n = board.cells(c);
+      for (GranuleId g = 0; g < n; ++g) {
+        const auto [x, y] = board.cell(c, g);
+        relax_cell(grid, x, y, omega);
+      }
+    }
+  }
+}
+
+SorProgram build_sor_program(Grid& grid, double omega, std::uint32_t sweeps) {
+  SorProgram out;
+  out.board = std::make_shared<Checkerboard>(grid.nx(), grid.ny());
+  const auto board = out.board;
+  PAX_CHECK_MSG(board->cells(Color::kRed) > 0 && board->cells(Color::kBlack) > 0,
+                "grid too small: both colours need interior cells");
+
+  PhaseProgram& prog = out.program;
+  out.red_phase = prog.define_phase(
+      make_phase("red", board->cells(Color::kRed))
+          .reads("phi", IndexPattern::kIndirect, "stencil")
+          .writes("phi_red"));
+  out.black_phase = prog.define_phase(
+      make_phase("black", board->cells(Color::kBlack))
+          .reads("phi_red", IndexPattern::kIndirect, "stencil")
+          .writes("phi"));
+
+  // The seam/stencil relation as reverse-indirect enablement in both
+  // directions.
+  EnableClause red_to_black{"black", MappingKind::kReverseIndirect, {}};
+  red_to_black.indirection.requires_of = [board](GranuleId g) {
+    return board->neighbours(Color::kBlack, g);
+  };
+  red_to_black.indirection.stable = true;  // the stencil never changes
+  EnableClause black_to_red{"red", MappingKind::kReverseIndirect, {}};
+  black_to_red.indirection.requires_of = [board](GranuleId g) {
+    return board->neighbours(Color::kRed, g);
+  };
+  black_to_red.indirection.stable = true;
+
+  // Loop: LABEL top; DISPATCH red; DISPATCH black; bump; IF s < sweeps GOTO top.
+  prog.serial("init_sweep",
+              [](ProgramEnv& env) { env.set("sweep", 0); }, 0,
+              /*conflicts=*/false);
+  const std::uint32_t top = prog.dispatch(out.red_phase, {red_to_black});
+  prog.dispatch(out.black_phase, {black_to_red});
+  prog.serial("bump_sweep",
+              [](ProgramEnv& env) { env.add("sweep", 1); }, 0,
+              /*conflicts=*/false);
+  prog.branch(
+      "next_sweep",
+      [sweeps](const ProgramEnv& env) {
+        return env.get("sweep") < static_cast<std::int64_t>(sweeps)
+                   ? std::size_t{0}
+                   : std::size_t{1};
+      },
+      {top, static_cast<std::uint32_t>(prog.size() + 1)},
+      /*phase_independent=*/true);
+  prog.halt();
+
+  Grid* g = &grid;
+  out.bodies.set(out.red_phase, [g, board, omega](GranuleRange r, WorkerId) {
+    for (GranuleId i = r.lo; i < r.hi; ++i) {
+      const auto [x, y] = board->cell(Color::kRed, i);
+      relax_cell(*g, x, y, omega);
+    }
+  });
+  out.bodies.set(out.black_phase, [g, board, omega](GranuleRange r, WorkerId) {
+    for (GranuleId i = r.lo; i < r.hi; ++i) {
+      const auto [x, y] = board->cell(Color::kBlack, i);
+      relax_cell(*g, x, y, omega);
+    }
+  });
+  return out;
+}
+
+}  // namespace pax::casper

@@ -1,0 +1,83 @@
+// sor.hpp — checkerboard successive over-relaxation, the paper's motivating
+// example.
+//
+// "Consider again the checkerboard algorithm. If all the 'odd' locations
+// adjacent to a particular 'even' location have been updated with new values
+// from the current computational phase, then the new value for that
+// particular 'even' location for the next computational phase can be
+// correctly computed. Additionally, since all the computations requiring as
+// an input the current value of that particular 'even' location have been
+// completed, the value for that 'even' location can be updated without
+// affecting the results of the current computational phase."
+//
+// The red->black (and black->red) enablement is exactly that relation: a
+// cell of the next colour is enabled when its four neighbours of the current
+// colour have completed. The paper calls the general form a *seam mapping*
+// and defers it; it is expressible as a reverse-indirect mapping with a
+// static neighbour map, which is how this module drives the executive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "casper/grid.hpp"
+#include "core/program.hpp"
+#include "runtime/body_table.hpp"
+
+namespace pax::casper {
+
+enum class Color : std::uint8_t { kRed = 0, kBlack = 1 };  // (x+y) even = red
+
+/// Geometry and granule numbering of a checkerboard decomposition: granule g
+/// of a colour phase is the g-th interior cell of that colour in row-major
+/// order.
+class Checkerboard {
+ public:
+  Checkerboard(std::uint32_t nx, std::uint32_t ny);
+
+  [[nodiscard]] std::uint32_t nx() const { return nx_; }
+  [[nodiscard]] std::uint32_t ny() const { return ny_; }
+  [[nodiscard]] GranuleId cells(Color c) const {
+    return static_cast<GranuleId>(cells_[static_cast<int>(c)].size());
+  }
+
+  /// (x, y) of granule g of colour c.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> cell(Color c,
+                                                             GranuleId g) const;
+
+  /// Granule id of interior cell (x, y), which must have colour c.
+  [[nodiscard]] GranuleId granule_at(Color c, std::uint32_t x,
+                                     std::uint32_t y) const;
+
+  /// The reverse enablement map: granules of colour `next` map to the
+  /// interior neighbours of the *other* colour that must complete first.
+  [[nodiscard]] std::vector<GranuleId> neighbours(Color next, GranuleId g) const;
+
+ private:
+  std::uint32_t nx_, ny_;
+  std::vector<std::uint32_t> cells_[2];        // packed x | y<<16
+  std::vector<GranuleId> granule_index_[2];    // (y*nx+x) -> granule id
+};
+
+/// One SOR update of a single cell (reads 4 neighbours, writes the cell).
+void relax_cell(Grid& grid, std::uint32_t x, std::uint32_t y, double omega);
+
+/// Sequential reference: `sweeps` full (red then black) sweeps.
+void solve_sequential(Grid& grid, double omega, std::uint32_t sweeps);
+
+/// A phase program running `sweeps` checkerboard sweeps with red<->black
+/// reverse-indirect overlap clauses, plus the runtime bodies operating on
+/// `grid`. The program loops via a branch-independent backward branch, so
+/// successive sweeps also overlap tail-to-head.
+struct SorProgram {
+  PhaseProgram program;
+  PhaseId red_phase = kNoPhase;
+  PhaseId black_phase = kNoPhase;
+  rt::BodyTable bodies;
+  std::shared_ptr<Checkerboard> board;
+};
+
+SorProgram build_sor_program(Grid& grid, double omega, std::uint32_t sweeps);
+
+}  // namespace pax::casper

@@ -1,0 +1,37 @@
+// check.hpp — lightweight invariant checking used throughout the PAX library.
+//
+// PAX_CHECK is always on (scheduler integrity bugs must never be silent);
+// PAX_DCHECK compiles out in NDEBUG builds and guards hot-path assertions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pax::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "PAX_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace pax::detail
+
+#define PAX_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::pax::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PAX_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) ::pax::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PAX_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define PAX_DCHECK(expr) PAX_CHECK(expr)
+#endif

@@ -1,0 +1,54 @@
+// csr.hpp — compact compressed-sparse-row adjacency used by composite
+// granule maps (current granule -> successor granules it helps enable).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pax {
+
+template <typename V>
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from (row, value) pairs; rows indexed [0, row_count).
+  static Csr from_pairs(std::size_t row_count,
+                        std::vector<std::pair<std::uint32_t, V>> pairs) {
+    Csr out;
+    out.offsets_.assign(row_count + 1, 0);
+    for (const auto& [r, v] : pairs) {
+      PAX_DCHECK(r < row_count);
+      ++out.offsets_[r + 1];
+    }
+    for (std::size_t i = 1; i <= row_count; ++i) out.offsets_[i] += out.offsets_[i - 1];
+    out.values_.resize(pairs.size());
+    std::vector<std::uint32_t> cursor(out.offsets_.begin(), out.offsets_.end() - 1);
+    for (const auto& [r, v] : pairs) out.values_[cursor[r]++] = v;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t rows() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t entries() const { return values_.size(); }
+
+  [[nodiscard]] std::span<const V> operator[](std::size_t row) const {
+    PAX_DCHECK(row + 1 < offsets_.size());
+    return {values_.data() + offsets_[row], values_.data() + offsets_[row + 1]};
+  }
+
+  [[nodiscard]] bool row_empty(std::size_t row) const {
+    return offsets_[row] == offsets_[row + 1];
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::vector<V> values_;
+};
+
+}  // namespace pax

@@ -1,0 +1,169 @@
+// intrusive_ring.hpp — intrusive double circularly-linked list.
+//
+// This is the exact structure the paper describes for PAX conflict queues:
+// "each internal description of one (or more) computational granules included
+// a queue head for a double circularly-linked list of computable but
+// conflicting computational granules."
+//
+// The ring owns nothing; nodes are embedded in the objects they link
+// (RingHook members).  A detached hook links to itself, so unlink is
+// unconditional and O(1).
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.hpp"
+
+namespace pax {
+
+/// Embedded link node. An object participates in one ring per hook member.
+struct RingHook {
+  RingHook* prev = nullptr;
+  RingHook* next = nullptr;
+
+  RingHook() { reset(); }
+  RingHook(const RingHook&) = delete;
+  RingHook& operator=(const RingHook&) = delete;
+  ~RingHook() { PAX_DCHECK(!linked()); }
+
+  void reset() {
+    prev = this;
+    next = this;
+  }
+
+  [[nodiscard]] bool linked() const { return next != this; }
+
+  /// Remove from whatever ring this hook is in. Safe on a detached hook.
+  void unlink() {
+    prev->next = next;
+    next->prev = prev;
+    reset();
+  }
+};
+
+/// A ring anchored at a sentinel head. `Owner` is the object type containing
+/// the hook; `Member` is a pointer-to-member locating the hook inside it.
+template <typename Owner, RingHook Owner::* Member>
+class IntrusiveRing {
+ public:
+  IntrusiveRing() = default;
+  IntrusiveRing(const IntrusiveRing&) = delete;
+  IntrusiveRing& operator=(const IntrusiveRing&) = delete;
+  ~IntrusiveRing() { PAX_DCHECK(empty()); }
+
+  [[nodiscard]] bool empty() const { return !head_.linked(); }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const RingHook* h = head_.next; h != &head_; h = h->next) ++n;
+    return n;
+  }
+
+  void push_back(Owner& o) {
+    RingHook& h = o.*Member;
+    PAX_DCHECK(!h.linked());
+    h.prev = head_.prev;
+    h.next = &head_;
+    head_.prev->next = &h;
+    head_.prev = &h;
+  }
+
+  void push_front(Owner& o) {
+    RingHook& h = o.*Member;
+    PAX_DCHECK(!h.linked());
+    h.next = head_.next;
+    h.prev = &head_;
+    head_.next->prev = &h;
+    head_.next = &h;
+  }
+
+  [[nodiscard]] Owner* front() const {
+    return empty() ? nullptr : owner_of(head_.next);
+  }
+
+  [[nodiscard]] Owner* back() const {
+    return empty() ? nullptr : owner_of(head_.prev);
+  }
+
+  /// Detach and return the first element, or nullptr when empty.
+  Owner* pop_front() {
+    if (empty()) return nullptr;
+    Owner* o = owner_of(head_.next);
+    (o->*Member).unlink();
+    return o;
+  }
+
+  static void remove(Owner& o) { (o.*Member).unlink(); }
+
+  /// Insert `o` immediately before `pos` (which must be linked in this ring).
+  static void insert_before(Owner& pos, Owner& o) {
+    RingHook& p = pos.*Member;
+    RingHook& h = o.*Member;
+    PAX_DCHECK(p.linked());
+    PAX_DCHECK(!h.linked());
+    h.prev = p.prev;
+    h.next = &p;
+    p.prev->next = &h;
+    p.prev = &h;
+  }
+
+  /// Insert `o` immediately after `pos` (which must be linked in this ring).
+  static void insert_after(Owner& pos, Owner& o) {
+    RingHook& p = pos.*Member;
+    RingHook& h = o.*Member;
+    PAX_DCHECK(p.linked());
+    PAX_DCHECK(!h.linked());
+    h.next = p.next;
+    h.prev = &p;
+    p.next->prev = &h;
+    p.next = &h;
+  }
+
+  [[nodiscard]] static bool is_linked(const Owner& o) { return (o.*Member).linked(); }
+
+  /// Splice every element of `other` onto the back of this ring.
+  void splice_back(IntrusiveRing& other) {
+    if (other.empty()) return;
+    RingHook* first = other.head_.next;
+    RingHook* last = other.head_.prev;
+    other.head_.reset();
+    first->prev = head_.prev;
+    head_.prev->next = first;
+    last->next = &head_;
+    head_.prev = last;
+  }
+
+  /// Visit elements in order. The callback may unlink the element it is
+  /// given (the iteration saves `next` first) but must not unlink others.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    RingHook* h = head_.next;
+    while (h != &head_) {
+      RingHook* next = h->next;
+      fn(*owner_of(h));
+      h = next;
+    }
+  }
+
+  /// Drain the ring front-to-back, detaching each element before the
+  /// callback sees it.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    while (Owner* o = pop_front()) fn(*o);
+  }
+
+ private:
+  static Owner* owner_of(RingHook* h) {
+    // Standard container_of: hook address minus member offset.
+    const auto offset = reinterpret_cast<std::ptrdiff_t>(
+        &(static_cast<Owner*>(nullptr)->*Member));
+    return reinterpret_cast<Owner*>(reinterpret_cast<char*>(h) - offset);
+  }
+  static const Owner* owner_of(const RingHook* h) {
+    return owner_of(const_cast<RingHook*>(h));
+  }
+
+  RingHook head_;
+};
+
+}  // namespace pax

@@ -1,0 +1,26 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace pax {
+
+double Rng::exponential(double mean) {
+  // Guard against log(0); uniform01() < 1 so 1-u > 0 already, but be explicit.
+  double u = uniform01();
+  if (u >= 1.0) u = 0.9999999999999999;
+  return -mean * std::log1p(-u);
+}
+
+double Rng::normal(double mu, double sigma) {
+  // Marsaglia polar method; no cached spare to keep the generator stateless
+  // with respect to distribution calls (simplifies reproducibility reasoning).
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mu + sigma * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace pax

@@ -1,0 +1,101 @@
+// rng.hpp — deterministic, splittable random source.
+//
+// Every stochastic element of the workloads (task durations, IMAP contents,
+// conditional-execution coin flips) draws from a SplitMix64-seeded xoshiro256**
+// stream so that a (seed, config) pair reproduces a simulation bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace pax {
+
+/// SplitMix64 — used for seeding and cheap hashing.
+inline constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, trivially copyable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent stream (for per-phase / per-worker RNGs).
+  [[nodiscard]] Rng split(std::uint64_t salt) {
+    std::uint64_t sm = (*this)() ^ (salt * 0xD1B54A32D192ED03ULL);
+    Rng child(0);
+    for (auto& w : child.s_) w = splitmix64(sm);
+    return child;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponential with the given mean (inverse-CDF method).
+  double exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mu, double sigma);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace pax

@@ -1,0 +1,44 @@
+#include "common/stats.hpp"
+
+#include <array>
+#include <numeric>
+
+namespace pax {
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = acc_.count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double running = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = running + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] ? (target - running) / static_cast<double>(counts_[i]) : 0.0;
+      return bucket_lo(i) + frac * width();
+    }
+    running = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::sparkline() const {
+  static constexpr std::array<const char*, 9> kBars = {
+      " ", "▁", "▂", "▃", "▄",
+      "▅", "▆", "▇", "█"};
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  out.reserve(counts_.size() * 3);
+  for (auto c : counts_) {
+    const std::size_t level =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        (static_cast<double>(c) / static_cast<double>(peak)) * 8.0);
+    out += kBars[std::min<std::size_t>(level, 8)];
+  }
+  return out;
+}
+
+}  // namespace pax

@@ -1,0 +1,104 @@
+// stats.hpp — streaming statistics accumulators used by traces and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pax {
+
+/// Welford streaming mean/variance with min/max.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  void merge(const Accumulator& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / total;
+    mean_ = (mean_ * static_cast<double>(n_) + o.mean_ * static_cast<double>(o.n_)) / total;
+    n_ += o.n_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void add(double x) {
+    acc_.add(x);
+    const auto b = bucket_of(x);
+    ++counts_[b];
+  }
+
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const {
+    return lo_ + width() * static_cast<double>(i);
+  }
+  [[nodiscard]] const Accumulator& summary() const { return acc_; }
+
+  /// Value below which `q` (0..1) of the mass lies, linearly interpolated.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Render a one-line unicode sparkline of the bucket mass.
+  [[nodiscard]] std::string sparkline() const;
+
+ private:
+  [[nodiscard]] double width() const {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] std::size_t bucket_of(double x) const {
+    if (x < lo_) return 0;
+    if (x >= hi_) return counts_.size() - 1;
+    auto b = static_cast<std::size_t>((x - lo_) / width());
+    return std::min(b, counts_.size() - 1);
+  }
+
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  Accumulator acc_;
+};
+
+}  // namespace pax

@@ -1,0 +1,100 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pax {
+
+Table& Table::header(std::vector<std::string> cells) {
+  PAX_CHECK_MSG(header_.empty(), "header set twice");
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  PAX_CHECK_MSG(!header_.empty(), "header must be set before rows");
+  PAX_CHECK_MSG(cells.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::separator() {
+  rows_.emplace_back();
+  return *this;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_)
+    if (!r.empty()) widen(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << "  ";
+      if (i == 0) {
+        os << cells[i] << std::string(widths[i] - cells[i].size(), ' ');
+      } else {
+        os << std::string(widths[i] - cells[i].size(), ' ') << cells[i];
+      }
+    }
+    os << '\n';
+  };
+  auto rule = [&] {
+    std::size_t total = 0;
+    for (auto w : widths) total += w;
+    total += 2 * (widths.size() - 1);
+    os << std::string(total, '-') << '\n';
+  };
+
+  emit(header_);
+  rule();
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      rule();
+    } else {
+      emit(r);
+    }
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::count(std::uint64_t v) {
+  // Group digits with thin separators for readability: 524288 -> 524,288.
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  std::size_t lead = raw.size() % 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out += ',';
+    out += raw[i];
+  }
+  return out;
+}
+
+}  // namespace pax

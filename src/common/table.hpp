@@ -1,0 +1,44 @@
+// table.hpp — aligned plain-text table printer.
+//
+// Every bench binary regenerates one of the paper's tables/figures as rows of
+// text; this gives them a common, diff-friendly rendering.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pax {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row. Column count is fixed by this call.
+  Table& header(std::vector<std::string> cells);
+
+  /// Append a data row; must match the header arity (checked).
+  Table& row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator between row groups.
+  Table& separator();
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column alignment: first column left, the rest right.
+  [[nodiscard]] std::string render() const;
+
+  void print(std::ostream& os) const;
+
+  // Cell formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+  static std::string count(std::uint64_t v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+}  // namespace pax

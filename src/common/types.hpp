@@ -1,0 +1,40 @@
+// types.hpp — fundamental identifier and time types shared by every PAX module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pax {
+
+/// Index of a granule within its phase (the paper's indivisible unit of
+/// parallel computation; one iteration of a parallel DO loop).
+using GranuleId = std::uint32_t;
+
+/// Index of a phase within a PhaseProgram.
+using PhaseId = std::uint32_t;
+
+/// Index of a worker processor.
+using WorkerId = std::uint32_t;
+
+/// Simulated time in integer ticks (1 tick = 1 microsecond by convention in
+/// the workloads; the simulator itself is unit-agnostic).
+using SimTime = std::uint64_t;
+
+inline constexpr PhaseId kNoPhase = std::numeric_limits<PhaseId>::max();
+inline constexpr GranuleId kNoGranule = std::numeric_limits<GranuleId>::max();
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Half-open range of granules [lo, hi) within one phase. Computation
+/// descriptors cover ranges; the executive splits them on demand.
+struct GranuleRange {
+  GranuleId lo = 0;
+  GranuleId hi = 0;
+
+  [[nodiscard]] constexpr GranuleId size() const { return hi - lo; }
+  [[nodiscard]] constexpr bool empty() const { return lo >= hi; }
+  [[nodiscard]] constexpr bool contains(GranuleId g) const { return g >= lo && g < hi; }
+
+  friend constexpr bool operator==(const GranuleRange&, const GranuleRange&) = default;
+};
+
+}  // namespace pax

@@ -1,0 +1,23 @@
+#include "core/cost_model.hpp"
+
+namespace pax {
+
+const char* to_string(MgmtOp op) {
+  switch (op) {
+    case MgmtOp::kRequestWork: return "request-work";
+    case MgmtOp::kSplit: return "split";
+    case MgmtOp::kSuccessorSplit: return "successor-split";
+    case MgmtOp::kCompletion: return "completion";
+    case MgmtOp::kConflictRelease: return "conflict-release";
+    case MgmtOp::kCounterUpdate: return "counter-update";
+    case MgmtOp::kMapBuildEntry: return "map-build-entry";
+    case MgmtOp::kMapReset: return "map-reset";
+    case MgmtOp::kPhaseInit: return "phase-init";
+    case MgmtOp::kSerialAction: return "serial-action";
+    case MgmtOp::kBranchPreprocess: return "branch-preprocess";
+    case MgmtOp::kCount_: break;
+  }
+  return "?";
+}
+
+}  // namespace pax

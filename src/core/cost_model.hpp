@@ -1,0 +1,125 @@
+// cost_model.hpp — management-operation accounting.
+//
+// The paper's testbed ran "executive computation ... at the direct expense of
+// worker computation" and measured a computation-to-management ratio of
+// roughly 200. The ExecutiveCore is timeless; it *charges* abstract cost
+// units per management operation into a ledger. Drivers convert charges to
+// time: the simulator turns them into executive busy-time (on a worker or a
+// dedicated management processor); the threaded runtime simply counts them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pax {
+
+enum class MgmtOp : std::uint8_t {
+  kRequestWork,       ///< idle worker presents itself; queue pop
+  kSplit,             ///< carving a task from a description
+  kSuccessorSplit,    ///< split propagation to a queued successor description
+  kCompletion,        ///< completion processing of a finished task
+  kConflictRelease,   ///< moving a conflict-queued description to the waiting queue
+  kCounterUpdate,     ///< enablement-counter decrement (per participating granule)
+  kMapBuildEntry,     ///< composite granule map construction (per map entry)
+  kMapReset,          ///< reusing a cached static map (per 16 entries)
+  kPhaseInit,         ///< initiating a phase (root description creation)
+  kSerialAction,      ///< executing an inter-phase serial action
+  kBranchPreprocess,  ///< preprocessing a branch-independent conditional
+  kCount_
+};
+
+inline constexpr std::size_t kMgmtOpCount = static_cast<std::size_t>(MgmtOp::kCount_);
+
+[[nodiscard]] const char* to_string(MgmtOp op);
+
+/// Per-op unit costs in ticks. Defaults are calibrated (see
+/// bench_t3_mgmt_ratio) so a grain-weighted CASPER workload reproduces the
+/// paper's ~200:1 computation:management ratio.
+struct CostModel {
+  std::array<SimTime, kMgmtOpCount> ticks{};
+
+  constexpr CostModel() {
+    set(MgmtOp::kRequestWork, 2);
+    set(MgmtOp::kSplit, 3);
+    set(MgmtOp::kSuccessorSplit, 3);
+    set(MgmtOp::kCompletion, 4);
+    set(MgmtOp::kConflictRelease, 2);
+    set(MgmtOp::kCounterUpdate, 1);
+    set(MgmtOp::kMapBuildEntry, 1);
+    set(MgmtOp::kMapReset, 1);
+    set(MgmtOp::kPhaseInit, 10);
+    set(MgmtOp::kSerialAction, 50);
+    set(MgmtOp::kBranchPreprocess, 5);
+  }
+
+  constexpr void set(MgmtOp op, SimTime t) { ticks[static_cast<std::size_t>(op)] = t; }
+  [[nodiscard]] constexpr SimTime of(MgmtOp op) const {
+    return ticks[static_cast<std::size_t>(op)];
+  }
+
+  [[nodiscard]] static constexpr CostModel free_of_charge() {
+    CostModel m;
+    m.ticks.fill(0);
+    return m;
+  }
+
+  /// Uniformly scale all management costs (ablation knob for F4/T3).
+  [[nodiscard]] constexpr CostModel scaled(SimTime factor) const {
+    CostModel m = *this;
+    for (auto& t : m.ticks) t *= factor;
+    return m;
+  }
+};
+
+/// Accumulated charges: counts and cost units per op.
+class MgmtLedger {
+ public:
+  void charge(MgmtOp op, const CostModel& model, std::uint64_t times = 1) {
+    auto i = static_cast<std::size_t>(op);
+    counts_[i] += times;
+    units_[i] += times * model.of(op);
+    pending_units_ += times * model.of(op);
+  }
+
+  [[nodiscard]] std::uint64_t count(MgmtOp op) const {
+    return counts_[static_cast<std::size_t>(op)];
+  }
+  [[nodiscard]] SimTime units(MgmtOp op) const {
+    return units_[static_cast<std::size_t>(op)];
+  }
+  [[nodiscard]] SimTime total_units() const {
+    SimTime t = 0;
+    for (auto u : units_) t += u;
+    return t;
+  }
+  [[nodiscard]] std::uint64_t total_count() const {
+    std::uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+  /// Add raw units to an op (e.g. a serial action's declared duration) on
+  /// top of its unit cost, without incrementing the op count.
+  void charge_raw(MgmtOp op, SimTime units) {
+    units_[static_cast<std::size_t>(op)] += units;
+    pending_units_ += units;
+  }
+
+  /// Drain charges accumulated since the last drain. Drivers call this after
+  /// every ExecutiveCore entry point and bill the result as executive busy
+  /// time.
+  SimTime drain_pending() {
+    SimTime t = pending_units_;
+    pending_units_ = 0;
+    return t;
+  }
+
+ private:
+  std::array<std::uint64_t, kMgmtOpCount> counts_{};
+  std::array<SimTime, kMgmtOpCount> units_{};
+  SimTime pending_units_ = 0;
+};
+
+}  // namespace pax

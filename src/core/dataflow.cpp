@@ -1,0 +1,181 @@
+#include "core/dataflow.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pax {
+namespace {
+
+bool touches_array(const PhaseSpec& p, const std::string& array) {
+  return std::any_of(p.accesses.begin(), p.accesses.end(),
+                     [&](const ArrayAccess& a) { return a.array == array; });
+}
+
+bool writes_array(const PhaseSpec& p, const std::string& array) {
+  return std::any_of(p.accesses.begin(), p.accesses.end(), [&](const ArrayAccess& a) {
+    return a.array == array && a.mode == AccessMode::kWrite;
+  });
+}
+
+}  // namespace
+
+MappingAnalysis infer_mapping(const PhaseSpec& cur, const PhaseSpec& next,
+                              bool serial_between) {
+  MappingAnalysis out;
+  if (serial_between) {
+    out.kind = MappingKind::kNull;
+    out.rationale = "serial actions/decisions intervene between the phases";
+    return out;
+  }
+
+  // Gather flow dependences: arrays written by `cur` and touched by `next`,
+  // plus output/anti dependences (written by both, or read by cur & written
+  // by next). Each dependence is characterised by the index patterns on the
+  // two sides.
+  bool any_dependence = false;
+  bool any_whole = false;
+  bool all_identity = true;
+  bool cur_side_indirect = false;
+  bool next_side_indirect = false;
+
+  for (const auto& w : cur.accesses) {
+    for (const auto& r : next.accesses) {
+      if (w.array != r.array) continue;
+      if (w.mode == AccessMode::kRead && r.mode == AccessMode::kRead) continue;
+      any_dependence = true;
+      out.carrier_arrays.push_back(w.array);
+      if (w.pattern == IndexPattern::kWhole || r.pattern == IndexPattern::kWhole)
+        any_whole = true;
+      if (w.pattern != IndexPattern::kIdentity || r.pattern != IndexPattern::kIdentity)
+        all_identity = false;
+      if (w.pattern == IndexPattern::kIndirect) {
+        cur_side_indirect = true;
+        if (!w.map_name.empty()) out.selection_maps.push_back(w.map_name);
+      }
+      if (r.pattern == IndexPattern::kIndirect) {
+        next_side_indirect = true;
+        if (!r.map_name.empty()) out.selection_maps.push_back(r.map_name);
+      }
+    }
+  }
+  std::sort(out.carrier_arrays.begin(), out.carrier_arrays.end());
+  out.carrier_arrays.erase(
+      std::unique(out.carrier_arrays.begin(), out.carrier_arrays.end()),
+      out.carrier_arrays.end());
+  std::sort(out.selection_maps.begin(), out.selection_maps.end());
+  out.selection_maps.erase(
+      std::unique(out.selection_maps.begin(), out.selection_maps.end()),
+      out.selection_maps.end());
+
+  if (!any_dependence) {
+    out.kind = MappingKind::kUniversal;
+    out.rationale =
+        "the two computations do not involve shared information of any kind; "
+        "any successor granule is enabled by the null set";
+    return out;
+  }
+  if (any_whole) {
+    // A whole-array (scalar/reduction) dependence means no granule-level
+    // enablement exists short of full phase completion.
+    out.kind = MappingKind::kNull;
+    out.rationale = "whole-array dependence admits no granule-level enablement";
+    return out;
+  }
+  if (all_identity) {
+    // Additionally require matching granule domains for the identity map to
+    // be meaningful (I = I).
+    if (cur.granules == next.granules) {
+      out.kind = MappingKind::kIdentity;
+      out.rationale = "identity mapping function (I = I) from completed to enabled granules";
+    } else {
+      out.kind = MappingKind::kNull;
+      out.rationale = "element-wise dependence but granule domains differ";
+    }
+    return out;
+  }
+  if (next_side_indirect) {
+    // Next phase reads through a selection map (B(IMAP(J,I))): knowing a
+    // completed current granule does not directly identify an enabled
+    // successor granule; only the reverse map is available.
+    out.kind = MappingKind::kReverseIndirect;
+    out.rationale =
+        "successor reads through a selection map; a reverse mapping from "
+        "desired successor granule to required current granules is possible";
+    return out;
+  }
+  if (cur_side_indirect) {
+    // Current phase writes through the map (B(IMAP(I)) = ...): a completed
+    // current granule maps directly to the successor granule it enables.
+    out.kind = MappingKind::kForwardIndirect;
+    out.rationale =
+        "current phase writes through a selection map; completed granules map "
+        "directly to enabled successor granules";
+    return out;
+  }
+  out.kind = MappingKind::kNull;
+  out.rationale = "dependence structure not recognised; conservatively null";
+  return out;
+}
+
+bool parallel_phases(const PhaseSpec& a, const PhaseSpec& b) {
+  for (const auto& acc : a.accesses) {
+    if (!touches_array(b, acc.array)) continue;
+    if (acc.mode == AccessMode::kWrite || writes_array(b, acc.array)) return false;
+  }
+  return true;
+}
+
+void AccessOracle::set_map(const std::string& name,
+                           std::vector<std::vector<GranuleId>> touched) {
+  for (auto& [n, t] : maps_) {
+    if (n == name) {
+      t = std::move(touched);
+      return;
+    }
+  }
+  maps_.emplace_back(name, std::move(touched));
+}
+
+std::vector<GranuleId> AccessOracle::elements(const ArrayAccess& acc, GranuleId g,
+                                              GranuleId whole_hint) const {
+  switch (acc.pattern) {
+    case IndexPattern::kIdentity:
+      return {g};
+    case IndexPattern::kWhole: {
+      std::vector<GranuleId> all(whole_hint);
+      for (GranuleId i = 0; i < whole_hint; ++i) all[i] = i;
+      return all;
+    }
+    case IndexPattern::kIndirect: {
+      for (const auto& [n, t] : maps_) {
+        if (n == acc.map_name) {
+          PAX_CHECK_MSG(g < t.size(), "granule out of range for selection map");
+          return t[g];
+        }
+      }
+      PAX_CHECK_MSG(false, "selection map not registered with AccessOracle");
+      return {};
+    }
+  }
+  return {};
+}
+
+bool AccessOracle::parallel(const PhaseSpec& a, GranuleId ga, const PhaseSpec& b,
+                            GranuleId gb) const {
+  const GranuleId whole = std::max(a.granules, b.granules);
+  for (const auto& aa : a.accesses) {
+    for (const auto& bb : b.accesses) {
+      if (aa.array != bb.array) continue;
+      if (aa.mode == AccessMode::kRead && bb.mode == AccessMode::kRead) continue;
+      const auto ea = elements(aa, ga, whole);
+      const auto eb = elements(bb, gb, whole);
+      for (GranuleId x : ea)
+        for (GranuleId y : eb)
+          if (x == y) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pax

@@ -1,0 +1,75 @@
+// dataflow.hpp — the PARALLEL(x, y) predicate and enablement-mapping
+// inference.
+//
+// The paper: "Let the logical predicate PARALLEL(x,y) return the condition
+// TRUE when x and y are such that parallel computations are allowed. ...
+// Let q be an uncompleted granule of the current phase and r be a granule of
+// the next phase that has been enabled by some completed granule, p, of the
+// current phase. If PARALLEL(q,r) necessarily returns the value TRUE, then
+// the current-phase and next-phase can be correctly overlapped."
+//
+// The exact nature of the predicate is system-specific; PAX (and this
+// library) uses a data-access-conflict predicate over the phases' declared
+// array accesses. From the same declarations we *infer* the enablement
+// mapping class between two phases, which is how the CASPER census (T1) is
+// computed.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/phase.hpp"
+
+namespace pax {
+
+/// Result of analysing a (current, next) phase pair.
+struct MappingAnalysis {
+  MappingKind kind = MappingKind::kNull;
+  /// Arrays flowing from current writes into next reads (the dependence
+  /// carriers); empty for universal mappings.
+  std::vector<std::string> carrier_arrays;
+  /// For indirect kinds, the selection maps involved.
+  std::vector<std::string> selection_maps;
+  /// Human-readable explanation of the classification (used by the census
+  /// report and by validator diagnostics).
+  std::string rationale;
+};
+
+/// Classify the legal enablement mapping from `cur` to `next`, assuming no
+/// serial action intervenes. `serial_between` forces the null mapping, which
+/// is how the paper's 4 null phases arise ("serial actions and decisions had
+/// to occur between the phases").
+[[nodiscard]] MappingAnalysis infer_mapping(const PhaseSpec& cur,
+                                            const PhaseSpec& next,
+                                            bool serial_between = false);
+
+/// Phase-level PARALLEL: may *any* granule of `a` legally run concurrently
+/// with *any* granule of `b`? True when the phases share no conflicting
+/// array access at all (the universal case).
+[[nodiscard]] bool parallel_phases(const PhaseSpec& a, const PhaseSpec& b);
+
+/// Granule-level PARALLEL(x, y) oracle for testing and validation: with the
+/// selection maps materialised, does granule `ga` of `a` conflict with
+/// granule `gb` of `b` on any array element?
+///
+/// `maps` resolves a map name and granule id to the list of touched element
+/// indices. Whole-array accesses conflict with everything on that array.
+class AccessOracle {
+ public:
+  /// Register the concrete contents of a selection map: element indices
+  /// touched per granule.
+  void set_map(const std::string& name, std::vector<std::vector<GranuleId>> touched);
+
+  [[nodiscard]] bool parallel(const PhaseSpec& a, GranuleId ga,
+                              const PhaseSpec& b, GranuleId gb) const;
+
+ private:
+  [[nodiscard]] std::vector<GranuleId> elements(const ArrayAccess& acc,
+                                                GranuleId g,
+                                                GranuleId whole_hint) const;
+
+  std::vector<std::pair<std::string, std::vector<std::vector<GranuleId>>>> maps_;
+};
+
+}  // namespace pax

@@ -1,0 +1,50 @@
+#include "core/descriptor.hpp"
+
+namespace pax {
+
+Descriptor& DescriptorPool::acquire(RunId run, PhaseId phase, GranuleRange range,
+                                    Priority prio) {
+  PAX_CHECK(!range.empty());
+  Descriptor* d;
+  if (!free_.empty()) {
+    d = &slab_[free_.back()];
+    free_.pop_back();
+  } else {
+    slab_.emplace_back();
+    d = &slab_.back();
+    d->pool_index = static_cast<std::uint32_t>(slab_.size() - 1);
+  }
+  PAX_DCHECK(d->state == DescState::kFree);
+  PAX_DCHECK(!d->wait_hook.linked() && !d->conflict_hook.linked());
+  PAX_DCHECK(d->conflict_queue.empty());
+  d->tracks_owner = false;
+  d->pending_split = nullptr;
+  d->run = run;
+  d->phase = phase;
+  d->range = range;
+  d->priority = prio;
+  d->state = DescState::kWaiting;  // caller immediately files it somewhere
+  ++live_;
+  ++total_acquired_;
+  return *d;
+}
+
+void DescriptorPool::release(Descriptor& d) {
+  PAX_CHECK_MSG(!d.wait_hook.linked(), "releasing descriptor still in waiting queue");
+  PAX_CHECK_MSG(!d.conflict_hook.linked(),
+                "releasing descriptor still on a conflict queue");
+  PAX_CHECK_MSG(d.conflict_queue.empty(),
+                "releasing descriptor with unreleased conflict waiters");
+  PAX_CHECK_MSG(d.pending_split == nullptr,
+                "releasing descriptor with a pending successor-splitting task");
+  PAX_DCHECK(d.state != DescState::kFree);
+  d.state = DescState::kFree;
+  d.run = kNoRun;
+  d.phase = kNoPhase;
+  d.range = {};
+  free_.push_back(d.pool_index);
+  PAX_DCHECK(live_ > 0);
+  --live_;
+}
+
+}  // namespace pax

@@ -1,0 +1,90 @@
+// descriptor.hpp — computation descriptions.
+//
+// Paper: "Computations were, instead, described as large, contiguous
+// collections of granules. The descriptions were split apart as necessary to
+// produce conveniently sized tasks for workers and then merged back into
+// single descriptions when the work was completed."
+//
+// and: "each internal description of one (or more) computational granules
+// included a queue head for a double circularly-linked list of computable
+// but conflicting computational granules. Upon completion of the described
+// computation, all the queued conflicting computations became
+// unconditionally computable and were placed in the waiting computation
+// queue."
+//
+// A Descriptor therefore carries: the covered granule range, a hook for the
+// waiting computation queue, a hook for membership in *another* descriptor's
+// conflict queue, and its own conflict-queue head.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/intrusive_ring.hpp"
+#include "common/types.hpp"
+#include "core/granule.hpp"
+
+namespace pax {
+
+enum class DescState : std::uint8_t {
+  kFree,        ///< in the pool free list
+  kWaiting,     ///< in the waiting computation queue
+  kConflicted,  ///< queued on another descriptor's conflict queue
+  kAssigned,    ///< handed to a worker
+  kHeld,        ///< owned by a pending successor-splitting task
+};
+
+struct Descriptor {
+  RunId run = kNoRun;
+  PhaseId phase = kNoPhase;
+  GranuleRange range{};
+  Priority priority = Priority::kNormal;
+  DescState state = DescState::kFree;
+
+  /// True for identity-successor pieces whose range mirrors the range of the
+  /// descriptor they are conflict-queued on (split propagation applies).
+  bool tracks_owner = false;
+
+  /// Membership in the waiting computation queue.
+  RingHook wait_hook;
+  /// Membership in some other descriptor's conflict queue.
+  RingHook conflict_hook;
+  /// Queue head for descriptors waiting on the completion of THIS one.
+  IntrusiveRing<Descriptor, &Descriptor::conflict_hook> conflict_queue;
+
+  /// Outstanding deferred successor-splitting task involving this
+  /// descriptor (as carved chunk or as remainder); see SplitPolicy::kDeferred.
+  struct SplitTaskTag* pending_split = nullptr;
+
+  /// Pool bookkeeping.
+  std::uint32_t pool_index = 0;
+  /// Index into the owning run's live-descriptor table.
+  std::uint32_t live_index = 0;
+
+  [[nodiscard]] bool has_conflict_waiters() const { return !conflict_queue.empty(); }
+};
+
+/// Slab pool with stable addresses and O(1) acquire/release. The executive
+/// churns descriptors at task-grain rate, so allocation stays off the global
+/// heap after warm-up (and counts are observable for the management-overhead
+/// accounting).
+class DescriptorPool {
+ public:
+  Descriptor& acquire(RunId run, PhaseId phase, GranuleRange range,
+                      Priority prio = Priority::kNormal);
+  void release(Descriptor& d);
+
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] std::size_t capacity() const { return slab_.size(); }
+  [[nodiscard]] std::uint64_t total_acquired() const { return total_acquired_; }
+
+ private:
+  std::deque<Descriptor> slab_;  // deque: stable addresses under growth
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+  std::uint64_t total_acquired_ = 0;
+};
+
+}  // namespace pax

@@ -1,0 +1,118 @@
+#include "core/enablement.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pax {
+
+CompositeBuild CompositeGranuleMap::build_from_pairs(
+    GranuleId current_count, GranuleId successor_count,
+    std::vector<std::pair<std::uint32_t, GranuleId>> cur_to_succ,
+    const std::optional<std::vector<GranuleId>>& subset) {
+  CompositeBuild out;
+  CompositeGranuleMap& m = out.map;
+
+  // Which successor granules are solved?
+  std::vector<std::uint8_t> in_subset(successor_count, subset ? 0 : 1);
+  if (subset) {
+    for (GranuleId r : *subset) {
+      PAX_CHECK_MSG(r < successor_count, "subset granule out of range");
+      in_subset[r] = 1;
+    }
+  }
+
+  // Drop pairs pointing at unsolved successor granules; dedupe (a current
+  // granule may feed the same successor element several times, e.g. repeated
+  // IMAP values — one completion satisfies all of them at once).
+  std::sort(cur_to_succ.begin(), cur_to_succ.end());
+  cur_to_succ.erase(std::unique(cur_to_succ.begin(), cur_to_succ.end()),
+                    cur_to_succ.end());
+  std::erase_if(cur_to_succ, [&](const auto& pr) { return !in_subset[pr.second]; });
+
+  out.entries = cur_to_succ.size();
+
+  m.need_.assign(successor_count, 0);
+  m.participates_.assign(current_count, 0);
+  for (const auto& [p, r] : cur_to_succ) {
+    PAX_CHECK(p < current_count && r < successor_count);
+    ++m.need_[r];
+    m.participates_[p] = 1;
+  }
+  m.fanout_ = Csr<GranuleId>::from_pairs(current_count, std::move(cur_to_succ));
+
+  for (GranuleId r = 0; r < successor_count; ++r) {
+    if (!in_subset[r]) {
+      m.untracked_.push_back(r);
+    } else if (m.need_[r] == 0) {
+      // Enabled by the null set: computable immediately.
+      out.initially_enabled.push_back(r);
+      m.tracked_.push_back(r);
+    } else {
+      m.tracked_.push_back(r);
+      m.outstanding_ += m.need_[r];
+    }
+  }
+
+  // Preferred dispatch order: participating current granules, grouped by the
+  // earliest successor granule they help enable, so that a known successor
+  // granule becomes computable as early as possible.
+  std::vector<std::pair<GranuleId, GranuleId>> keyed;  // (min successor, current)
+  for (GranuleId p = 0; p < current_count; ++p) {
+    if (!m.participates_[p]) continue;
+    GranuleId min_r = kNoGranule;
+    for (GranuleId r : m.fanout_[p]) min_r = std::min(min_r, r);
+    keyed.emplace_back(min_r, p);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  m.preferred_order_.reserve(keyed.size());
+  for (const auto& [r, p] : keyed) m.preferred_order_.push_back(p);
+
+  return out;
+}
+
+CompositeBuild CompositeGranuleMap::build_reverse(
+    GranuleId current_count, GranuleId successor_count,
+    const std::function<std::vector<GranuleId>(GranuleId)>& requires_of,
+    const std::optional<std::vector<GranuleId>>& subset) {
+  PAX_CHECK(requires_of != nullptr);
+  std::vector<std::pair<std::uint32_t, GranuleId>> pairs;
+  // Only walk the successor granules we intend to solve; that is the whole
+  // point of the subset ("avoid solving an unnecessarily large enablement
+  // problem") — the reverse map is evaluated per desired successor granule.
+  if (subset) {
+    for (GranuleId r : *subset)
+      for (GranuleId p : requires_of(r)) pairs.emplace_back(p, r);
+  } else {
+    for (GranuleId r = 0; r < successor_count; ++r)
+      for (GranuleId p : requires_of(r)) pairs.emplace_back(p, r);
+  }
+  return build_from_pairs(current_count, successor_count, std::move(pairs), subset);
+}
+
+CompositeBuild CompositeGranuleMap::build_forward(
+    GranuleId current_count, GranuleId successor_count,
+    const std::function<std::vector<GranuleId>(GranuleId)>& enables_of,
+    const std::optional<std::vector<GranuleId>>& subset) {
+  PAX_CHECK(enables_of != nullptr);
+  std::vector<std::pair<std::uint32_t, GranuleId>> pairs;
+  for (GranuleId p = 0; p < current_count; ++p)
+    for (GranuleId r : enables_of(p)) pairs.emplace_back(p, r);
+  return build_from_pairs(current_count, successor_count, std::move(pairs), subset);
+}
+
+std::uint32_t CompositeGranuleMap::on_complete(GranuleId p,
+                                               std::vector<GranuleId>& newly_enabled) {
+  if (!participates(p)) return 0;
+  participates_[p] = 0;  // a granule completes exactly once per run
+  std::uint32_t updates = 0;
+  for (GranuleId r : fanout_[p]) {
+    PAX_CHECK_MSG(need_[r] > 0, "enablement counter underflow");
+    ++updates;
+    --outstanding_;
+    if (--need_[r] == 0) newly_enabled.push_back(r);
+  }
+  return updates;
+}
+
+}  // namespace pax

@@ -1,0 +1,142 @@
+// enablement.hpp — enablement mappings and the composite granule map.
+//
+// For the indirect mappings the paper prescribes: "it is a simple matter to
+// produce a composite map of first phase granules that must be completed in
+// order to enable a particular second phase granule. The executive can then
+// use this map upon each first phase granule completion to determine the
+// computability of particular second phase granules. This map could also be
+// used to direct a preferred order of first phase granule dispatching so as
+// to enable a known second phase granule as early as possible."
+//
+// All-of enablement: "during completion processing, a status bit (set when
+// the current-phase granules were identified ...) can be checked and, if it
+// is set, an enablement counter decremented. When the enablement counter
+// reaches zero, it can be taken as a signal that the successor-phase
+// granules are computable."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/csr.hpp"
+#include "common/types.hpp"
+#include "core/phase.hpp"
+
+namespace pax {
+
+/// Declarative description of the indirection between two phases.
+/// `requires_of(r)` lists the current-phase granules successor granule `r`
+/// needs (reverse direction); `enables_of(p)` lists the successor granules
+/// current granule `p` feeds (forward direction). A clause supplies the
+/// direction that is natural for its mapping kind; the composite map builder
+/// inverts as needed.
+struct IndirectionSpec {
+  std::function<std::vector<GranuleId>(GranuleId)> requires_of;  // reverse
+  std::function<std::vector<GranuleId>(GranuleId)> enables_of;   // forward
+  /// Static enablement relation (paper: "the completion of a particular
+  /// current-phase task may always enable the same next-phase task"). The
+  /// executive caches and reuses the composite map across runs of the same
+  /// dispatch, paying only a counter reset instead of a rebuild.
+  bool stable = false;
+};
+
+/// One ENABLE clause: successor phase + mapping kind (+ indirection when the
+/// kind demands it).
+struct EnableClause {
+  std::string successor_name;
+  MappingKind kind = MappingKind::kNull;
+  IndirectionSpec indirection;  // only for the two indirect kinds
+};
+
+/// The executive's materialised all-of enablement structure for one
+/// (current run -> successor run) edge with an indirect mapping.
+struct CompositeBuild;
+
+class CompositeGranuleMap {
+ public:
+  /// Build from the reverse direction (successor granule -> required current
+  /// granules). `subset` optionally restricts the solved successor granules:
+  /// "It would seem appropriate to identify a subset group of successor-phase
+  /// granules that are to be the subject of the enablement operation so as to
+  /// avoid solving an unnecessarily large enablement problem." Successor
+  /// granules outside the subset are not tracked and become computable only
+  /// at current-phase completion.
+  static CompositeBuild build_reverse(
+      GranuleId current_count, GranuleId successor_count,
+      const std::function<std::vector<GranuleId>(GranuleId)>& requires_of,
+      const std::optional<std::vector<GranuleId>>& subset = std::nullopt);
+
+  /// Build from the forward direction (current granule -> successor granules
+  /// it feeds). Successor granules nobody feeds are initially enabled.
+  static CompositeBuild build_forward(
+      GranuleId current_count, GranuleId successor_count,
+      const std::function<std::vector<GranuleId>(GranuleId)>& enables_of,
+      const std::optional<std::vector<GranuleId>>& subset = std::nullopt);
+
+  /// Status bit: does current granule `p` participate in any enablement?
+  [[nodiscard]] bool participates(GranuleId p) const {
+    return p < participates_.size() && participates_[p] != 0;
+  }
+
+  /// Completion processing for current granule `p`: decrement the counters of
+  /// every successor granule it feeds; newly computable successor granules
+  /// are appended to `newly_enabled`. Returns the number of counter updates
+  /// performed (for cost accounting).
+  std::uint32_t on_complete(GranuleId p, std::vector<GranuleId>& newly_enabled);
+
+  /// Successor granules the map tracks (the solved subset).
+  [[nodiscard]] const std::vector<GranuleId>& tracked_successors() const {
+    return tracked_;
+  }
+
+  /// Successor granules that were *not* solved (outside the subset); the
+  /// executive releases these when the current phase completes.
+  [[nodiscard]] const std::vector<GranuleId>& untracked_successors() const {
+    return untracked_;
+  }
+
+  /// Preferred dispatch order of participating current granules: grouped so
+  /// that the granules enabling the earliest successor granule come first.
+  [[nodiscard]] const std::vector<GranuleId>& preferred_order() const {
+    return preferred_order_;
+  }
+
+  [[nodiscard]] GranuleId current_count() const {
+    return static_cast<GranuleId>(participates_.size());
+  }
+  [[nodiscard]] std::uint64_t outstanding() const { return outstanding_; }
+
+  /// Assemble a map from explicit (current, successor) pairs — the backend
+  /// of both builders, public so the executive can build maps incrementally
+  /// (accumulating pairs across idle-time slices before finalising).
+  static CompositeBuild build_from_pairs(
+      GranuleId current_count, GranuleId successor_count,
+      std::vector<std::pair<std::uint32_t, GranuleId>> cur_to_succ,
+      const std::optional<std::vector<GranuleId>>& subset);
+
+ private:
+
+  Csr<GranuleId> fanout_;                 // current granule -> successor granules
+  std::vector<std::uint32_t> need_;       // successor granule -> outstanding count
+  std::vector<std::uint8_t> participates_;  // status bits, one per current granule
+  std::vector<GranuleId> tracked_;
+  std::vector<GranuleId> untracked_;
+  std::vector<GranuleId> preferred_order_;
+  std::uint64_t outstanding_ = 0;  // sum of counters still > 0
+
+  friend struct CompositeBuild;
+};
+
+/// Result of building a composite granule map.
+struct CompositeBuild {
+  CompositeGranuleMap map;
+  /// Successor granules enabled by the null set (no requirements) — the
+  /// builder reports them so the executive can queue them at once.
+  std::vector<GranuleId> initially_enabled;
+  /// Number of map entries processed — charged as kMapBuildEntry each.
+  std::uint64_t entries = 0;
+};
+
+}  // namespace pax

@@ -1,0 +1,942 @@
+#include "core/executive.hpp"
+
+#include <algorithm>
+
+namespace pax {
+
+// ---------------------------------------------------------------------------
+// Internal structures
+
+struct ExecutiveCore::Run {
+  RunId id = kNoRun;
+  PhaseId phase = kNoPhase;
+  std::uint32_t node = kNoNode;
+  RunState state = RunState::kPending;
+  GranuleId total = 0;
+  GranuleId completed_count = 0;
+  RangeSet completed;
+  /// Every live descriptor belonging to this run, regardless of state.
+  std::vector<Descriptor*> live;
+  /// Dynamically submitted computations that conflict with this run; the
+  /// paper's original conflict-queue purpose. Released at run completion.
+  IntrusiveRing<Descriptor, &Descriptor::conflict_hook> barrier;
+  Edge* outgoing = nullptr;  ///< overlap edge where this run is current
+  Edge* incoming = nullptr;  ///< overlap edge where this run is successor
+  /// Most recent waiting descriptor of this run, for merge-on-enqueue.
+  Descriptor* merge_tail = nullptr;
+
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+};
+
+struct ExecutiveCore::Edge {
+  RunId cur = kNoRun;
+  RunId succ = kNoRun;
+  MappingKind kind = MappingKind::kNull;
+  const EnableClause* clause = nullptr;       // for deferred map building
+  std::unique_ptr<CompositeGranuleMap> cmap;  // indirect kinds only
+  bool dead = false;
+
+  // Incremental map construction: pairs accumulated over idle-time slices.
+  GranuleId build_cursor = 0;
+  std::vector<std::pair<std::uint32_t, GranuleId>> build_pairs;
+};
+
+/// Cached composite map for a stable (static-relation) clause.
+struct ExecutiveCore::CachedMap {
+  const EnableClause* clause = nullptr;
+  CompositeGranuleMap pristine;
+  std::vector<GranuleId> initially_enabled;
+  std::uint64_t entries = 0;
+};
+
+/// Deferred successor-splitting task: "The successor computation description
+/// could be removed from the current computation description and included in
+/// the successor-splitting task information."
+struct ExecutiveCore::SplitTask {
+  Descriptor* held = nullptr;       ///< detached successor descriptor (kHeld)
+  Descriptor* chunk = nullptr;      ///< carved current chunk (prefix)
+  Descriptor* remainder = nullptr;  ///< current remainder (still queued)
+  bool done = false;
+};
+
+namespace {
+template <typename T>
+SplitTaskTag* as_tag(T* t) {
+  return reinterpret_cast<SplitTaskTag*>(t);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+
+ExecutiveCore::ExecutiveCore(const PhaseProgram& program, ExecConfig config,
+                             CostModel costs)
+    : program_(program),
+      config_(config),
+      costs_(costs),
+      serial_done_early_(program.size(), 0),
+      branch_predecided_(program.size(), -1),
+      node_pending_run_(program.size(), kNoRun) {
+  PAX_CHECK_MSG(config_.grain > 0, "grain must be positive");
+}
+
+ExecutiveCore::~ExecutiveCore() {
+  // Tear down any still-linked structures so intrusive-hook destructors
+  // don't trip (a core may be destroyed mid-program by tests).
+  for (auto& r : runs_) {
+    r->barrier.drain([](Descriptor&) {});
+  }
+  for (auto& r : runs_) {
+    for (Descriptor* d : std::vector<Descriptor*>(r->live)) {
+      if (d->wait_hook.linked()) waiting_.remove(*d);
+      if (d->conflict_hook.linked()) d->conflict_hook.unlink();
+      d->conflict_queue.drain([](Descriptor&) {});
+      d->pending_split = nullptr;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Small plumbing
+
+void ExecutiveCore::emit(ExecEvent ev) {
+  if (observer) observer(ev);
+}
+
+void ExecutiveCore::diagnose(std::string msg) {
+  diagnostics_.push_back(msg);
+  emit({ExecEvent::Kind::kDiagnostic, kNoRun, kNoPhase, {}, std::move(msg)});
+}
+
+ExecutiveCore::Run& ExecutiveCore::run_of(RunId id) {
+  PAX_CHECK(id < runs_.size());
+  return *runs_[id];
+}
+
+const ExecutiveCore::Run& ExecutiveCore::run_of(RunId id) const {
+  PAX_CHECK(id < runs_.size());
+  return *runs_[id];
+}
+
+ExecutiveCore::Run& ExecutiveCore::create_run(PhaseId phase, std::uint32_t node,
+                                              RunState state) {
+  auto run = std::make_unique<Run>();
+  run->id = static_cast<RunId>(runs_.size());
+  run->phase = phase;
+  run->node = node;
+  run->state = state;
+  run->total = phase == kNoPhase ? 0 : program_.phase(phase).granules;
+  runs_.push_back(std::move(run));
+  Run& r = *runs_.back();
+  emit({ExecEvent::Kind::kRunCreated, r.id, r.phase, {0, r.total}, {}});
+  return r;
+}
+
+Descriptor& ExecutiveCore::make_desc(Run& r, GranuleRange range, Priority prio) {
+  Descriptor& d = pool_.acquire(r.id, r.phase, range, prio);
+  d.live_index = static_cast<std::uint32_t>(r.live.size());
+  r.live.push_back(&d);
+  return d;
+}
+
+void ExecutiveCore::retire_desc(Descriptor& d) {
+  Run& r = run_of(d.run);
+  if (r.merge_tail == &d) r.merge_tail = nullptr;
+  const std::uint32_t i = d.live_index;
+  PAX_DCHECK(i < r.live.size() && r.live[i] == &d);
+  r.live[i] = r.live.back();
+  r.live[i]->live_index = i;
+  r.live.pop_back();
+  pool_.release(d);
+}
+
+void ExecutiveCore::enqueue_enabled(Run& succ, GranuleRange range, Priority prio) {
+  // Merge with the run's most recent still-waiting descriptor when the new
+  // range extends it ("merged back into single descriptions"): scattered
+  // enablements would otherwise fragment the queue into granule-sized
+  // descriptors and defeat the grain.
+  Descriptor* tail = succ.merge_tail;
+  if (tail != nullptr && tail->state == DescState::kWaiting &&
+      tail->run == succ.id && tail->priority == prio &&
+      tail->range.hi == range.lo && tail->conflict_queue.empty() &&
+      tail->pending_split == nullptr) {
+    tail->range.hi = range.hi;
+    emit({ExecEvent::Kind::kGranulesEnabled, succ.id, succ.phase, range, {}});
+    return;
+  }
+  Descriptor& d = make_desc(succ, range, prio);
+  waiting_.enqueue(d);
+  succ.merge_tail = &d;
+  emit({ExecEvent::Kind::kGranulesEnabled, succ.id, succ.phase, range, {}});
+}
+
+// ---------------------------------------------------------------------------
+// Split propagation and deferred successor-splitting tasks
+
+void ExecutiveCore::propagate_split(Descriptor& parent, Descriptor& piece) {
+  // `piece` was carved as a prefix of `parent`'s former range. Any queued
+  // successor description tracking `parent` must be split so that "each
+  // queued description will accurately reflect the enablement relationship".
+  if (parent.conflict_queue.empty()) return;
+
+  if (config_.split_policy == SplitPolicy::kDeferred) {
+    // Detach the tracked successor into a successor-splitting task.
+    Descriptor* s = parent.conflict_queue.front();
+    PAX_CHECK_MSG(parent.conflict_queue.size() == 1,
+                  "deferred split supports one tracked successor per descriptor");
+    PAX_CHECK(s->tracks_owner);
+    decltype(parent.conflict_queue)::remove(*s);
+    s->state = DescState::kHeld;
+    auto task = std::make_unique<SplitTask>();
+    task->held = s;
+    task->chunk = &piece;
+    task->remainder = &parent;
+    piece.pending_split = as_tag(task.get());
+    parent.pending_split = as_tag(task.get());
+    split_tasks_.push_back(std::move(task));
+    return;
+  }
+
+  // Inline (and the presplit fallback): split each tracked successor now.
+  parent.conflict_queue.for_each([&](Descriptor& s) {
+    if (!s.tracks_owner) return;
+    PAX_CHECK(s.range.lo == piece.range.lo);
+    PAX_CHECK(s.range.hi == parent.range.hi);
+    Run& srun = run_of(s.run);
+    Descriptor& sa = make_desc(srun, piece.range, s.priority);
+    sa.tracks_owner = true;
+    sa.state = DescState::kConflicted;
+    piece.conflict_queue.push_back(sa);
+    s.range.lo = piece.range.hi;
+    ledger_.charge(MgmtOp::kSuccessorSplit, costs_);
+  });
+}
+
+void ExecutiveCore::force_pending_split(Descriptor& d) {
+  auto* task = reinterpret_cast<SplitTask*>(d.pending_split);
+  if (task == nullptr || task->done) {
+    d.pending_split = nullptr;
+    return;
+  }
+  Descriptor* s = task->held;
+  Descriptor* chunk = task->chunk;
+  Descriptor* rem = task->remainder;
+  PAX_CHECK(s && chunk && rem);
+  PAX_CHECK(s->range.lo == chunk->range.lo);
+  PAX_CHECK(chunk->range.hi == rem->range.lo);
+  PAX_CHECK(s->range.hi == rem->range.hi);
+
+  Run& srun = run_of(s->run);
+  Descriptor& sa = make_desc(srun, chunk->range, s->priority);
+  sa.tracks_owner = true;
+  sa.state = DescState::kConflicted;
+  chunk->conflict_queue.push_back(sa);
+
+  s->range.lo = chunk->range.hi;
+  s->state = DescState::kConflicted;
+  rem->conflict_queue.push_back(*s);
+
+  chunk->pending_split = nullptr;
+  rem->pending_split = nullptr;
+  task->done = true;
+  ledger_.charge(MgmtOp::kSuccessorSplit, costs_);
+}
+
+// ---------------------------------------------------------------------------
+// Carving
+
+Descriptor& ExecutiveCore::carve(Descriptor& d, GranuleRange piece) {
+  PAX_CHECK(piece.lo >= d.range.lo && piece.hi <= d.range.hi && !piece.empty());
+  // Any deferred task touching this descriptor is resolved before its range
+  // changes again.
+  if (d.pending_split != nullptr) force_pending_split(d);
+
+  Run& r = run_of(d.run);
+
+  if (piece == d.range) {
+    if (d.wait_hook.linked()) waiting_.remove(d);
+    return d;
+  }
+
+  ledger_.charge(MgmtOp::kSplit, costs_);
+
+  if (piece.lo == d.range.lo) {
+    // Prefix carve: d keeps its queue position as the remainder.
+    Descriptor& p = make_desc(r, piece, d.priority);
+    d.range.lo = piece.hi;
+    propagate_split(d, p);
+    return p;
+  }
+
+  // Interior/suffix carves are only used on descriptors without tracked
+  // successors (see executive.hpp commentary); checked here.
+  PAX_CHECK_MSG(d.conflict_queue.empty(),
+                "interior carve on a descriptor with tracked successors");
+
+  if (piece.hi == d.range.hi) {
+    Descriptor& p = make_desc(r, piece, d.priority);
+    d.range.hi = piece.lo;
+    return p;
+  }
+
+  // Interior: d keeps [lo, piece.lo); a new tail descriptor covers
+  // [piece.hi, hi) and sits immediately after d so queue order is preserved.
+  Descriptor& tail = make_desc(r, {piece.hi, d.range.hi}, d.priority);
+  Descriptor& p = make_desc(r, piece, d.priority);
+  d.range.hi = piece.lo;
+  if (d.wait_hook.linked()) {
+    waiting_.insert_after(d, tail);
+  } else {
+    waiting_.enqueue(tail);
+  }
+  ledger_.charge(MgmtOp::kSplit, costs_);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Worker protocol
+
+void ExecutiveCore::start() {
+  PAX_CHECK_MSG(!started_, "start() called twice");
+  started_ = true;
+  program_.verify();
+  advance_program();
+}
+
+std::optional<Assignment> ExecutiveCore::request_work(WorkerId) {
+  PAX_CHECK_MSG(started_, "request_work before start");
+  ledger_.charge(MgmtOp::kRequestWork, costs_);
+  Descriptor* d = waiting_.peek();
+  if (d == nullptr) return std::nullopt;
+  if (d->pending_split != nullptr) force_pending_split(*d);
+
+  Descriptor* task;
+  if (d->range.size() <= config_.grain) {
+    waiting_.remove(*d);
+    task = d;
+  } else {
+    task = &carve(*d, {d->range.lo, d->range.lo + config_.grain});
+  }
+  task->state = DescState::kAssigned;
+
+  Ticket t;
+  if (!free_tickets_.empty()) {
+    t = free_tickets_.back();
+    free_tickets_.pop_back();
+    assignments_[t] = task;
+  } else {
+    t = static_cast<Ticket>(assignments_.size());
+    assignments_.push_back(task);
+  }
+  return Assignment{t, task->run, task->phase, task->range, task->priority};
+}
+
+void ExecutiveCore::release_conflicts(Descriptor& d) {
+  d.conflict_queue.drain([&](Descriptor& s) {
+    // Identity-successor pieces queue behind the remaining current-phase
+    // work so they fill the rundown tail; dynamically submitted conflicting
+    // computations take the elevated lane the paper gives them.
+    const bool successor_piece = s.tracks_owner;
+    s.tracks_owner = false;
+    s.priority = (!successor_piece || config_.elevate_released)
+                     ? Priority::kElevated
+                     : Priority::kNormal;
+    waiting_.enqueue(s);
+    ledger_.charge(MgmtOp::kConflictRelease, costs_);
+    emit({ExecEvent::Kind::kGranulesEnabled, s.run, s.phase, s.range, {}});
+  });
+}
+
+CompletionResult ExecutiveCore::complete(Ticket ticket) {
+  PAX_CHECK(ticket < assignments_.size() && assignments_[ticket] != nullptr);
+  Descriptor* d = assignments_[ticket];
+  assignments_[ticket] = nullptr;
+  free_tickets_.push_back(ticket);
+  PAX_CHECK(d->state == DescState::kAssigned);
+
+  CompletionResult res;
+  const std::size_t waiting_before = waiting_.size();
+
+  ledger_.charge(MgmtOp::kCompletion, costs_);
+  if (d->pending_split != nullptr) force_pending_split(*d);
+
+  Run& r = run_of(d->run);
+  r.completed.insert(d->range);
+  r.completed_count += d->range.size();
+
+  // Release conflict-queued successors of this piece.
+  release_conflicts(*d);
+
+  // Indirect enablement: decrement counters for participating granules.
+  if (r.outgoing != nullptr && !r.outgoing->dead && r.outgoing->cmap != nullptr) {
+    CompositeGranuleMap& m = *r.outgoing->cmap;
+    std::vector<GranuleId> newly;
+    std::uint64_t updates = 0;
+    for (GranuleId g = d->range.lo; g < d->range.hi; ++g)
+      updates += m.on_complete(g, newly);
+    if (updates > 0) ledger_.charge(MgmtOp::kCounterUpdate, costs_, updates);
+    if (!newly.empty()) {
+      std::sort(newly.begin(), newly.end());
+      Run& succ = run_of(r.outgoing->succ);
+      const Priority prio =
+          config_.elevate_released ? Priority::kElevated : Priority::kNormal;
+      for (const GranuleRange& range : coalesce_sorted(newly))
+        enqueue_enabled(succ, range, prio);
+    }
+  }
+
+  retire_desc(*d);
+
+  if (r.completed_count == r.total) {
+    on_run_complete(r);
+    res.run_completed = true;
+  }
+
+  res.new_work = waiting_.size() > waiting_before;
+  res.program_finished = finished_;
+  return res;
+}
+
+void ExecutiveCore::on_run_complete(Run& r) {
+  PAX_CHECK(r.state != RunState::kComplete);
+  PAX_CHECK(r.completed.fragments() == 1 || r.total == 0);
+  r.state = RunState::kComplete;
+  emit({ExecEvent::Kind::kRunCompleted, r.id, r.phase, {0, r.total}, {}});
+
+  // Release dynamically submitted conflicting computations: "placed ahead
+  // of the normal computations in the queue and, thus, given higher
+  // priority".
+  r.barrier.drain([&](Descriptor& s) {
+    s.priority = Priority::kElevated;
+    waiting_.enqueue(s);
+    ledger_.charge(MgmtOp::kConflictRelease, costs_);
+    emit({ExecEvent::Kind::kGranulesEnabled, s.run, s.phase, s.range, {}});
+  });
+
+  // Finish off the outgoing overlap edge, if any.
+  if (r.outgoing != nullptr && !r.outgoing->dead) {
+    Edge& e = *r.outgoing;
+    Run& succ = run_of(e.succ);
+    if (e.cmap != nullptr) {
+      PAX_CHECK_MSG(e.cmap->outstanding() == 0,
+                    "counters outstanding after current phase completion");
+      // Successor granules outside the solved subset become computable now.
+      const auto& untracked = e.cmap->untracked_successors();
+      if (!untracked.empty()) {
+        for (const GranuleRange& range : coalesce_sorted(untracked))
+          enqueue_enabled(succ, range, Priority::kNormal);
+      }
+    } else if (e.kind == MappingKind::kReverseIndirect ||
+               e.kind == MappingKind::kForwardIndirect) {
+      // The executive never found idle time to build the map; the successor
+      // releases wholesale now (overlap simply did not materialise).
+      if (succ.total > 0) enqueue_enabled(succ, {0, succ.total}, Priority::kNormal);
+    }
+    e.dead = true;
+    succ.incoming = nullptr;
+    r.outgoing = nullptr;
+  }
+
+  if (waiting_run_ == r.id) {
+    waiting_run_ = kNoRun;
+    advance_program();
+  }
+}
+
+bool ExecutiveCore::idle_work() {
+  // 0. Composite granule maps awaiting construction — one bounded slice per
+  //    call so worker requests interleave with the build.
+  while (!pending_map_builds_.empty()) {
+    Edge* e = pending_map_builds_.front();
+    if (e->dead || e->cmap != nullptr) {
+      pending_map_builds_.erase(pending_map_builds_.begin());
+      continue;
+    }
+    if (map_build_step(*e)) pending_map_builds_.erase(pending_map_builds_.begin());
+    return true;
+  }
+
+  // 1. Deferred successor-splitting tasks ("quickly queued for later
+  //    attention when the executive would again be idle").
+  while (!split_tasks_.empty() && split_tasks_.front()->done)
+    split_tasks_.erase(split_tasks_.begin());
+  if (!split_tasks_.empty()) {
+    SplitTask* t = split_tasks_.front().get();
+    force_pending_split(*t->chunk);
+    split_tasks_.erase(split_tasks_.begin());
+    return true;
+  }
+
+  // 2. Presplitting: carve grain-size pieces ahead of worker requests so the
+  //    request path needs no split at all.
+  if (config_.split_policy == SplitPolicy::kPresplit) {
+    Descriptor* victim = nullptr;
+    waiting_.for_each([&](Descriptor& d) {
+      if (victim == nullptr && d.range.size() > config_.grain) victim = &d;
+    });
+    if (victim != nullptr) {
+      Descriptor& piece =
+          carve(*victim, {victim->range.lo, victim->range.lo + config_.grain});
+      waiting_.insert_before(*victim, piece);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ExecutiveCore::submit_conflicting(RunId blocker, PhaseId phase,
+                                       GranuleRange range) {
+  Run& b = run_of(blocker);
+  Run& anon = create_run(phase, Run::kNoNode, RunState::kOpen);
+  anon.total = range.size();
+  Descriptor& d = make_desc(anon, range, Priority::kNormal);
+  if (b.state == RunState::kComplete) {
+    // Blocker already done; computable immediately.
+    waiting_.enqueue(d);
+    emit({ExecEvent::Kind::kGranulesEnabled, d.run, d.phase, d.range, {}});
+    return;
+  }
+  d.state = DescState::kConflicted;
+  b.barrier.push_back(d);
+}
+
+// ---------------------------------------------------------------------------
+// Program advance, lookahead, overlap setup
+
+void ExecutiveCore::advance_program() {
+  while (!finished_) {
+    const ProgramNode& n = program_.node(pc_);
+    if (const auto* d = std::get_if<DispatchNode>(&n)) {
+      const std::uint32_t node_index = pc_;
+      process_dispatch(node_index, *d);
+      ++pc_;
+      Run& r = run_of(node_pc_run_);
+      if (r.state != RunState::kComplete) {
+        waiting_run_ = r.id;
+        return;
+      }
+      continue;
+    }
+    if (const auto* s = std::get_if<SerialNode>(&n)) {
+      if (serial_done_early_[pc_]) {
+        serial_done_early_[pc_] = 0;  // consumed; executed during lookahead
+      } else {
+        run_serial(pc_, *s);
+      }
+      ++pc_;
+      continue;
+    }
+    if (const auto* b = std::get_if<BranchNode>(&n)) {
+      std::size_t arm;
+      if (branch_predecided_[pc_] >= 0) {
+        arm = static_cast<std::size_t>(branch_predecided_[pc_]);
+        branch_predecided_[pc_] = -1;
+      } else {
+        arm = b->selector(env_);
+        ledger_.charge(MgmtOp::kBranchPreprocess, costs_);
+      }
+      PAX_CHECK(arm < b->targets.size());
+      emit({ExecEvent::Kind::kBranchTaken, kNoRun, kNoPhase, {}, b->name});
+      pc_ = b->targets[arm];
+      continue;
+    }
+    PAX_CHECK(std::holds_alternative<HaltNode>(n));
+    finished_ = true;
+    emit({ExecEvent::Kind::kProgramFinished, kNoRun, kNoPhase, {}, {}});
+    return;
+  }
+}
+
+void ExecutiveCore::process_dispatch(std::uint32_t node_index, const DispatchNode& d) {
+  Run* r;
+  if (node_pending_run_[node_index] != kNoRun) {
+    r = &run_of(node_pending_run_[node_index]);
+    node_pending_run_[node_index] = kNoRun;
+    if (r->state == RunState::kPending) r->state = RunState::kOpen;
+    emit({ExecEvent::Kind::kRunOpened, r->id, r->phase, {0, r->total}, {}});
+  } else {
+    r = &create_run(d.phase, node_index, RunState::kOpen);
+    ledger_.charge(MgmtOp::kPhaseInit, costs_);
+    Descriptor& root = make_desc(*r, {0, r->total}, Priority::kNormal);
+    waiting_.enqueue(root);
+    emit({ExecEvent::Kind::kGranulesEnabled, r->id, r->phase, root.range, {}});
+  }
+  // When the run already finished during its overlap window, setup_overlap
+  // reduces to verification-only lookahead (it returns after the interlock
+  // check); otherwise it establishes the overlap edge to the successor.
+  if (config_.overlap) setup_overlap(*r, d);
+  node_pc_run_ = r->id;
+}
+
+std::optional<std::uint32_t> ExecutiveCore::lookahead(std::uint32_t from) {
+  std::uint32_t j = from;
+  std::size_t steps = 0;
+  while (steps++ < program_.size() + 1) {
+    if (j >= program_.size()) return std::nullopt;
+    const ProgramNode& n = program_.node(j);
+    if (std::holds_alternative<DispatchNode>(n)) return j;
+    if (const auto* s = std::get_if<SerialNode>(&n)) {
+      if (!(config_.early_serial && !s->conflicts_with_prev)) return std::nullopt;
+      if (!serial_done_early_[j]) {
+        // "Extended effort": the serial action does not touch the previous
+        // phase's data, so the executive runs it early and keeps looking.
+        run_serial(j, *s);
+        serial_done_early_[j] = 1;
+      }
+      ++j;
+      continue;
+    }
+    if (const auto* b = std::get_if<BranchNode>(&n)) {
+      if (!(config_.branch_preprocess && b->phase_independent)) return std::nullopt;
+      std::size_t arm;
+      if (branch_predecided_[j] >= 0) {
+        arm = static_cast<std::size_t>(branch_predecided_[j]);
+      } else {
+        arm = b->selector(env_);
+        PAX_CHECK(arm < b->targets.size());
+        branch_predecided_[j] = static_cast<std::int32_t>(arm);
+        ledger_.charge(MgmtOp::kBranchPreprocess, costs_);
+      }
+      j = b->targets[arm];
+      continue;
+    }
+    return std::nullopt;  // Halt
+  }
+  return std::nullopt;  // branch cycle with no dispatch
+}
+
+void ExecutiveCore::setup_overlap(Run& cur, const DispatchNode& d) {
+  if (d.enables.empty()) return;
+  const auto succ_node = lookahead(pc_ + 1);
+  if (!succ_node) return;
+  const auto& sd = std::get<DispatchNode>(program_.node(*succ_node));
+  const PhaseSpec& sspec = program_.phase(sd.phase);
+
+  const EnableClause* clause = nullptr;
+  for (const auto& c : d.enables)
+    if (c.successor_name == sspec.name) clause = &c;
+  if (clause == nullptr) {
+    // The interlock the paper asks for: the ENABLE statement names phases,
+    // and the executive verifies that the named phase actually follows.
+    diagnose("ENABLE clause does not name the following phase '" + sspec.name +
+             "' after phase '" + program_.phase(cur.phase).name +
+             "'; overlap suppressed");
+    return;
+  }
+  if (clause->kind == MappingKind::kNull) return;
+  if (cur.state == RunState::kComplete) return;
+  if (node_pending_run_[*succ_node] != kNoRun) return;  // already set up
+
+  Run& succ = create_run(sd.phase, *succ_node, RunState::kPending);
+  node_pending_run_[*succ_node] = succ.id;
+  ledger_.charge(MgmtOp::kPhaseInit, costs_);
+
+  auto edge = std::make_unique<Edge>();
+  edge->cur = cur.id;
+  edge->succ = succ.id;
+  edge->kind = clause->kind;
+  cur.outgoing = edge.get();
+  succ.incoming = edge.get();
+
+  emit({ExecEvent::Kind::kOverlapSetUp, succ.id, succ.phase, {0, succ.total},
+        to_string(clause->kind)});
+
+  switch (clause->kind) {
+    case MappingKind::kUniversal:
+      setup_universal(cur, succ);
+      break;
+    case MappingKind::kIdentity:
+      setup_identity(cur, succ);
+      break;
+    case MappingKind::kReverseIndirect:
+    case MappingKind::kForwardIndirect:
+      setup_indirect(cur, succ, *clause, *edge);
+      break;
+    case MappingKind::kNull:
+      break;
+  }
+  edges_.push_back(std::move(edge));
+}
+
+void ExecutiveCore::setup_universal(Run&, Run& succ) {
+  // "At the time of phase initiation, the successor phase is also initiated
+  // and the resulting computation description placed in the waiting
+  // computation queue behind the current phase description."
+  Descriptor& root = make_desc(succ, {0, succ.total}, Priority::kNormal);
+  waiting_.enqueue(root);
+  emit({ExecEvent::Kind::kGranulesEnabled, succ.id, succ.phase, root.range, {}});
+}
+
+void ExecutiveCore::setup_identity(Run& cur, Run& succ) {
+  PAX_CHECK_MSG(cur.total == succ.total,
+                "identity mapping requires equal granule counts");
+  // Successor granules whose current counterparts have already completed
+  // (the current run may itself have been overlapped) are computable now.
+  const Priority prio =
+      config_.elevate_released ? Priority::kElevated : Priority::kNormal;
+  for (const GranuleRange& range : cur.completed.ranges())
+    enqueue_enabled(succ, range, prio);
+
+  // "At the time of phase initiation, the successor phase is also initiated
+  // and the resulting computation description placed in the conflicted
+  // computation queue of the current phase description."
+  // Live current descriptors partition the un-completed granules; each gets
+  // a tracking successor piece on its conflict queue.
+  for (Descriptor* L : cur.live) {
+    if (L->state != DescState::kWaiting && L->state != DescState::kAssigned) continue;
+    Descriptor& piece = make_desc(succ, L->range, Priority::kNormal);
+    piece.tracks_owner = true;
+    piece.state = DescState::kConflicted;
+    L->conflict_queue.push_back(piece);
+    ledger_.charge(MgmtOp::kSuccessorSplit, costs_);
+  }
+}
+
+void ExecutiveCore::setup_indirect(Run& cur, Run& succ, const EnableClause& clause,
+                                   Edge& edge) {
+  edge.clause = &clause;
+  (void)cur;
+  (void)succ;
+  if (config_.defer_map_build) {
+    // "Get the current phase into execution without the delay of
+    // constructing the necessary information for enabling successor
+    // computations": the map is built in executive idle time.
+    pending_map_builds_.push_back(&edge);
+    return;
+  }
+  materialize_map(edge);
+}
+
+void ExecutiveCore::materialize_map(Edge& edge) {
+  while (!map_build_step(edge)) {
+  }
+}
+
+bool ExecutiveCore::map_build_step(Edge& edge) {
+  PAX_CHECK(edge.clause != nullptr && edge.cmap == nullptr && !edge.dead);
+  const EnableClause& clause = *edge.clause;
+  Run& cur = run_of(edge.cur);
+  Run& succ = run_of(edge.succ);
+
+  // Optional successor subset: solve the enablement problem only for the
+  // first N successor granules.
+  std::optional<std::vector<GranuleId>> subset;
+  if (config_.indirect_subset > 0 && config_.indirect_subset < succ.total) {
+    std::vector<GranuleId> ids(config_.indirect_subset);
+    for (GranuleId i = 0; i < config_.indirect_subset; ++i) ids[i] = i;
+    subset = std::move(ids);
+  }
+
+  const bool reverse = clause.kind == MappingKind::kReverseIndirect;
+  // Source domain walked by the builder: the successor granules to solve
+  // (reverse direction) or every current granule (forward direction).
+  const GranuleId domain =
+      reverse ? (subset ? static_cast<GranuleId>(subset->size()) : succ.total)
+              : cur.total;
+
+  std::vector<GranuleId> newly;
+  bool finished = false;
+
+  if (clause.indirection.stable) {
+    // Static enablement relation: reuse the cached map, paying only a
+    // (vectorised) counter reset.
+    CachedMap* cached = nullptr;
+    for (auto& c : map_cache_)
+      if (c->clause == &clause) cached = c.get();
+    if (cached != nullptr) {
+      ledger_.charge(MgmtOp::kMapReset, costs_, (cached->entries + 15) / 16);
+      edge.cmap = std::make_unique<CompositeGranuleMap>(cached->pristine);
+      newly = cached->initially_enabled;
+      finished = true;
+    }
+  }
+
+  if (!finished) {
+    // One bounded slice of map construction (at most ~map_build_quantum
+    // entries), so the serial executive stays responsive to worker requests
+    // while it works ahead.
+    std::uint64_t added = 0;
+    while (edge.build_cursor < domain && added < config_.map_build_quantum) {
+      const GranuleId i = edge.build_cursor++;
+      if (reverse) {
+        for (GranuleId p : clause.indirection.requires_of(i)) {
+          edge.build_pairs.emplace_back(p, i);
+          ++added;
+        }
+      } else {
+        for (GranuleId r : clause.indirection.enables_of(i)) {
+          edge.build_pairs.emplace_back(i, r);
+          ++added;
+        }
+      }
+    }
+    if (added > 0) ledger_.charge(MgmtOp::kMapBuildEntry, costs_, added);
+    if (edge.build_cursor < domain) return false;  // more slices to go
+
+    CompositeBuild built = CompositeGranuleMap::build_from_pairs(
+        cur.total, succ.total, std::move(edge.build_pairs), subset);
+    edge.build_pairs = {};
+    if (clause.indirection.stable) {
+      auto entry = std::make_unique<CachedMap>();
+      entry->clause = &clause;
+      entry->pristine = built.map;
+      entry->initially_enabled = built.initially_enabled;
+      entry->entries = built.entries;
+      map_cache_.push_back(std::move(entry));
+    }
+    edge.cmap = std::make_unique<CompositeGranuleMap>(std::move(built.map));
+    newly = std::move(built.initially_enabled);
+  }
+
+  CompositeGranuleMap& m = *edge.cmap;
+
+  // Replay granules the current run completed before the map existed.
+  std::uint64_t updates = 0;
+  for (const GranuleRange& range : cur.completed.ranges())
+    for (GranuleId g = range.lo; g < range.hi; ++g) updates += m.on_complete(g, newly);
+  if (updates > 0) ledger_.charge(MgmtOp::kCounterUpdate, costs_, updates);
+
+  const Priority prio =
+      config_.elevate_released ? Priority::kElevated : Priority::kNormal;
+  if (!newly.empty()) {
+    std::sort(newly.begin(), newly.end());
+    newly.erase(std::unique(newly.begin(), newly.end()), newly.end());
+    for (const GranuleRange& range : coalesce_sorted(newly))
+      enqueue_enabled(succ, range, prio);
+  }
+
+  // "they should be split into individual descriptions and placed in the
+  // waiting computation queue in such a manner as to elevate their
+  // computational priority" — only meaningful with a successor subset;
+  // without one every current granule participates and order is moot. The
+  // elevation is bounded by the subset size: enabling the first successor
+  // granules early needs only the earliest enabling granules, and carving
+  // more individual descriptions than that is pure management waste.
+  if (config_.elevate_enabling && subset.has_value()) {
+    const auto& order = m.preferred_order();
+    const std::size_t limit = std::min(order.size(), subset->size());
+    extract_elevated(cur,
+                     std::vector<GranuleId>(order.begin(),
+                                            order.begin() +
+                                                static_cast<std::ptrdiff_t>(limit)));
+  }
+  return true;
+}
+
+void ExecutiveCore::extract_elevated(Run& r, const std::vector<GranuleId>& order) {
+  if (order.empty()) return;
+
+  // Locate every requested granule's hosting *waiting* descriptor via one
+  // sorted snapshot (assigned/completed granules are already running or done
+  // and need no elevation); a per-granule scan of the live list would be
+  // quadratic in the number of fragments.
+  std::vector<Descriptor*> hosts;
+  hosts.reserve(r.live.size());
+  for (Descriptor* d : r.live)
+    if (d->state == DescState::kWaiting && d->priority == Priority::kNormal)
+      hosts.push_back(d);
+  std::sort(hosts.begin(), hosts.end(), [](const Descriptor* a, const Descriptor* b) {
+    return a->range.lo < b->range.lo;
+  });
+
+  auto host_of = [&](GranuleId g) -> Descriptor* {
+    std::size_t lo = 0, hi = hosts.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (hosts[mid]->range.hi <= g) {
+        lo = mid + 1;
+      } else if (hosts[mid]->range.lo > g) {
+        hi = mid;
+      } else {
+        return hosts[mid];
+      }
+    }
+    return nullptr;
+  };
+
+  // Group requested granules by host, ascending within each host.
+  std::vector<std::pair<Descriptor*, GranuleId>> grouped;
+  grouped.reserve(order.size());
+  for (GranuleId g : order) {
+    if (r.completed.contains(g)) continue;
+    Descriptor* host = host_of(g);
+    if (host == nullptr) continue;  // assigned, elevated, or already carved
+    grouped.emplace_back(host, g);
+  }
+  std::sort(grouped.begin(), grouped.end());
+  grouped.erase(std::unique(grouped.begin(), grouped.end()), grouped.end());
+
+  // Rebuild each host: normal segments stay in the waiting queue, requested
+  // granules become individual descriptors held for elevation. These hosts
+  // carry no conflict waiters (only identity edges attach those, and a run
+  // has a single outgoing edge — the indirect one being materialised).
+  std::vector<std::pair<GranuleId, Descriptor*>> carved;
+  carved.reserve(grouped.size());
+  std::size_t i = 0;
+  while (i < grouped.size()) {
+    Descriptor* host = grouped[i].first;
+    PAX_CHECK_MSG(host->conflict_queue.empty(),
+                  "elevation host has tracked successors");
+    if (host->pending_split != nullptr) force_pending_split(*host);
+    const GranuleRange whole = host->range;
+    GranuleId cursor = whole.lo;
+    waiting_.remove(*host);
+    while (i < grouped.size() && grouped[i].first == host) {
+      const GranuleId g = grouped[i].second;
+      ++i;
+      if (g > cursor) {
+        Descriptor& seg = make_desc(r, {cursor, g}, Priority::kNormal);
+        waiting_.enqueue(seg);
+        ledger_.charge(MgmtOp::kSplit, costs_);
+      }
+      Descriptor& piece = make_desc(r, {g, g + 1}, Priority::kNormal);
+      piece.state = DescState::kHeld;  // parked until the enqueue pass below
+      carved.emplace_back(g, &piece);
+      ledger_.charge(MgmtOp::kSplit, costs_);
+      cursor = g + 1;
+    }
+    if (cursor < whole.hi) {
+      Descriptor& seg = make_desc(r, {cursor, whole.hi}, Priority::kNormal);
+      waiting_.enqueue(seg);
+    }
+    retire_desc(*host);
+  }
+
+  // Enqueue the carved granules in the caller's preferred dispatch order.
+  std::sort(carved.begin(), carved.end());
+  std::vector<std::uint8_t> used(carved.size(), 0);
+  for (GranuleId g : order) {
+    auto it = std::lower_bound(carved.begin(), carved.end(),
+                               std::make_pair(g, static_cast<Descriptor*>(nullptr)));
+    if (it == carved.end() || it->first != g) continue;
+    const auto idx = static_cast<std::size_t>(it - carved.begin());
+    if (used[idx]) continue;
+    used[idx] = 1;
+    Descriptor* piece = it->second;
+    piece->priority = Priority::kElevated;
+    waiting_.enqueue(*piece);
+    emit({ExecEvent::Kind::kGranulesEnabled, piece->run, piece->phase, piece->range,
+          "elevated"});
+  }
+}
+
+void ExecutiveCore::run_serial(std::uint32_t node_index, const SerialNode& s) {
+  ledger_.charge(MgmtOp::kSerialAction, costs_);
+  if (s.sim_duration > 0) ledger_.charge_raw(MgmtOp::kSerialAction, s.sim_duration);
+  if (s.action) s.action(env_);
+  emit({ExecEvent::Kind::kSerialExecuted, kNoRun, kNoPhase, {}, s.name});
+  (void)node_index;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+std::vector<ExecutiveCore::RunInfo> ExecutiveCore::runs() const {
+  std::vector<RunInfo> out;
+  out.reserve(runs_.size());
+  for (const auto& r : runs_)
+    out.push_back({r->id, r->phase, r->node, r->state, r->total, r->completed_count});
+  return out;
+}
+
+}  // namespace pax

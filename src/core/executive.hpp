@@ -1,0 +1,217 @@
+// executive.hpp — the PAX executive scheduling state machine.
+//
+// ExecutiveCore implements the paper's dynamic-scheduling executive:
+//   * demand-driven splitting of computation descriptions for idle workers,
+//   * the waiting computation queue with elevated priority for
+//     conflict-released / enabling work,
+//   * conflict queues releasing successors on completion,
+//   * the five enablement mappings with lookahead, branch preprocessing,
+//     successor verification, and early serial actions,
+//   * composite granule maps with enablement counters for the indirect
+//     mappings, and
+//   * the three split-propagation policies (inline / presplit / deferred
+//     successor-splitting tasks).
+//
+// The core is *timeless and single-threaded*: it has no clock and no locks.
+// Drivers give it time and concurrency:
+//   * sim::Machine calls it at discrete-event times and bills the management
+//     charges it accrues as executive busy-time;
+//   * rt::ThreadedRuntime serialises calls with a mutex and lets real
+//     std::jthread workers execute the assignments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/descriptor.hpp"
+#include "core/enablement.hpp"
+#include "core/granule.hpp"
+#include "core/policies.hpp"
+#include "core/program.hpp"
+#include "core/range_set.hpp"
+#include "core/waiting_queue.hpp"
+
+namespace pax {
+
+enum class RunState : std::uint8_t {
+  kPending,   ///< created early by overlap setup; granules trickle in
+  kOpen,      ///< its dispatch node has been reached by the program counter
+  kComplete,  ///< all granules done
+};
+
+/// Structural events for traces and tests (drivers add timestamps).
+struct ExecEvent {
+  enum class Kind : std::uint8_t {
+    kRunCreated,
+    kRunOpened,
+    kGranulesEnabled,   ///< range of `run` entered the waiting queue
+    kRunCompleted,
+    kOverlapSetUp,      ///< edge cur->succ established (text = mapping kind)
+    kSerialExecuted,
+    kBranchTaken,
+    kDiagnostic,        ///< verification failure or other soft error
+    kProgramFinished,
+  };
+  Kind kind{};
+  RunId run = kNoRun;
+  PhaseId phase = kNoPhase;
+  GranuleRange range{};
+  std::string text;
+};
+
+/// Outcome of a completion call, telling the driver what changed.
+struct CompletionResult {
+  bool new_work = false;       ///< the waiting queue gained entries
+  bool run_completed = false;  ///< the completed task finished its run
+  bool program_finished = false;
+};
+
+class ExecutiveCore {
+ public:
+  ExecutiveCore(const PhaseProgram& program, ExecConfig config,
+                CostModel costs = {});
+
+  ExecutiveCore(const ExecutiveCore&) = delete;
+  ExecutiveCore& operator=(const ExecutiveCore&) = delete;
+  ~ExecutiveCore();
+
+  /// Begin program execution (processes nodes up to the first dispatch).
+  void start();
+
+  /// An idle worker presents itself. Returns no value when nothing is
+  /// computable right now.
+  std::optional<Assignment> request_work(WorkerId worker);
+
+  /// Completion processing for an assignment previously handed out.
+  CompletionResult complete(Ticket ticket);
+
+  /// Executive idle-time work: presplitting and deferred successor-splitting
+  /// tasks. Returns true if something was done (drivers loop while true and
+  /// idle workers exist).
+  bool idle_work();
+
+  /// Dynamically submit a computation that conflicts with `blocker`'s run
+  /// (the mechanism's original purpose in PAX). The work is held and
+  /// released — at elevated priority — when the blocking run completes.
+  void submit_conflicting(RunId blocker, PhaseId phase, GranuleRange range);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] bool work_available() const { return !waiting_.empty(); }
+  [[nodiscard]] std::size_t waiting_size() const { return waiting_.size(); }
+
+  [[nodiscard]] const MgmtLedger& ledger() const { return ledger_; }
+  MgmtLedger& ledger() { return ledger_; }
+
+  [[nodiscard]] const ProgramEnv& env() const { return env_; }
+  ProgramEnv& env() { return env_; }
+
+  [[nodiscard]] const std::vector<std::string>& diagnostics() const {
+    return diagnostics_;
+  }
+
+  /// Observation hook; called synchronously on structural events.
+  std::function<void(const ExecEvent&)> observer;
+
+  // --- introspection for tests ------------------------------------------
+  struct RunInfo {
+    RunId id = kNoRun;
+    PhaseId phase = kNoPhase;
+    std::uint32_t node = 0;
+    RunState state = RunState::kPending;
+    GranuleId total = 0;
+    GranuleId completed = 0;
+  };
+  [[nodiscard]] std::vector<RunInfo> runs() const;
+  [[nodiscard]] std::size_t live_descriptors() const { return pool_.live(); }
+  [[nodiscard]] std::uint32_t program_counter() const { return pc_; }
+
+ private:
+  struct Run;
+  struct Edge;
+  struct SplitTask;
+
+  // Node processing.
+  void advance_program();
+  void process_dispatch(std::uint32_t node_index, const DispatchNode& d);
+  void setup_overlap(Run& cur, const DispatchNode& d);
+  std::optional<std::uint32_t> lookahead(std::uint32_t from);
+
+  // Edge setup per mapping kind.
+  void setup_universal(Run& cur, Run& succ);
+  void setup_identity(Run& cur, Run& succ);
+  void setup_indirect(Run& cur, Run& succ, const EnableClause& clause, Edge& edge);
+  /// Build (or fetch from the static-relation cache) the composite map of an
+  /// indirect edge, replay completions that predate it, and fire the initial
+  /// enablements. Called at dispatch (defer_map_build=false) or from
+  /// executive idle time.
+  void materialize_map(Edge& edge);
+  /// One bounded slice of incremental map construction; true when the map
+  /// finished (and enablements fired) in this call.
+  bool map_build_step(Edge& edge);
+
+  // Run and descriptor plumbing.
+  Run& create_run(PhaseId phase, std::uint32_t node, RunState state);
+  Run& run_of(RunId id);
+  const Run& run_of(RunId id) const;
+  Descriptor& make_desc(Run& r, GranuleRange range, Priority prio);
+  void retire_desc(Descriptor& d);
+  void enqueue_enabled(Run& succ, GranuleRange range, Priority prio);
+  void on_run_complete(Run& r);
+  void release_conflicts(Descriptor& d);
+  void force_pending_split(Descriptor& d);
+  void propagate_split(Descriptor& parent, Descriptor& piece);
+  /// Carve the sub-range `piece` out of waiting descriptor `d` (piece must
+  /// be a prefix, suffix or interior slice). Returns the carved descriptor,
+  /// detached from the queue. Successor propagation included per policy.
+  Descriptor& carve(Descriptor& d, GranuleRange piece);
+  void extract_elevated(Run& r, const std::vector<GranuleId>& order);
+  void run_serial(std::uint32_t node_index, const SerialNode& s);
+  void emit(ExecEvent ev);
+  void diagnose(std::string msg);
+
+  const PhaseProgram& program_;
+  ExecConfig config_;
+  CostModel costs_;
+
+  DescriptorPool pool_;
+  WaitingQueue waiting_;
+  MgmtLedger ledger_;
+  ProgramEnv env_;
+
+  std::vector<std::unique_ptr<Run>> runs_;
+  std::vector<std::unique_ptr<Edge>> edges_;
+
+  // Assignments by ticket.
+  std::vector<Descriptor*> assignments_;
+  std::vector<Ticket> free_tickets_;
+
+  // Deferred successor-splitting tasks (owned; drained in idle time).
+  std::vector<std::unique_ptr<SplitTask>> split_tasks_;
+
+  // Indirect edges whose composite maps await construction in idle time.
+  std::vector<Edge*> pending_map_builds_;
+
+  // Cache of composite maps for clauses whose indirection is declared
+  // stable, keyed by clause identity (clauses live in program nodes).
+  struct CachedMap;
+  std::vector<std::unique_ptr<CachedMap>> map_cache_;
+
+  // Per-node early-execution state from lookahead.
+  std::vector<std::uint8_t> serial_done_early_;
+  std::vector<std::int32_t> branch_predecided_;  // -1 = not predecided
+  std::vector<RunId> node_pending_run_;          // run created early for node
+
+  std::uint32_t pc_ = 0;
+  RunId waiting_run_ = kNoRun;   ///< run the program counter is blocked on
+  RunId node_pc_run_ = kNoRun;   ///< run produced by the last dispatch node
+  bool started_ = false;
+  bool finished_ = false;
+  std::vector<std::string> diagnostics_;
+};
+
+}  // namespace pax

@@ -1,0 +1,23 @@
+#include "core/granule.hpp"
+
+#include "common/check.hpp"
+
+namespace pax {
+
+std::vector<GranuleRange> coalesce_sorted(const std::vector<GranuleId>& ids) {
+  std::vector<GranuleRange> out;
+  for (GranuleId g : ids) {
+    if (!out.empty()) {
+      PAX_DCHECK(g >= out.back().hi - 1 || g >= out.back().lo);
+      if (g < out.back().hi) continue;  // duplicate
+      if (g == out.back().hi) {
+        ++out.back().hi;
+        continue;
+      }
+    }
+    out.push_back({g, g + 1});
+  }
+  return out;
+}
+
+}  // namespace pax

@@ -1,0 +1,44 @@
+// granule.hpp — granule-level vocabulary types for the PAX core.
+//
+// The paper's unit of work is the *granule* ("computational granule"): one
+// iteration of a parallel DO loop. Phases own [0, n) granules; descriptors
+// cover contiguous sub-ranges; assignments hand ranges to workers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pax {
+
+/// Priority classes in the waiting computation queue. The paper places
+/// conflict-released (and enabling) computations "ahead of the normal
+/// computations in the queue and, thus, given higher priority".
+enum class Priority : std::uint8_t {
+  kNormal = 0,
+  kElevated = 1,
+};
+
+/// Identifies one *dispatch instance* of a phase. Programs may loop (GO TO),
+/// so the same PhaseId can run many times; each run gets a fresh RunId.
+using RunId = std::uint32_t;
+inline constexpr RunId kNoRun = 0xFFFFFFFFu;
+
+/// Ticket identifying an outstanding worker assignment.
+using Ticket = std::uint32_t;
+inline constexpr Ticket kNoTicket = 0xFFFFFFFFu;
+
+/// A contiguous piece of one run handed to a worker.
+struct Assignment {
+  Ticket ticket = kNoTicket;
+  RunId run = kNoRun;
+  PhaseId phase = kNoPhase;
+  GranuleRange range{};
+  Priority priority = Priority::kNormal;
+};
+
+/// Coalesce a sorted list of granule ids into maximal contiguous ranges.
+std::vector<GranuleRange> coalesce_sorted(const std::vector<GranuleId>& ids);
+
+}  // namespace pax

@@ -1,0 +1,40 @@
+#include "core/phase.hpp"
+
+namespace pax {
+
+const char* to_string(MappingKind k) {
+  switch (k) {
+    case MappingKind::kUniversal: return "universal";
+    case MappingKind::kIdentity: return "identity";
+    case MappingKind::kNull: return "null";
+    case MappingKind::kReverseIndirect: return "reverse-indirect";
+    case MappingKind::kForwardIndirect: return "forward-indirect";
+  }
+  return "?";
+}
+
+PhaseSpec& PhaseSpec::reads(std::string array, IndexPattern p, std::string map) {
+  accesses.push_back({std::move(array), AccessMode::kRead, p, std::move(map)});
+  return *this;
+}
+
+PhaseSpec& PhaseSpec::writes(std::string array, IndexPattern p, std::string map) {
+  accesses.push_back({std::move(array), AccessMode::kWrite, p, std::move(map)});
+  return *this;
+}
+
+std::vector<ArrayAccess> PhaseSpec::reads_of() const {
+  std::vector<ArrayAccess> out;
+  for (const auto& a : accesses)
+    if (a.mode == AccessMode::kRead) out.push_back(a);
+  return out;
+}
+
+std::vector<ArrayAccess> PhaseSpec::writes_of() const {
+  std::vector<ArrayAccess> out;
+  for (const auto& a : accesses)
+    if (a.mode == AccessMode::kWrite) out.push_back(a);
+  return out;
+}
+
+}  // namespace pax

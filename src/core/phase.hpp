@@ -1,0 +1,85 @@
+// phase.hpp — static description of a parallel computational phase.
+//
+// A phase is a set of independent granules plus declared data accesses.
+// The access declarations drive three things:
+//   * the PARALLEL(x, y) predicate (dataflow.hpp),
+//   * automatic inference of the legal enablement mapping to a successor
+//     phase (dataflow.hpp), and
+//   * the CASPER phase census (casper/census.hpp) reproducing Table T1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pax {
+
+/// The five enablement mapping classes the paper identifies, in the order it
+/// presents them.
+enum class MappingKind : std::uint8_t {
+  kUniversal,        ///< any successor granule enabled by the null set
+  kIdentity,         ///< completion of granule i enables successor granule i
+  kNull,             ///< serial actions between phases; no overlap possible
+  kReverseIndirect,  ///< successor granule needs a *set* of current granules
+  kForwardIndirect,  ///< completed granule directly maps to successor granule
+};
+
+[[nodiscard]] const char* to_string(MappingKind k);
+
+/// How a phase's granule index addresses an array.
+enum class IndexPattern : std::uint8_t {
+  kIdentity,  ///< X[i]            — element i touched by granule i
+  kIndirect,  ///< X[map(i)]       — through a (possibly dynamic) map
+  kWhole,     ///< X[*]            — scalar/reduction/whole-array access
+};
+
+enum class AccessMode : std::uint8_t { kRead, kWrite };
+
+/// One declared array access of a phase.
+struct ArrayAccess {
+  std::string array;        ///< name of the shared array
+  AccessMode mode = AccessMode::kRead;
+  IndexPattern pattern = IndexPattern::kIdentity;
+  std::string map_name;     ///< for kIndirect: which selection map is used
+
+  friend bool operator==(const ArrayAccess&, const ArrayAccess&) = default;
+};
+
+/// Static specification of a phase, registered with the executive before any
+/// dispatch (the paper's DEFINE PHASE).
+struct PhaseSpec {
+  std::string name;
+  GranuleId granules = 0;
+
+  /// The paper reports its census in "lines of code executed in parallel";
+  /// synthetic workloads carry the same metric so the census reproduces.
+  std::uint32_t code_lines = 0;
+
+  std::vector<ArrayAccess> accesses;
+
+  /// Convenience builder helpers.
+  PhaseSpec& reads(std::string array,
+                   IndexPattern p = IndexPattern::kIdentity,
+                   std::string map = {});
+  PhaseSpec& writes(std::string array,
+                    IndexPattern p = IndexPattern::kIdentity,
+                    std::string map = {});
+
+  [[nodiscard]] std::vector<ArrayAccess> reads_of() const;
+  [[nodiscard]] std::vector<ArrayAccess> writes_of() const;
+};
+
+/// Factory avoiding partially-designated initializers at call sites.
+[[nodiscard]] inline PhaseSpec make_phase(std::string name, GranuleId granules,
+                                          std::uint32_t code_lines = 0) {
+  PhaseSpec s;
+  s.name = std::move(name);
+  s.granules = granules;
+  s.code_lines = code_lines;
+  return s;
+}
+
+}  // namespace pax

@@ -1,0 +1,107 @@
+// policies.hpp — executive configuration knobs.
+//
+// Each knob corresponds to a design decision the paper debates; the ablation
+// benches sweep them (see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pax {
+
+/// How split propagation to queued successor descriptions is handled.
+/// Paper: "Two possible solutions exist. One possibility is to presplit the
+/// tasks before idle workers present themselves ... Alternatively, the
+/// splitting of a computation could generate a successor-splitting task that
+/// could be quickly queued for later attention when the executive would
+/// again be idle."
+enum class SplitPolicy : std::uint8_t {
+  kInline,     ///< split queued successors at worker-request time (baseline;
+               ///< the delay the paper worries "may represent an unacceptable
+               ///< situation")
+  kPresplit,   ///< executive pre-carves grain-size pieces in idle time
+  kDeferred,   ///< successor-splitting tasks drained in executive idle time
+};
+
+[[nodiscard]] inline const char* to_string(SplitPolicy p) {
+  switch (p) {
+    case SplitPolicy::kInline: return "inline";
+    case SplitPolicy::kPresplit: return "presplit";
+    case SplitPolicy::kDeferred: return "deferred";
+  }
+  return "?";
+}
+
+/// Where executive computation runs (simulator concern, but declared here so
+/// configs are self-contained).  Paper: "In the PAX/CASPER UNIVAC 1100 test
+/// bed, executive computation was done at the direct expense of worker
+/// computation. ... Some real parallel machines may provide separate
+/// executive computing resources."
+enum class ExecPlacement : std::uint8_t {
+  kWorkerStealing,  ///< management time billed to the worker involved
+  kDedicated,       ///< a separate management processor serialises exec ops
+};
+
+[[nodiscard]] inline const char* to_string(ExecPlacement p) {
+  switch (p) {
+    case ExecPlacement::kWorkerStealing: return "worker-stealing";
+    case ExecPlacement::kDedicated: return "dedicated";
+  }
+  return "?";
+}
+
+struct ExecConfig {
+  /// Granules per task handed to a worker.
+  GranuleId grain = 1;
+
+  /// Master switch: false gives the strict-barrier baseline (phases fully
+  /// sequential), true enables phase overlap per the ENABLE clauses.
+  bool overlap = true;
+
+  SplitPolicy split_policy = SplitPolicy::kInline;
+
+  /// Split the current-phase granules that enable an indirect successor
+  /// subset into individual descriptors placed ahead of normal work, in
+  /// preferred dispatch order (the paper's prescription for indirect maps).
+  bool elevate_enabling = true;
+
+  /// Also place *released successor* work ahead of remaining current-phase
+  /// work. The paper reserves elevated priority for conflict-released
+  /// computations; elevating successor releases makes the two phases
+  /// interleave 1:1 and forfeits the rundown fill (ablation knob, default
+  /// off — see bench_f2_mapping_utilization).
+  bool elevate_released = false;
+
+  /// Execute non-conflicting inter-phase serial actions early during
+  /// lookahead (the "extended effort" >90% feature).
+  bool early_serial = false;
+
+  /// For indirect mappings: solve only the first N successor granules
+  /// (0 = solve all). Unsolved granules release at phase completion.
+  /// When a subset is in effect, the current-phase granules enabling it are
+  /// split into individual elevated descriptors in preferred dispatch order
+  /// (with no subset, every granule participates and elevation is a no-op,
+  /// so none is attempted).
+  GranuleId indirect_subset = 0;
+
+  /// Approximate map entries processed per idle-time slice when building a
+  /// composite map incrementally. Bounded slices keep the serial executive
+  /// responsive to worker requests while it "works ahead".
+  GranuleId map_build_quantum = 128;
+
+  /// Build composite granule maps in executive idle time instead of at
+  /// dispatch. Paper: "it would seem wise to get the current phase into
+  /// execution without the delay of constructing the necessary information
+  /// for enabling successor computations." If the map is never built before
+  /// the current phase completes, the successor simply releases wholesale at
+  /// completion (no overlap, no harm).
+  bool defer_map_build = true;
+
+  /// Preprocess branch-independent branches during lookahead.
+  bool branch_preprocess = true;
+
+  ExecPlacement placement = ExecPlacement::kWorkerStealing;
+};
+
+}  // namespace pax

@@ -1,0 +1,99 @@
+// range_set.hpp — set of granule ids kept as sorted disjoint ranges.
+//
+// Used for per-run completed-granule tracking (merge accounting: completed
+// chunks "merged back into single descriptions when the work was completed")
+// and for computing residual work when an overlap edge is set up against a
+// partially complete phase.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pax {
+
+class RangeSet {
+ public:
+  /// Insert a range, merging with neighbours. Ranges must not overlap
+  /// anything already present (granules complete exactly once) — checked.
+  void insert(GranuleRange r);
+
+  [[nodiscard]] bool contains(GranuleId g) const;
+
+  /// Total granules covered.
+  [[nodiscard]] GranuleId cardinality() const { return total_; }
+
+  /// Number of disjoint ranges (after merging). The paper's "merged back
+  /// into single descriptions" corresponds to this collapsing to 1.
+  [[nodiscard]] std::size_t fragments() const { return ranges_.size(); }
+
+  [[nodiscard]] const std::vector<GranuleRange>& ranges() const { return ranges_; }
+
+  [[nodiscard]] bool empty() const { return ranges_.empty(); }
+
+  /// Ranges of [0, n) NOT covered by this set.
+  [[nodiscard]] std::vector<GranuleRange> complement(GranuleId n) const;
+
+  void clear() {
+    ranges_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::vector<GranuleRange> ranges_;  // sorted, disjoint, non-adjacent
+  GranuleId total_ = 0;
+};
+
+inline void RangeSet::insert(GranuleRange r) {
+  PAX_CHECK(!r.empty());
+  total_ += r.size();
+  // Find first range with lo > r.lo.
+  std::size_t i = 0;
+  while (i < ranges_.size() && ranges_[i].lo < r.lo) ++i;
+  // Overlap checks against neighbours.
+  if (i > 0) PAX_CHECK_MSG(ranges_[i - 1].hi <= r.lo, "overlapping insert");
+  if (i < ranges_.size()) PAX_CHECK_MSG(r.hi <= ranges_[i].lo, "overlapping insert");
+
+  const bool merge_left = i > 0 && ranges_[i - 1].hi == r.lo;
+  const bool merge_right = i < ranges_.size() && ranges_[i].lo == r.hi;
+  if (merge_left && merge_right) {
+    ranges_[i - 1].hi = ranges_[i].hi;
+    ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(i));
+  } else if (merge_left) {
+    ranges_[i - 1].hi = r.hi;
+  } else if (merge_right) {
+    ranges_[i].lo = r.lo;
+  } else {
+    ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(i), r);
+  }
+}
+
+inline bool RangeSet::contains(GranuleId g) const {
+  // Binary search over sorted disjoint ranges.
+  std::size_t lo = 0, hi = ranges_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (ranges_[mid].hi <= g) {
+      lo = mid + 1;
+    } else if (ranges_[mid].lo > g) {
+      hi = mid;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+inline std::vector<GranuleRange> RangeSet::complement(GranuleId n) const {
+  std::vector<GranuleRange> out;
+  GranuleId cursor = 0;
+  for (const auto& r : ranges_) {
+    if (r.lo > cursor) out.push_back({cursor, r.lo});
+    cursor = r.hi;
+  }
+  if (cursor < n) out.push_back({cursor, n});
+  return out;
+}
+
+}  // namespace pax

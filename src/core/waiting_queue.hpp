@@ -1,0 +1,102 @@
+// waiting_queue.hpp — the PAX waiting computation queue.
+//
+// Paper: "The waiting computation queue was kept in a known order and, for
+// the purposes of the conflicting computation problem, it was determined
+// that such conflicting computations would be placed ahead of the normal
+// computations in the queue and, thus, given higher priority."
+//
+// Two FIFO rings, elevated ahead of normal. Descriptors link in via their
+// wait_hook; the queue never owns storage.
+#pragma once
+
+#include <cstddef>
+
+#include "common/intrusive_ring.hpp"
+#include "core/descriptor.hpp"
+
+namespace pax {
+
+class WaitingQueue {
+ public:
+  /// File a descriptor at the back of its priority class.
+  void enqueue(Descriptor& d) {
+    PAX_DCHECK(!d.wait_hook.linked());
+    d.state = DescState::kWaiting;
+    ring_for(d.priority).push_back(d);
+    ++size_;
+  }
+
+  /// File at the *front* of its priority class (used when a partially
+  /// consumed descriptor is returned so FIFO order of the remainder holds).
+  void enqueue_front(Descriptor& d) {
+    PAX_DCHECK(!d.wait_hook.linked());
+    d.state = DescState::kWaiting;
+    ring_for(d.priority).push_front(d);
+    ++size_;
+  }
+
+  /// Insert `d` immediately before `pos`, which must already be queued.
+  /// Used by presplitting so carved pieces keep the original queue order.
+  void insert_before(Descriptor& pos, Descriptor& d) {
+    PAX_DCHECK(pos.wait_hook.linked());
+    PAX_DCHECK(!d.wait_hook.linked());
+    d.state = DescState::kWaiting;
+    Ring::insert_before(pos, d);
+    ++size_;
+  }
+
+  /// Insert `d` immediately after `pos`, which must already be queued.
+  void insert_after(Descriptor& pos, Descriptor& d) {
+    PAX_DCHECK(pos.wait_hook.linked());
+    PAX_DCHECK(!d.wait_hook.linked());
+    d.state = DescState::kWaiting;
+    Ring::insert_after(pos, d);
+    ++size_;
+  }
+
+  /// Next descriptor to schedule: elevated first, FIFO within class.
+  /// Returns nullptr when no work is waiting. Does not detach.
+  [[nodiscard]] Descriptor* peek() const {
+    if (Descriptor* d = elevated_.front()) return d;
+    return normal_.front();
+  }
+
+  /// Detach a specific descriptor (must be queued).
+  void remove(Descriptor& d) {
+    PAX_DCHECK(d.wait_hook.linked());
+    d.wait_hook.unlink();
+    PAX_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  /// Detach and return the schedulable front, or nullptr.
+  Descriptor* pop() {
+    Descriptor* d = peek();
+    if (d) remove(*d);
+    return d;
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t elevated_size() const { return elevated_.size(); }
+
+  /// Visit queued descriptors, elevated class first (inspection only).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    elevated_.for_each(fn);
+    normal_.for_each(fn);
+  }
+
+ private:
+  using Ring = IntrusiveRing<Descriptor, &Descriptor::wait_hook>;
+
+  Ring& ring_for(Priority p) {
+    return p == Priority::kElevated ? elevated_ : normal_;
+  }
+
+  Ring elevated_;
+  Ring normal_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pax

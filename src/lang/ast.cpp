@@ -1,0 +1,39 @@
+#include "lang/ast.hpp"
+
+#include "common/check.hpp"
+
+namespace pax::lang {
+
+std::int64_t Expr::eval(const ProgramEnv& env) const {
+  switch (op) {
+    case Op::kLiteral: return literal;
+    case Op::kVar: return env.get(var);
+    case Op::kNeg: return -kids[0].eval(env);
+    case Op::kNot: return kids[0].eval(env) == 0 ? 1 : 0;
+    default: break;
+  }
+  const std::int64_t a = kids[0].eval(env);
+  const std::int64_t b = kids[1].eval(env);
+  switch (op) {
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kMul: return a * b;
+    case Op::kDiv: return b == 0 ? 0 : a / b;
+    case Op::kMod: return b == 0 ? 0 : a % b;
+    case Op::kEq: return a == b;
+    case Op::kNe: return a != b;
+    case Op::kLt: return a < b;
+    case Op::kLe: return a <= b;
+    case Op::kGt: return a > b;
+    case Op::kGe: return a >= b;
+    case Op::kAnd: return (a != 0 && b != 0) ? 1 : 0;
+    case Op::kOr: return (a != 0 || b != 0) ? 1 : 0;
+    default: PAX_CHECK(false); return 0;
+  }
+}
+
+int statement_line(const Statement& s) {
+  return std::visit([](const auto& st) { return st.line; }, s);
+}
+
+}  // namespace pax::lang

@@ -1,0 +1,138 @@
+// ast.hpp — abstract syntax of the PAX parallel control language.
+//
+// Surface forms mirror the constructs proposed in the paper's "Language
+// Construction" section:
+//
+//   DISPATCH phase ENABLE/MAPPING=option                      (simple form)
+//   DISPATCH phase ENABLE [name/MAPPING=option ...]           (verified form)
+//   DISPATCH phase ENABLE/BRANCHINDEPENDENT [a/... b/...]     (preprocessable)
+//   DEFINE PHASE name ... ENABLE [...] END
+//   DISPATCH phase ENABLE/BRANCHDEPENDENT                     (use DEFINE list)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/phase.hpp"
+#include "core/program.hpp"
+
+namespace pax::lang {
+
+// --- integer expressions over the program environment ----------------------
+
+struct Expr {
+  enum class Op : std::uint8_t {
+    kLiteral, kVar,
+    kAdd, kSub, kMul, kDiv, kMod,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kAnd, kOr, kNeg, kNot,
+  };
+  Op op = Op::kLiteral;
+  std::int64_t literal = 0;
+  std::string var;
+  std::vector<Expr> kids;
+
+  [[nodiscard]] std::int64_t eval(const ProgramEnv& env) const;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// --- declarations -----------------------------------------------------------
+
+struct AccessDecl {
+  std::string array;
+  AccessMode mode = AccessMode::kRead;
+  IndexPattern pattern = IndexPattern::kIdentity;
+  std::string map;  // for kIndirect
+  int line = 0;
+};
+
+struct EnableDecl {
+  std::string phase;
+  MappingKind kind = MappingKind::kNull;
+  std::string using_map;  // indirection binding name for indirect kinds
+  int line = 0;
+};
+
+struct PhaseDef {
+  std::string name;
+  std::uint32_t granules = 0;
+  std::uint32_t lines = 0;  // the paper's "lines of code executed in parallel"
+  std::vector<AccessDecl> accesses;
+  std::vector<EnableDecl> enables;  // DEFINE-time ENABLE list
+  int line = 0;
+};
+
+// --- statements --------------------------------------------------------------
+
+enum class EnableForm : std::uint8_t {
+  kNone,               ///< bare DISPATCH
+  kSimple,             ///< ENABLE/MAPPING=option (no interlock)
+  kList,               ///< ENABLE [name/MAPPING=option ...]
+  kBranchIndependent,  ///< ENABLE/BRANCHINDEPENDENT [...]
+  kBranchDependent,    ///< ENABLE/BRANCHDEPENDENT — defer to DEFINE list
+};
+
+struct StDispatch {
+  std::string phase;
+  EnableForm form = EnableForm::kNone;
+  MappingKind simple_kind = MappingKind::kNull;  // for kSimple
+  std::string simple_using;                      // for kSimple indirect kinds
+  std::vector<EnableDecl> enables;               // for kList/kBranchIndependent
+  int line = 0;
+};
+
+struct StSerial {
+  std::string name;
+  bool conflicts = true;         // NOCONFLICT clears this
+  std::uint64_t duration = 0;    // DURATION=n (simulated ticks)
+  std::vector<std::pair<std::string, ExprPtr>> sets;  // SET var = expr
+  int line = 0;
+};
+
+struct StLet {
+  std::string var;
+  ExprPtr value;
+  int line = 0;
+};
+
+struct StIf {
+  ExprPtr cond;
+  std::string label;
+  int line = 0;
+};
+
+struct StGoto {
+  std::string label;
+  int line = 0;
+};
+
+struct StLabel {
+  std::string name;
+  int line = 0;
+};
+
+struct StHalt {
+  int line = 0;
+};
+
+using Statement =
+    std::variant<StDispatch, StSerial, StLet, StIf, StGoto, StLabel, StHalt>;
+
+struct Module {
+  std::vector<PhaseDef> phases;
+  std::vector<Statement> statements;
+
+  [[nodiscard]] const PhaseDef* phase(const std::string& name) const {
+    for (const auto& p : phases)
+      if (p.name == name) return &p;
+    return nullptr;
+  }
+};
+
+[[nodiscard]] int statement_line(const Statement& s);
+
+}  // namespace pax::lang

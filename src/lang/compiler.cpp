@@ -1,0 +1,171 @@
+#include "lang/compiler.hpp"
+
+#include <map>
+
+#include "lang/parser.hpp"
+#include "lang/validator.hpp"
+
+namespace pax::lang {
+
+CompileResult Compiler::compile(const Module& m) const {
+  CompileResult out;
+  out.diags = validate(m);
+  if (has_errors(out.diags)) return out;
+
+  PhaseProgram& prog = out.program;
+  auto err = [&](int line, std::string msg) {
+    out.diags.push_back({Diag::Severity::kError, line, std::move(msg)});
+  };
+
+  // Phases, in definition order (PhaseId == definition index).
+  for (const auto& def : m.phases) {
+    PhaseSpec spec;
+    spec.name = def.name;
+    spec.granules = def.granules;
+    spec.code_lines = def.lines;
+    for (const auto& a : def.accesses)
+      spec.accesses.push_back({a.array, a.mode, a.pattern, a.map});
+    prog.define_phase(std::move(spec));
+  }
+
+  // Pass 1: node index per statement (labels bind to the next node).
+  std::vector<std::uint32_t> node_of(m.statements.size(), 0);
+  std::map<std::string, std::uint32_t> label_node;
+  std::uint32_t counter = 0;
+  for (std::size_t i = 0; i < m.statements.size(); ++i) {
+    node_of[i] = counter;
+    if (const auto* l = std::get_if<StLabel>(&m.statements[i])) {
+      label_node[l->name] = counter;  // no node emitted
+    } else {
+      ++counter;
+    }
+  }
+  const std::uint32_t end_node = counter;  // implicit halt position
+
+  auto resolve_label = [&](const std::string& name, int line) -> std::uint32_t {
+    auto it = label_node.find(name);
+    if (it == label_node.end()) {
+      err(line, "undefined label '" + name + "'");
+      return end_node;
+    }
+    return it->second;
+  };
+
+  // Clause lowering shared by all dispatch forms.
+  auto lower_clause = [&](const EnableDecl& decl) -> EnableClause {
+    EnableClause clause;
+    clause.successor_name = decl.phase;
+    clause.kind = decl.kind;
+    if (decl.kind == MappingKind::kReverseIndirect ||
+        decl.kind == MappingKind::kForwardIndirect) {
+      auto it = bindings_.find(decl.using_map);
+      if (it == bindings_.end()) {
+        err(decl.line, "no indirection bound for USING=" + decl.using_map);
+      } else {
+        clause.indirection = it->second;
+        const bool need_reverse = decl.kind == MappingKind::kReverseIndirect;
+        if (need_reverse && !clause.indirection.requires_of)
+          err(decl.line, "binding '" + decl.using_map +
+                             "' lacks the reverse (requires_of) direction");
+        if (!need_reverse && !clause.indirection.enables_of)
+          err(decl.line, "binding '" + decl.using_map +
+                             "' lacks the forward (enables_of) direction");
+      }
+    }
+    return clause;
+  };
+
+  // Pass 2: emit nodes. Branch-independence is a property of the region
+  // after a DISPATCH ... ENABLE/BRANCHINDEPENDENT, until the next dispatch.
+  bool branch_independent_region = false;
+  for (std::size_t i = 0; i < m.statements.size(); ++i) {
+    const Statement& st = m.statements[i];
+    const std::uint32_t next_node =
+        (i + 1 < m.statements.size()) ? node_of[i + 1] : end_node;
+
+    if (const auto* d = std::get_if<StDispatch>(&st)) {
+      const PhaseId phase = prog.phase_by_name(d->phase);
+      std::vector<EnableClause> clauses;
+      std::vector<EnableDecl> decls = d->enables;
+      if (d->form == EnableForm::kBranchDependent && decls.empty())
+        decls = m.phase(d->phase)->enables;
+      if (d->form == EnableForm::kSimple) {
+        for (const auto& s : successors_of(m, i)) {
+          if (!s.clean_path) continue;
+          EnableDecl decl;
+          decl.phase = s.phase;
+          decl.kind = d->simple_kind;
+          decl.using_map = d->simple_using;
+          decl.line = d->line;
+          decls.push_back(decl);
+          break;
+        }
+      }
+      for (const auto& decl : decls) clauses.push_back(lower_clause(decl));
+      prog.dispatch(phase, std::move(clauses));
+      branch_independent_region = d->form == EnableForm::kBranchIndependent;
+      continue;
+    }
+    if (const auto* s = std::get_if<StSerial>(&st)) {
+      auto sets = s->sets;
+      std::function<void(ProgramEnv&)> action;
+      if (!sets.empty()) {
+        action = [sets](ProgramEnv& env) {
+          for (const auto& [var, expr] : sets) env.set(var, expr->eval(env));
+        };
+      }
+      prog.serial(s->name, std::move(action), s->duration, s->conflicts);
+      continue;
+    }
+    if (const auto* l = std::get_if<StLet>(&st)) {
+      const std::string var = l->var;
+      const ExprPtr value = l->value;
+      prog.serial("let " + var,
+                  [var, value](ProgramEnv& env) { env.set(var, value->eval(env)); },
+                  0, /*conflicts=*/false);
+      continue;
+    }
+    if (const auto* f = std::get_if<StIf>(&st)) {
+      const ExprPtr cond = f->cond;
+      prog.branch(
+          "if@" + std::to_string(f->line),
+          [cond](const ProgramEnv& env) {
+            return cond->eval(env) != 0 ? std::size_t{0} : std::size_t{1};
+          },
+          {resolve_label(f->label, f->line), next_node}, branch_independent_region);
+      continue;
+    }
+    if (const auto* g = std::get_if<StGoto>(&st)) {
+      // Unconditional jumps are trivially branch-independent.
+      prog.branch("goto " + g->label,
+                  [](const ProgramEnv&) { return std::size_t{0}; },
+                  {resolve_label(g->label, g->line)}, /*phase_independent=*/true);
+      continue;
+    }
+    if (std::holds_alternative<StLabel>(st)) continue;
+    if (std::holds_alternative<StHalt>(st)) {
+      prog.halt();
+      continue;
+    }
+  }
+  // Implicit halt for programs that fall off the end.
+  if (prog.size() == end_node) prog.halt();
+
+  out.ok = !has_errors(out.diags);
+  return out;
+}
+
+CompileResult compile_source(std::string_view source, const Compiler& compiler) {
+  ParseResult parsed = parse(source);
+  if (!parsed.ok()) {
+    CompileResult out;
+    out.diags = std::move(parsed.diags);
+    return out;
+  }
+  CompileResult out = compiler.compile(parsed.module);
+  // Keep parse warnings visible too.
+  out.diags.insert(out.diags.begin(), parsed.diags.begin(), parsed.diags.end());
+  return out;
+}
+
+}  // namespace pax::lang

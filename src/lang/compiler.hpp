@@ -1,0 +1,43 @@
+// compiler.hpp — lower a validated PAX language module to a PhaseProgram.
+//
+// Indirection functions cannot be written in the surface language; programs
+// reference them by name (MAPPING=REVERSE/USING=IMAP) and the host registers
+// the corresponding IndirectionSpec with the compiler before compiling —
+// exactly like the paper's dynamically generated information selection maps,
+// which exist only at run time.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/program.hpp"
+#include "lang/ast.hpp"
+#include "lang/token.hpp"
+
+namespace pax::lang {
+
+struct CompileResult {
+  bool ok = false;
+  PhaseProgram program;
+  std::vector<Diag> diags;
+};
+
+class Compiler {
+ public:
+  /// Register the indirection behind a USING=<name> reference.
+  void bind(const std::string& name, IndirectionSpec spec) {
+    bindings_[name] = std::move(spec);
+  }
+
+  /// Validate and lower. Returns ok=false (with diagnostics) on any error.
+  [[nodiscard]] CompileResult compile(const Module& m) const;
+
+ private:
+  std::map<std::string, IndirectionSpec> bindings_;
+};
+
+/// Convenience: parse + validate + compile in one step.
+[[nodiscard]] CompileResult compile_source(std::string_view source,
+                                           const Compiler& compiler = {});
+
+}  // namespace pax::lang

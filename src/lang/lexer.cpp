@@ -1,0 +1,121 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+
+namespace pax::lang {
+
+std::string Diag::render() const {
+  const char* sev = severity == Severity::kError     ? "error"
+                    : severity == Severity::kWarning ? "warning"
+                                                     : "note";
+  return "line " + std::to_string(line) + ": " + sev + ": " + message;
+}
+
+bool has_errors(const std::vector<Diag>& diags) {
+  for (const auto& d : diags)
+    if (d.severity == Diag::Severity::kError) return true;
+  return false;
+}
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  int line = 1;
+  int col = 1;
+  std::size_t i = 0;
+  bool line_has_tokens = false;
+
+  auto push = [&](Tok kind, std::string text, std::int64_t value = 0) {
+    out.tokens.push_back({kind, std::move(text), value, line, col});
+    if (kind != Tok::kNewline) line_has_tokens = true;
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      if (line_has_tokens) push(Tok::kNewline, "\\n");
+      line_has_tokens = false;
+      ++i;
+      ++line;
+      col = 1;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      ++col;
+      continue;
+    }
+    if (c == '#' || (c == '-' && i + 1 < src.size() && src[i + 1] == '-')) {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < src.size() && ident_char(src[j])) ++j;
+      push(Tok::kIdent, std::string(src.substr(i, j - i)));
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      std::int64_t v = 0;
+      bool overflow = false;
+      while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) {
+        if (v > (INT64_MAX - 9) / 10) overflow = true;
+        v = v * 10 + (src[j] - '0');
+        ++j;
+      }
+      if (overflow)
+        out.diags.push_back({Diag::Severity::kError, line, "integer literal overflow"});
+      push(Tok::kInt, std::string(src.substr(i, j - i)), v);
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < src.size()) {
+      const std::string_view two = src.substr(i, 2);
+      if (two == "==" || two == "!=" || two == "<=" || two == ">=") {
+        push(Tok::kOp, std::string(two));
+        i += 2;
+        col += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '[': case ']': case '(': case ')': case '/': case '=': case ',':
+      case ':':
+        push(Tok::kPunct, std::string(1, c));
+        ++i;
+        ++col;
+        continue;
+      case '<': case '>': case '+': case '-': case '*': case '%': case '!':
+        push(Tok::kOp, std::string(1, c));
+        ++i;
+        ++col;
+        continue;
+      default:
+        out.diags.push_back({Diag::Severity::kError, line,
+                             std::string("unexpected character '") + c + "'"});
+        ++i;
+        ++col;
+        continue;
+    }
+  }
+  if (line_has_tokens) push(Tok::kNewline, "\\n");
+  push(Tok::kEnd, "<end>");
+  return out;
+}
+
+}  // namespace pax::lang

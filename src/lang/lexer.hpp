@@ -1,0 +1,22 @@
+// lexer.hpp — tokenizer for the PAX language.
+//
+// Line-oriented: newlines terminate statements (kNewline tokens). Comments
+// run from '#' or '--' to end of line. Identifiers are case-preserving but
+// keywords are recognised case-insensitively by the parser.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+
+namespace pax::lang {
+
+struct LexResult {
+  std::vector<Token> tokens;  // always terminated by a kEnd token
+  std::vector<Diag> diags;
+};
+
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace pax::lang

@@ -1,0 +1,463 @@
+#include "lang/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "lang/lexer.hpp"
+
+namespace pax::lang {
+namespace {
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(LexResult lexed) : tokens_(std::move(lexed.tokens)) {
+    result_.diags = std::move(lexed.diags);
+  }
+
+  ParseResult run() {
+    while (!at_end()) {
+      skip_newlines();
+      if (at_end()) break;
+      if (is_kw("DEFINE")) {
+        parse_define();
+      } else {
+        parse_statement();
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  // --- token plumbing ------------------------------------------------------
+  const Token& peek(std::size_t off = 0) const {
+    const std::size_t i = std::min(pos_ + off, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool at_end() const { return peek().kind == Tok::kEnd; }
+  void skip_newlines() {
+    while (peek().kind == Tok::kNewline) advance();
+  }
+
+  bool is_kw(const char* kw, std::size_t off = 0) const {
+    const Token& t = peek(off);
+    return t.kind == Tok::kIdent && upper(t.text) == kw;
+  }
+  bool accept_kw(const char* kw) {
+    if (!is_kw(kw)) return false;
+    advance();
+    return true;
+  }
+  void expect_kw(const char* kw) {
+    if (!accept_kw(kw))
+      error(std::string("expected keyword '") + kw + "', got '" + peek().text + "'");
+  }
+  bool accept_punct(char c) {
+    if (!peek().is_punct(c)) return false;
+    advance();
+    return true;
+  }
+  void expect_punct(char c) {
+    if (!accept_punct(c))
+      error(std::string("expected '") + c + "', got '" + peek().text + "'");
+  }
+  std::string expect_ident(const char* what) {
+    if (peek().kind != Tok::kIdent) {
+      error(std::string("expected ") + what + ", got '" + peek().text + "'");
+      return "<error>";
+    }
+    return advance().text;
+  }
+  std::int64_t expect_int(const char* what) {
+    if (peek().kind != Tok::kInt) {
+      error(std::string("expected ") + what + ", got '" + peek().text + "'");
+      return 0;
+    }
+    return advance().value;
+  }
+  void expect_eol() {
+    if (peek().kind == Tok::kNewline) {
+      advance();
+      return;
+    }
+    if (peek().kind == Tok::kEnd) return;
+    error("unexpected trailing tokens: '" + peek().text + "'");
+    sync_to_eol();
+  }
+  void sync_to_eol() {
+    while (peek().kind != Tok::kNewline && peek().kind != Tok::kEnd) advance();
+    if (peek().kind == Tok::kNewline) advance();
+  }
+  void error(std::string msg) {
+    result_.diags.push_back({Diag::Severity::kError, peek().line, std::move(msg)});
+  }
+
+  // --- grammar -------------------------------------------------------------
+
+  void parse_define() {
+    const int line = peek().line;
+    expect_kw("DEFINE");
+    expect_kw("PHASE");
+    PhaseDef def;
+    def.line = line;
+    def.name = expect_ident("phase name");
+    while (peek().kind != Tok::kNewline && peek().kind != Tok::kEnd) {
+      if (accept_kw("GRANULES")) {
+        expect_punct('=');
+        def.granules = static_cast<std::uint32_t>(expect_int("granule count"));
+      } else if (accept_kw("LINES")) {
+        expect_punct('=');
+        def.lines = static_cast<std::uint32_t>(expect_int("line count"));
+      } else {
+        error("unexpected token in DEFINE PHASE header: '" + peek().text + "'");
+        sync_to_eol();
+        break;
+      }
+    }
+    expect_eol();
+
+    // Body: READS / WRITES / ENABLE until END.
+    while (true) {
+      skip_newlines();
+      if (at_end()) {
+        error("DEFINE PHASE '" + def.name + "' missing END");
+        break;
+      }
+      if (accept_kw("END")) {
+        expect_eol();
+        break;
+      }
+      if (is_kw("READS") || is_kw("WRITES")) {
+        AccessDecl acc;
+        acc.line = peek().line;
+        acc.mode = is_kw("READS") ? AccessMode::kRead : AccessMode::kWrite;
+        advance();
+        acc.array = expect_ident("array name");
+        if (accept_kw("INDIRECT")) {
+          acc.pattern = IndexPattern::kIndirect;
+          acc.map = expect_ident("selection map name");
+        } else if (accept_kw("WHOLE")) {
+          acc.pattern = IndexPattern::kWhole;
+        }
+        def.accesses.push_back(std::move(acc));
+        expect_eol();
+        continue;
+      }
+      if (accept_kw("ENABLE")) {
+        parse_enable_list(def.enables);
+        expect_eol();
+        continue;
+      }
+      error("unexpected token in DEFINE PHASE body: '" + peek().text + "'");
+      sync_to_eol();
+    }
+    result_.module.phases.push_back(std::move(def));
+  }
+
+  bool parse_mapping_kind(MappingKind& kind, std::string& using_map) {
+    const std::string name = upper(expect_ident("mapping kind"));
+    if (name == "UNIVERSAL") {
+      kind = MappingKind::kUniversal;
+    } else if (name == "IDENTITY") {
+      kind = MappingKind::kIdentity;
+    } else if (name == "NULL" || name == "NONE") {
+      kind = MappingKind::kNull;
+    } else if (name == "FORWARD") {
+      kind = MappingKind::kForwardIndirect;
+    } else if (name == "REVERSE") {
+      kind = MappingKind::kReverseIndirect;
+    } else {
+      error("unknown mapping kind '" + name + "'");
+      return false;
+    }
+    if (accept_punct('/')) {
+      expect_kw("USING");
+      expect_punct('=');
+      using_map = expect_ident("indirection binding name");
+    }
+    return true;
+  }
+
+  void parse_enable_list(std::vector<EnableDecl>& out) {
+    expect_punct('[');
+    while (true) {
+      skip_newlines();
+      if (accept_punct(']')) break;
+      if (at_end()) {
+        error("unterminated ENABLE list");
+        break;
+      }
+      EnableDecl decl;
+      decl.line = peek().line;
+      decl.phase = expect_ident("successor phase name");
+      expect_punct('/');
+      expect_kw("MAPPING");
+      expect_punct('=');
+      if (!parse_mapping_kind(decl.kind, decl.using_map)) {
+        sync_to_eol();
+        return;
+      }
+      out.push_back(std::move(decl));
+      accept_punct(',');  // optional separator
+    }
+  }
+
+  void parse_statement() {
+    if (is_kw("DISPATCH")) return parse_dispatch();
+    if (is_kw("SERIAL")) return parse_serial();
+    if (is_kw("LET")) return parse_let();
+    if (is_kw("IF")) return parse_if();
+    if (is_kw("GOTO")) return parse_goto();
+    if (is_kw("LABEL")) return parse_label();
+    if (is_kw("HALT")) {
+      StHalt h{peek().line};
+      advance();
+      expect_eol();
+      result_.module.statements.emplace_back(h);
+      return;
+    }
+    error("unexpected token '" + peek().text + "' at statement start");
+    sync_to_eol();
+  }
+
+  void parse_dispatch() {
+    StDispatch st;
+    st.line = peek().line;
+    expect_kw("DISPATCH");
+    st.phase = expect_ident("phase name");
+    if (accept_kw("ENABLE")) {
+      if (accept_punct('/')) {
+        if (accept_kw("MAPPING")) {
+          st.form = EnableForm::kSimple;
+          expect_punct('=');
+          parse_mapping_kind(st.simple_kind, st.simple_using);
+        } else if (accept_kw("BRANCHINDEPENDENT")) {
+          st.form = EnableForm::kBranchIndependent;
+          parse_enable_list(st.enables);
+        } else if (accept_kw("BRANCHDEPENDENT")) {
+          st.form = EnableForm::kBranchDependent;
+          if (peek().is_punct('[')) parse_enable_list(st.enables);
+        } else {
+          error("expected MAPPING, BRANCHINDEPENDENT or BRANCHDEPENDENT after "
+                "'ENABLE/'");
+          sync_to_eol();
+          return;
+        }
+      } else {
+        st.form = EnableForm::kList;
+        parse_enable_list(st.enables);
+      }
+    }
+    expect_eol();
+    result_.module.statements.emplace_back(std::move(st));
+  }
+
+  void parse_serial() {
+    StSerial st;
+    st.line = peek().line;
+    expect_kw("SERIAL");
+    st.name = expect_ident("serial action name");
+    while (peek().kind != Tok::kNewline && peek().kind != Tok::kEnd) {
+      if (accept_kw("NOCONFLICT")) {
+        st.conflicts = false;
+      } else if (accept_kw("CONFLICTS")) {
+        st.conflicts = true;
+      } else if (accept_kw("DURATION")) {
+        expect_punct('=');
+        st.duration = static_cast<std::uint64_t>(expect_int("duration"));
+      } else if (accept_kw("SET")) {
+        const std::string var = expect_ident("variable name");
+        expect_punct('=');
+        st.sets.emplace_back(var, parse_expr());
+      } else {
+        error("unexpected token in SERIAL: '" + peek().text + "'");
+        sync_to_eol();
+        return;
+      }
+    }
+    expect_eol();
+    result_.module.statements.emplace_back(std::move(st));
+  }
+
+  void parse_let() {
+    StLet st;
+    st.line = peek().line;
+    expect_kw("LET");
+    st.var = expect_ident("variable name");
+    expect_punct('=');
+    st.value = parse_expr();
+    expect_eol();
+    result_.module.statements.emplace_back(std::move(st));
+  }
+
+  void parse_if() {
+    StIf st;
+    st.line = peek().line;
+    expect_kw("IF");
+    st.cond = parse_expr();
+    expect_kw("GOTO");
+    st.label = expect_ident("label name");
+    expect_eol();
+    result_.module.statements.emplace_back(std::move(st));
+  }
+
+  void parse_goto() {
+    StGoto st;
+    st.line = peek().line;
+    expect_kw("GOTO");
+    st.label = expect_ident("label name");
+    expect_eol();
+    result_.module.statements.emplace_back(std::move(st));
+  }
+
+  void parse_label() {
+    StLabel st;
+    st.line = peek().line;
+    expect_kw("LABEL");
+    st.name = expect_ident("label name");
+    expect_eol();
+    result_.module.statements.emplace_back(std::move(st));
+  }
+
+  // --- expressions (precedence climbing) -----------------------------------
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (is_kw("OR")) {
+      advance();
+      lhs = binary(Expr::Op::kOr, lhs, parse_and());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_cmp();
+    while (is_kw("AND")) {
+      advance();
+      lhs = binary(Expr::Op::kAnd, lhs, parse_cmp());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr lhs = parse_add();
+    struct {
+      const char* text;
+      Expr::Op op;
+    } ops[] = {{"==", Expr::Op::kEq}, {"!=", Expr::Op::kNe}, {"<=", Expr::Op::kLe},
+               {">=", Expr::Op::kGe}, {"<", Expr::Op::kLt},  {">", Expr::Op::kGt}};
+    for (const auto& o : ops) {
+      if (peek().is_op(o.text)) {
+        advance();
+        return binary(o.op, lhs, parse_add());
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr lhs = parse_mul();
+    while (peek().is_op("+") || peek().is_op("-")) {
+      const bool add = peek().is_op("+");
+      advance();
+      lhs = binary(add ? Expr::Op::kAdd : Expr::Op::kSub, lhs, parse_mul());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr lhs = parse_unary();
+    while (peek().is_op("*") || peek().is_op("%")) {
+      const bool mul = peek().is_op("*");
+      advance();
+      lhs = binary(mul ? Expr::Op::kMul : Expr::Op::kMod, lhs, parse_unary());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (peek().is_op("-")) {
+      advance();
+      return unary(Expr::Op::kNeg, parse_unary());
+    }
+    if (peek().is_op("!")) {
+      advance();
+      return unary(Expr::Op::kNot, parse_unary());
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    if (peek().kind == Tok::kInt) {
+      auto e = std::make_shared<Expr>();
+      e->op = Expr::Op::kLiteral;
+      e->literal = advance().value;
+      return e;
+    }
+    if (accept_punct('(')) {
+      ExprPtr e = parse_expr();
+      expect_punct(')');
+      return e;
+    }
+    if (is_kw("IMOD")) {
+      // Fortran flavour from the paper: IMOD(a, b) == a % b.
+      advance();
+      expect_punct('(');
+      ExprPtr a = parse_expr();
+      expect_punct(',');
+      ExprPtr b = parse_expr();
+      expect_punct(')');
+      return binary(Expr::Op::kMod, a, b);
+    }
+    if (peek().kind == Tok::kIdent) {
+      auto e = std::make_shared<Expr>();
+      e->op = Expr::Op::kVar;
+      e->var = advance().text;
+      return e;
+    }
+    error("expected expression, got '" + peek().text + "'");
+    auto e = std::make_shared<Expr>();
+    e->op = Expr::Op::kLiteral;
+    return e;
+  }
+
+  static ExprPtr binary(Expr::Op op, const ExprPtr& a, const ExprPtr& b) {
+    auto e = std::make_shared<Expr>();
+    e->op = op;
+    e->kids.push_back(*a);
+    e->kids.push_back(*b);
+    return e;
+  }
+  static ExprPtr unary(Expr::Op op, const ExprPtr& a) {
+    auto e = std::make_shared<Expr>();
+    e->op = op;
+    e->kids.push_back(*a);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ParseResult result_;
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view source) {
+  Parser p(lex(source));
+  return p.run();
+}
+
+}  // namespace pax::lang

@@ -1,0 +1,20 @@
+// parser.hpp — recursive-descent parser for the PAX language.
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.hpp"
+#include "lang/token.hpp"
+
+namespace pax::lang {
+
+struct ParseResult {
+  Module module;
+  std::vector<Diag> diags;
+
+  [[nodiscard]] bool ok() const { return !has_errors(diags); }
+};
+
+[[nodiscard]] ParseResult parse(std::string_view source);
+
+}  // namespace pax::lang

@@ -1,0 +1,46 @@
+// token.hpp — lexical tokens of the PAX parallel control language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pax::lang {
+
+enum class Tok : std::uint8_t {
+  kIdent,
+  kInt,
+  kPunct,  // one of [ ] ( ) / = , :
+  kOp,     // == != <= >= < > + - * % !
+  kNewline,
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::int64_t value = 0;  // for kInt
+  int line = 0;
+  int col = 0;
+
+  [[nodiscard]] bool is_punct(char c) const {
+    return kind == Tok::kPunct && text.size() == 1 && text[0] == c;
+  }
+  [[nodiscard]] bool is_op(const char* s) const {
+    return kind == Tok::kOp && text == s;
+  }
+};
+
+/// One diagnostic from any stage (lex/parse/validate/compile).
+struct Diag {
+  enum class Severity : std::uint8_t { kError, kWarning, kNote };
+  Severity severity = Severity::kError;
+  int line = 0;
+  std::string message;
+
+  [[nodiscard]] std::string render() const;
+};
+
+[[nodiscard]] bool has_errors(const std::vector<Diag>& diags);
+
+}  // namespace pax::lang

@@ -1,0 +1,239 @@
+#include "lang/validator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/dataflow.hpp"
+
+namespace pax::lang {
+namespace {
+
+std::map<std::string, std::size_t> label_map(const Module& m) {
+  std::map<std::string, std::size_t> labels;
+  for (std::size_t i = 0; i < m.statements.size(); ++i)
+    if (const auto* l = std::get_if<StLabel>(&m.statements[i]))
+      labels.emplace(l->name, i);
+  return labels;
+}
+
+PhaseSpec spec_of(const PhaseDef& def) {
+  PhaseSpec spec;
+  spec.name = def.name;
+  spec.granules = def.granules;
+  spec.code_lines = def.lines;
+  for (const auto& a : def.accesses)
+    spec.accesses.push_back({a.array, a.mode, a.pattern, a.map});
+  return spec;
+}
+
+}  // namespace
+
+std::vector<SuccessorInfo> successors_of(const Module& m, std::size_t index) {
+  const auto labels = label_map(m);
+  std::vector<SuccessorInfo> out;
+  auto note = [&](const std::string& phase, bool clean) {
+    for (auto& s : out) {
+      if (s.phase == phase) {
+        s.phase = phase;
+        s.clean_path = s.clean_path || clean;
+        return;
+      }
+    }
+    out.push_back({phase, clean});
+  };
+
+  // DFS over (statement index, clean flag). Visited tracks both flags so a
+  // clean path through a loop is still discovered.
+  std::set<std::pair<std::size_t, bool>> visited;
+  std::vector<std::pair<std::size_t, bool>> stack;
+  stack.emplace_back(index + 1, true);
+  while (!stack.empty()) {
+    auto [i, clean] = stack.back();
+    stack.pop_back();
+    if (i >= m.statements.size()) continue;
+    if (!visited.insert({i, clean}).second) continue;
+    const Statement& st = m.statements[i];
+    if (const auto* d = std::get_if<StDispatch>(&st)) {
+      note(d->phase, clean);
+      continue;  // stop at the next dispatch
+    }
+    if (const auto* s = std::get_if<StSerial>(&st)) {
+      stack.emplace_back(i + 1, clean && !s->conflicts);
+      continue;
+    }
+    if (std::holds_alternative<StLet>(st) || std::holds_alternative<StLabel>(st)) {
+      stack.emplace_back(i + 1, clean);
+      continue;
+    }
+    if (const auto* g = std::get_if<StGoto>(&st)) {
+      auto it = labels.find(g->label);
+      if (it != labels.end()) stack.emplace_back(it->second, clean);
+      continue;
+    }
+    if (const auto* f = std::get_if<StIf>(&st)) {
+      auto it = labels.find(f->label);
+      if (it != labels.end()) stack.emplace_back(it->second, clean);
+      stack.emplace_back(i + 1, clean);
+      continue;
+    }
+    // StHalt: path ends.
+  }
+  return out;
+}
+
+std::vector<Diag> validate(const Module& m) {
+  std::vector<Diag> diags;
+  auto err = [&](int line, std::string msg) {
+    diags.push_back({Diag::Severity::kError, line, std::move(msg)});
+  };
+  auto warn = [&](int line, std::string msg) {
+    diags.push_back({Diag::Severity::kWarning, line, std::move(msg)});
+  };
+
+  // --- phase definitions ----------------------------------------------------
+  for (std::size_t i = 0; i < m.phases.size(); ++i) {
+    const PhaseDef& p = m.phases[i];
+    if (p.granules == 0)
+      err(p.line, "phase '" + p.name + "' must have GRANULES > 0");
+    for (std::size_t j = 0; j < i; ++j)
+      if (m.phases[j].name == p.name)
+        err(p.line, "duplicate phase definition '" + p.name + "'");
+    for (const auto& a : p.accesses)
+      if (a.pattern == IndexPattern::kIndirect && a.map.empty())
+        err(a.line, "INDIRECT access on '" + a.array + "' needs a map name");
+  }
+
+  // --- labels ----------------------------------------------------------------
+  {
+    std::map<std::string, int> seen;
+    for (const auto& st : m.statements) {
+      if (const auto* l = std::get_if<StLabel>(&st)) {
+        if (!seen.emplace(l->name, l->line).second)
+          err(l->line, "duplicate label '" + l->name + "'");
+      }
+    }
+    for (const auto& st : m.statements) {
+      const std::string* target = nullptr;
+      int line = 0;
+      if (const auto* g = std::get_if<StGoto>(&st)) {
+        target = &g->label;
+        line = g->line;
+      } else if (const auto* f = std::get_if<StIf>(&st)) {
+        target = &f->label;
+        line = f->line;
+      }
+      if (target && seen.find(*target) == seen.end())
+        err(line, "undefined label '" + *target + "'");
+    }
+  }
+
+  // --- HALT present -----------------------------------------------------------
+  {
+    const bool any_halt =
+        std::any_of(m.statements.begin(), m.statements.end(), [](const Statement& s) {
+          return std::holds_alternative<StHalt>(s);
+        });
+    if (!any_halt && !m.statements.empty())
+      warn(statement_line(m.statements.back()),
+           "no HALT statement; one is appended at end of program");
+  }
+
+  // --- dispatches -------------------------------------------------------------
+  for (std::size_t i = 0; i < m.statements.size(); ++i) {
+    const auto* d = std::get_if<StDispatch>(&m.statements[i]);
+    if (d == nullptr) continue;
+    const PhaseDef* cur = m.phase(d->phase);
+    if (cur == nullptr) {
+      err(d->line, "DISPATCH of undefined phase '" + d->phase + "'");
+      continue;
+    }
+
+    const std::vector<SuccessorInfo> next = successors_of(m, i);
+
+    // Assemble the effective enable list per form.
+    std::vector<EnableDecl> enables = d->enables;
+    if (d->form == EnableForm::kBranchDependent && enables.empty()) {
+      enables = cur->enables;
+      if (enables.empty())
+        err(d->line, "ENABLE/BRANCHDEPENDENT but phase '" + d->phase +
+                         "' has no DEFINE-time ENABLE list");
+    }
+    if (d->form == EnableForm::kSimple) {
+      warn(d->line,
+           "ENABLE/MAPPING without a successor name has no interlock the "
+           "executive can verify; prefer ENABLE [name/MAPPING=...]");
+      std::size_t clean_count = 0;
+      for (const auto& s : next)
+        if (s.clean_path) ++clean_count;
+      if (clean_count > 1)
+        err(d->line,
+            "simple ENABLE form is ambiguous: more than one phase can follow");
+      if (next.empty())
+        warn(d->line, "simple ENABLE form but no phase follows this dispatch");
+      // Materialise the implied clause for the mapping-legality check below.
+      for (const auto& s : next) {
+        if (!s.clean_path) continue;
+        EnableDecl decl;
+        decl.phase = s.phase;
+        decl.kind = d->simple_kind;
+        decl.using_map = d->simple_using;
+        decl.line = d->line;
+        enables.push_back(decl);
+        break;
+      }
+    }
+
+    for (const auto& e : enables) {
+      const PhaseDef* succ = m.phase(e.phase);
+      if (succ == nullptr) {
+        err(e.line, "ENABLE names undefined phase '" + e.phase + "'");
+        continue;
+      }
+      const auto it = std::find_if(next.begin(), next.end(), [&](const auto& s) {
+        return s.phase == e.phase;
+      });
+      if (it == next.end()) {
+        err(e.line, "ENABLE names phase '" + e.phase +
+                        "' which cannot follow this dispatch of '" + d->phase + "'");
+        continue;
+      }
+      if (!it->clean_path) {
+        warn(e.line, "every path from '" + d->phase + "' to '" + e.phase +
+                         "' crosses a conflicting serial action; the overlap "
+                         "will never be applied");
+        continue;
+      }
+      if ((e.kind == MappingKind::kReverseIndirect ||
+           e.kind == MappingKind::kForwardIndirect) &&
+          e.using_map.empty()) {
+        err(e.line, "indirect mapping for '" + e.phase +
+                        "' needs /USING=<binding> to name its indirection");
+      }
+
+      // Mapping legality against declared data accesses.
+      const MappingAnalysis inferred =
+          infer_mapping(spec_of(*cur), spec_of(*succ), /*serial_between=*/false);
+      if (e.kind == inferred.kind || e.kind == MappingKind::kNull) continue;
+      if (inferred.kind == MappingKind::kUniversal) {
+        warn(e.line, "phases '" + cur->name + "' -> '" + e.phase +
+                         "' share no data; MAPPING=" + to_string(e.kind) +
+                         " is safe but stricter than necessary (universal)");
+        continue;
+      }
+      if (inferred.kind == MappingKind::kIdentity &&
+          (e.kind == MappingKind::kReverseIndirect ||
+           e.kind == MappingKind::kForwardIndirect)) {
+        warn(e.line, "declared accesses imply identity mapping; cannot "
+                     "statically verify the supplied indirection covers it");
+        continue;
+      }
+      err(e.line, std::string("MAPPING=") + to_string(e.kind) +
+                      " is unsafe here: declared accesses imply " +
+                      to_string(inferred.kind) + " (" + inferred.rationale + ")");
+    }
+  }
+  return diags;
+}
+
+}  // namespace pax::lang

@@ -1,0 +1,47 @@
+// validator.hpp — static checking of PAX language modules.
+//
+// Implements the interlock the paper motivates: "There is no interlock
+// between this phase and the next that can be verified by the executive. A
+// simple solution to this would be to identify the name of the enabled next
+// phase so that the executive system (or language processor) can verify
+// that, in fact, that phase is following."
+//
+// Checks:
+//   * phase definitions well-formed, names unique, references resolve;
+//   * labels unique and resolved; a HALT exists;
+//   * every ENABLE clause names a phase that can actually follow the
+//     dispatch (through serial actions and both arms of branches);
+//   * the requested mapping kind is legal given the phases' declared data
+//     accesses (via pax::infer_mapping) and any conflicting serial action on
+//     the path;
+//   * the unverified simple form (ENABLE/MAPPING=...) warns, and its implied
+//     successor must be unique;
+//   * indirect mappings carry a USING binding name.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "lang/token.hpp"
+
+namespace pax::lang {
+
+/// A phase that can be dispatched next after a given statement.
+struct SuccessorInfo {
+  std::string phase;
+  /// True when at least one path reaches it without crossing a *conflicting*
+  /// serial action (NOCONFLICT serial actions are transparent, matching the
+  /// executive's early-serial lookahead).
+  bool clean_path = false;
+};
+
+/// All phases reachable as the next dispatch after statements[index].
+[[nodiscard]] std::vector<SuccessorInfo> successors_of(const Module& m,
+                                                       std::size_t index);
+
+/// Run all validations; diagnostics are appended in statement order.
+[[nodiscard]] std::vector<Diag> validate(const Module& m);
+
+}  // namespace pax::lang

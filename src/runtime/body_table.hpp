@@ -1,0 +1,40 @@
+// body_table.hpp — binds phase ids to the code their granules execute on the
+// real threaded runtime.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pax::rt {
+
+/// A phase body executes a contiguous granule range on a worker thread.
+/// Bodies must be thread-safe with respect to the enablement structure the
+/// program declares (that is the whole point: the executive only runs
+/// granules whose inputs are complete).
+using PhaseBody = std::function<void(GranuleRange, WorkerId)>;
+
+class BodyTable {
+ public:
+  void set(PhaseId phase, PhaseBody body) {
+    if (bodies_.size() <= phase) bodies_.resize(phase + 1);
+    bodies_[phase] = std::move(body);
+  }
+
+  [[nodiscard]] const PhaseBody& of(PhaseId phase) const {
+    PAX_CHECK_MSG(phase < bodies_.size() && bodies_[phase] != nullptr,
+                  "no body registered for phase");
+    return bodies_[phase];
+  }
+
+  [[nodiscard]] bool has(PhaseId phase) const {
+    return phase < bodies_.size() && bodies_[phase] != nullptr;
+  }
+
+ private:
+  std::vector<PhaseBody> bodies_;
+};
+
+}  // namespace pax::rt

@@ -1,0 +1,91 @@
+// happens_before.hpp — execution-order recorder for enablement verification.
+//
+// On the threaded runtime we cannot rely on simulated time to prove that a
+// successor granule never started before its enabling set completed; instead
+// every granule start/finish draws a ticket from one global atomic counter.
+// Tests then assert ordering properties over the recorded tickets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pax::rt {
+
+class HappensBeforeRecorder {
+ public:
+  static constexpr std::uint64_t kUnset = ~0ULL;
+
+  /// Pre-size for `phases` phases of at most `granules` granules each.
+  HappensBeforeRecorder(std::size_t phases, std::size_t granules)
+      : granules_(granules),
+        start_(phases * granules),
+        finish_(phases * granules) {
+    for (auto& v : start_) v.store(kUnset, std::memory_order_relaxed);
+    for (auto& v : finish_) v.store(kUnset, std::memory_order_relaxed);
+  }
+
+  void on_start(PhaseId phase, GranuleId g) {
+    const std::uint64_t t = clock_.fetch_add(1, std::memory_order_relaxed);
+    auto& slot = start_[index(phase, g)];
+    std::uint64_t expected = kUnset;
+    const bool first =
+        slot.compare_exchange_strong(expected, t, std::memory_order_relaxed);
+    PAX_CHECK_MSG(first, "granule started twice");
+  }
+
+  void on_finish(PhaseId phase, GranuleId g) {
+    const std::uint64_t t = clock_.fetch_add(1, std::memory_order_relaxed);
+    auto& slot = finish_[index(phase, g)];
+    std::uint64_t expected = kUnset;
+    const bool first =
+        slot.compare_exchange_strong(expected, t, std::memory_order_relaxed);
+    PAX_CHECK_MSG(first, "granule finished twice");
+  }
+
+  [[nodiscard]] std::uint64_t start_ticket(PhaseId phase, GranuleId g) const {
+    return start_[index(phase, g)].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t finish_ticket(PhaseId phase, GranuleId g) const {
+    return finish_[index(phase, g)].load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool executed(PhaseId phase, GranuleId g) const {
+    return finish_ticket(phase, g) != kUnset;
+  }
+
+  /// Did every granule of `pred` finish before any granule of `succ` began?
+  [[nodiscard]] bool strict_phase_order(PhaseId pred, PhaseId succ,
+                                        GranuleId n) const {
+    std::uint64_t last_finish = 0;
+    std::uint64_t first_start = kUnset;
+    for (GranuleId g = 0; g < n; ++g) {
+      last_finish = std::max(last_finish, finish_ticket(pred, g));
+      first_start = std::min(first_start, start_ticket(succ, g));
+    }
+    return last_finish < first_start;
+  }
+
+  /// Did any granule of `succ` start before the *last* granule of `pred`
+  /// finished? (Evidence that overlap actually happened.)
+  [[nodiscard]] bool overlapped(PhaseId pred, PhaseId succ, GranuleId n) const {
+    return !strict_phase_order(pred, succ, n);
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(PhaseId phase, GranuleId g) const {
+    const std::size_t i = static_cast<std::size_t>(phase) * granules_ + g;
+    PAX_CHECK(i < start_.size());
+    return i;
+  }
+
+  std::size_t granules_;
+  std::atomic<std::uint64_t> clock_{1};
+  std::vector<std::atomic<std::uint64_t>> start_;
+  std::vector<std::atomic<std::uint64_t>> finish_;
+};
+
+}  // namespace pax::rt

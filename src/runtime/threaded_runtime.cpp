@@ -1,0 +1,104 @@
+#include "runtime/threaded_runtime.hpp"
+
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace pax::rt {
+
+double RtResult::utilization() const {
+  if (wall.count() == 0 || worker_busy.empty()) return 0.0;
+  std::chrono::nanoseconds total{0};
+  for (auto b : worker_busy) total += b;
+  return static_cast<double>(total.count()) /
+         (static_cast<double>(wall.count()) *
+          static_cast<double>(worker_busy.size()));
+}
+
+ThreadedRuntime::ThreadedRuntime(const PhaseProgram& program, ExecConfig config,
+                                 CostModel costs, const BodyTable& bodies,
+                                 RtConfig rt_config)
+    : program_(program),
+      bodies_(bodies),
+      rt_config_(rt_config),
+      core_(program, config, costs),
+      busy_(rt_config.workers, std::chrono::nanoseconds{0}) {
+  PAX_CHECK_MSG(rt_config_.workers > 0, "need at least one worker");
+}
+
+void ThreadedRuntime::set_observer(std::function<void(const ExecEvent&)> obs) {
+  core_.observer = std::move(obs);
+}
+
+void ThreadedRuntime::worker_main(WorkerId id) {
+  std::unique_lock lock(mu_);
+  while (true) {
+    if (core_.finished() && !core_.work_available()) return;
+
+    std::optional<Assignment> work = core_.request_work(id);
+    if (!work.has_value()) {
+      // Donate idle time to the executive (presplitting, deferred
+      // successor-splitting tasks, composite-map slices) before sleeping.
+      if (core_.idle_work()) {
+        // Idle work may have enabled work; peers must not sleep through it.
+        if (core_.work_available()) cv_.notify_all();
+        continue;
+      }
+      if (core_.finished()) return;
+      cv_.wait(lock, [&] { return core_.work_available() || core_.finished(); });
+      continue;
+    }
+
+    const Assignment a = *work;
+    // More work remains after this assignment: wake a sleeping peer (work
+    // can become available through paths that do not notify, e.g. another
+    // worker's idle-time enablements).
+    if (core_.work_available()) cv_.notify_one();
+    lock.unlock();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    bodies_.of(a.phase)(a.range, id);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    lock.lock();
+    busy_[id] += std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
+    ++tasks_;
+    granules_ += a.range.size();
+    const CompletionResult res = core_.complete(a.ticket);
+    if (res.new_work || res.program_finished) cv_.notify_all();
+  }
+}
+
+RtResult ThreadedRuntime::run() {
+  PAX_CHECK_MSG(!ran_, "run() called twice");
+  ran_ = true;
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  {
+    std::scoped_lock lock(mu_);
+    core_.start();
+  }
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(rt_config_.workers);
+    for (WorkerId w = 0; w < rt_config_.workers; ++w)
+      workers.emplace_back([this, w] { worker_main(w); });
+    // jthread destructors join: the block exits when every worker returns.
+  }
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  std::scoped_lock lock(mu_);
+  PAX_CHECK_MSG(core_.finished(), "threaded run ended before program finish");
+  PAX_CHECK_MSG(!core_.work_available(), "work left in queue at program end");
+
+  RtResult res;
+  res.wall = std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 - wall0);
+  res.worker_busy = busy_;
+  res.tasks_executed = tasks_;
+  res.granules_executed = granules_;
+  res.ledger = core_.ledger();
+  res.diagnostics = core_.diagnostics();
+  return res;
+}
+
+}  // namespace pax::rt

@@ -1,0 +1,74 @@
+// threaded_runtime.hpp — execute a PhaseProgram on real std::jthread workers.
+//
+// The ExecutiveCore is shared state guarded by one mutex (the executive is a
+// serial resource, exactly as in PAX); workers block on a condition variable
+// while no work is computable. Setting ExecConfig::overlap = false yields
+// the strict-barrier baseline on identical machinery, which is how the
+// speedup benches isolate the effect of phase overlap.
+//
+// Concurrency follows the C++ Core Guidelines CP rules: jthread-only (no
+// detach), RAII locks, condition waits with predicates, data passed by
+// value across threads. Note one documented exception to CP.22: inter-phase
+// serial actions registered in the program run on the completing worker's
+// thread while the executive lock is held — keep them short.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/executive.hpp"
+#include "runtime/body_table.hpp"
+
+namespace pax::rt {
+
+struct RtConfig {
+  std::uint32_t workers = 4;
+};
+
+/// Wall-clock results of a threaded run.
+struct RtResult {
+  std::chrono::nanoseconds wall{0};
+  std::vector<std::chrono::nanoseconds> worker_busy;  // per worker, in-body time
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t granules_executed = 0;
+  pax::MgmtLedger ledger;
+  std::vector<std::string> diagnostics;
+
+  /// Fraction of total worker wall-time spent inside phase bodies.
+  [[nodiscard]] double utilization() const;
+};
+
+class ThreadedRuntime {
+ public:
+  ThreadedRuntime(const PhaseProgram& program, ExecConfig config, CostModel costs,
+                  const BodyTable& bodies, RtConfig rt_config);
+
+  /// Run the program to completion. May be called once.
+  RtResult run();
+
+  /// Optional: forwarded to the core's observer (called under the executive
+  /// lock; keep it cheap).
+  void set_observer(std::function<void(const ExecEvent&)> obs);
+
+ private:
+  void worker_main(WorkerId id);
+
+  const PhaseProgram& program_;
+  const BodyTable& bodies_;
+  RtConfig rt_config_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  ExecutiveCore core_;
+
+  std::vector<std::chrono::nanoseconds> busy_;
+  std::uint64_t tasks_ = 0;
+  std::uint64_t granules_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace pax::rt

@@ -1,0 +1,242 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pax::sim {
+
+Machine::Machine(const PhaseProgram& program, ExecConfig exec_config,
+                 CostModel costs, Workload workload, MachineConfig config)
+    : program_(program),
+      core_(program, exec_config, costs),
+      workload_(std::move(workload)),
+      config_(config),
+      placement_(exec_config.placement),
+      parked_(config.workers, 0) {
+  PAX_CHECK_MSG(config_.workers > 0, "need at least one worker");
+  result_.workers = config_.workers;
+
+  core_.observer = [this](const ExecEvent& ev) {
+    switch (ev.kind) {
+      case ExecEvent::Kind::kRunCreated: {
+        RunRecord rec;
+        rec.run = ev.run;
+        rec.phase = ev.phase;
+        rec.phase_name =
+            ev.phase == kNoPhase ? "<anon>" : program_.phase(ev.phase).name;
+        rec.created = now_;
+        rec.opened = now_;
+        result_.runs.push_back(rec);
+        break;
+      }
+      case ExecEvent::Kind::kRunOpened:
+        if (ev.run < result_.runs.size()) result_.runs[ev.run].opened = now_;
+        break;
+      case ExecEvent::Kind::kRunCompleted:
+        if (ev.run < result_.runs.size()) result_.runs[ev.run].completed = now_;
+        break;
+      default:
+        break;
+    }
+  };
+}
+
+void Machine::push_event(Event e) {
+  e.seq = seq_++;
+  events_.push(std::move(e));
+}
+
+void Machine::enqueue_job(Job j, bool front) {
+  if (j.kind == JobKind::kRequest) j.enqueued_at = now_;
+  const bool async =
+      placement_ == ExecPlacement::kDedicated && j.kind == JobKind::kCompletion;
+  auto& q = async ? async_queue_ : exec_queue_;
+  if (front) {
+    q.push_front(j);
+  } else {
+    q.push_back(j);
+  }
+}
+
+void Machine::start_job(Job j) {
+  PAX_CHECK(!exec_busy_);
+  exec_busy_ = true;
+
+  Event done;
+  done.kind = Event::Kind::kExecDone;
+  done.worker = j.worker;
+  done.ticket = j.ticket;
+  done.job = j;
+
+  switch (j.kind) {
+    case JobKind::kStart:
+      core_.start();
+      break;
+    case JobKind::kRequest:
+      done.assignment = core_.request_work(j.worker);
+      break;
+    case JobKind::kCompletion: {
+      const CompletionResult res = core_.complete(j.ticket);
+      done.new_work = res.new_work;
+      break;
+    }
+    case JobKind::kIdleWork:
+      PAX_CHECK_MSG(false, "idle work is started inline by pump_executive");
+      break;
+  }
+
+  const SimTime delta = core_.ledger().drain_pending();
+  result_.exec_ticks += delta;
+  if (placement_ == ExecPlacement::kWorkerStealing &&
+      (j.kind == JobKind::kRequest || j.kind == JobKind::kCompletion)) {
+    result_.mgmt_wait_ticks += delta;
+  }
+  done.t = now_ + delta;
+  push_event(std::move(done));
+}
+
+void Machine::pump_executive() {
+  if (exec_busy_) return;
+  if (!exec_queue_.empty()) {
+    Job j = exec_queue_.front();
+    exec_queue_.pop_front();
+    start_job(j);
+    return;
+  }
+  if (!async_queue_.empty()) {
+    Job j = async_queue_.front();
+    async_queue_.pop_front();
+    start_job(j);
+    return;
+  }
+  // Executive idle time: presplitting / deferred successor-splitting tasks.
+  // On the worker-stealing testbed this time is donated by a parked worker;
+  // with a dedicated management processor it is always available.
+  const bool may_work_ahead =
+      placement_ == ExecPlacement::kDedicated || parked_count_ > 0;
+  if (!may_work_ahead) return;
+  if (!core_.idle_work()) return;
+  exec_busy_ = true;
+  const SimTime delta = core_.ledger().drain_pending();
+  result_.exec_ticks += delta;
+  Event done;
+  done.kind = Event::Kind::kExecDone;
+  done.job = Job{JobKind::kIdleWork, 0, kNoTicket};
+  done.t = now_ + delta;
+  push_event(std::move(done));
+}
+
+void Machine::park(WorkerId w) {
+  if (parked_[w]) return;
+  parked_[w] = 1;
+  ++parked_count_;
+}
+
+void Machine::unpark_all() {
+  // Wake only as many parked workers as there is visible work; waking the
+  // whole pool for one descriptor would swamp the serial executive with
+  // fruitless request processing.
+  std::size_t wake = std::min<std::size_t>(parked_count_, core_.waiting_size());
+  if (wake == 0) return;
+  for (WorkerId w = 0; w < parked_.size() && wake > 0; ++w) {
+    if (!parked_[w]) continue;
+    parked_[w] = 0;
+    --parked_count_;
+    --wake;
+    enqueue_job({JobKind::kRequest, w, kNoTicket});
+  }
+}
+
+void Machine::handle_exec_done(const Event& e) {
+  exec_busy_ = false;
+  switch (e.job.kind) {
+    case JobKind::kStart:
+      break;
+    case JobKind::kRequest: {
+      const WorkerId w = e.worker;
+      if (e.assignment.has_value()) {
+        const Assignment& a = *e.assignment;
+        result_.request_latency.add(static_cast<double>(now_ - e.job.enqueued_at));
+        const SimTime dur =
+            workload_.task_duration(a.phase, a.range) + config_.task_overhead;
+        ++result_.tasks_executed;
+        result_.granules_executed += a.range.size();
+        result_.compute_ticks += dur;
+        if (config_.record_intervals)
+          result_.compute_intervals.push_back({now_, now_ + dur, w});
+        if (a.run < result_.runs.size() &&
+            result_.runs[a.run].first_task == kTimeNever)
+          result_.runs[a.run].first_task = now_;
+        Event done;
+        done.kind = Event::Kind::kTaskDone;
+        done.worker = w;
+        done.ticket = a.ticket;
+        done.t = now_ + dur;
+        push_event(std::move(done));
+      } else if (!core_.finished()) {
+        park(w);
+      } else {
+        park(w);  // program done; worker retires
+      }
+      break;
+    }
+    case JobKind::kCompletion:
+      if (placement_ == ExecPlacement::kWorkerStealing) {
+        // The completing worker regains control only now; it immediately
+        // presents itself for more work.
+        enqueue_job({JobKind::kRequest, e.worker, kNoTicket});
+      }
+      break;
+    case JobKind::kIdleWork:
+      break;
+  }
+  if (core_.work_available() && parked_count_ > 0) unpark_all();
+}
+
+void Machine::handle_task_done(const Event& e) {
+  enqueue_job({JobKind::kCompletion, e.worker, e.ticket});
+  if (placement_ == ExecPlacement::kDedicated) {
+    // Completion is processed asynchronously; the worker asks for new work
+    // right away (its request is serviced in the priority lane).
+    enqueue_job({JobKind::kRequest, e.worker, kNoTicket});
+  }
+}
+
+SimResult Machine::run() {
+  enqueue_job({JobKind::kStart, 0, kNoTicket});
+  for (WorkerId w = 0; w < config_.workers; ++w) park(w);
+  pump_executive();
+
+  while (!events_.empty()) {
+    const Event e = events_.top();
+    events_.pop();
+    PAX_CHECK_MSG(e.t >= now_, "time went backwards");
+    now_ = e.t;
+    PAX_CHECK_MSG(now_ <= config_.max_time, "simulation exceeded max_time");
+    switch (e.kind) {
+      case Event::Kind::kExecDone:
+        handle_exec_done(e);
+        break;
+      case Event::Kind::kTaskDone:
+        handle_task_done(e);
+        break;
+    }
+    pump_executive();
+  }
+
+  PAX_CHECK_MSG(core_.finished(), "simulation deadlocked before program end");
+  PAX_CHECK_MSG(!core_.work_available(), "work left in queue at program end");
+  result_.makespan = now_;
+  result_.ledger = core_.ledger();
+  result_.diagnostics = core_.diagnostics();
+  return std::move(result_);
+}
+
+SimResult simulate(const PhaseProgram& program, ExecConfig exec_config,
+                   CostModel costs, Workload workload, MachineConfig config) {
+  Machine m(program, exec_config, costs, std::move(workload), config);
+  return m.run();
+}
+
+}  // namespace pax::sim

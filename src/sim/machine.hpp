@@ -1,0 +1,115 @@
+// machine.hpp — deterministic discrete-event multiprocessor simulator.
+//
+// Substitutes for the paper's UNIVAC 1100 testbed (and scales to the 1000-
+// processor thought experiment in the introduction). P worker processors
+// execute granule tasks; one *serial* executive services management
+// operations, either at the direct expense of workers (kWorkerStealing, as
+// on the testbed) or on a dedicated management processor (kDedicated).
+//
+// Event model:
+//   * every ExecutiveCore entry point is a management *job* on the serial
+//     executive; a job started at t with charge Δ completes (and publishes
+//     its effects) at t+Δ;
+//   * in worker-stealing placement, the initiating worker is blocked for the
+//     whole job (request AND completion);
+//   * in dedicated placement, completions are asynchronous (the worker
+//     queues the completion and immediately requests new work) and request
+//     jobs are serviced ahead of queued asynchronous work;
+//   * executive idle time drains presplitting / deferred successor-splitting
+//     work (only when a worker is parked, in worker-stealing mode — that is
+//     the donated time the paper describes).
+//
+// The run is bit-reproducible for a fixed (program, config, workload) tuple.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "core/executive.hpp"
+#include "sim/trace.hpp"
+#include "sim/workload.hpp"
+
+namespace pax::sim {
+
+struct MachineConfig {
+  std::uint32_t workers = 8;
+  /// Record per-task compute intervals (needed for timelines; costs memory).
+  bool record_intervals = true;
+  /// Fixed worker-side dispatch overhead added to every task.
+  SimTime task_overhead = 0;
+  /// Safety cap; simulation aborts past this point.
+  SimTime max_time = kTimeNever;
+};
+
+class Machine {
+ public:
+  Machine(const PhaseProgram& program, ExecConfig exec_config, CostModel costs,
+          Workload workload, MachineConfig config);
+
+  /// Run the program to completion; returns the result trace.
+  SimResult run();
+
+ private:
+  enum class JobKind : std::uint8_t { kStart, kRequest, kCompletion, kIdleWork };
+
+  struct Job {
+    JobKind kind{};
+    WorkerId worker = 0;
+    Ticket ticket = kNoTicket;
+    SimTime enqueued_at = 0;  // request jobs: when the worker presented itself
+  };
+
+  struct Event {
+    SimTime t = 0;
+    std::uint64_t seq = 0;
+    // kTaskDone: worker finished its task; kExecDone: management job done.
+    enum class Kind : std::uint8_t { kTaskDone, kExecDone } kind{};
+    WorkerId worker = 0;
+    Ticket ticket = kNoTicket;
+    Job job{};
+    std::optional<Assignment> assignment;  // kExecDone of a request job
+    bool new_work = false;
+
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  void push_event(Event e);
+  void enqueue_job(Job j, bool front = false);
+  void pump_executive();
+  void start_job(Job j);
+  void handle_exec_done(const Event& e);
+  void handle_task_done(const Event& e);
+  void unpark_all();
+  void park(WorkerId w);
+  void record_run_events();
+
+  const PhaseProgram& program_;
+  ExecutiveCore core_;
+  Workload workload_;
+  MachineConfig config_;
+  ExecPlacement placement_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t seq_ = 0;
+  SimTime now_ = 0;
+
+  // Serial executive resource.
+  std::deque<Job> exec_queue_;   // sync lane (requests; everything in WS mode)
+  std::deque<Job> async_queue_;  // async lane (dedicated-mode completions)
+  bool exec_busy_ = false;
+
+  std::vector<std::uint8_t> parked_;  // 1 = worker waiting for work
+  std::uint32_t parked_count_ = 0;
+
+  SimResult result_;
+};
+
+/// Convenience: simulate a program in one call.
+SimResult simulate(const PhaseProgram& program, ExecConfig exec_config,
+                   CostModel costs, Workload workload, MachineConfig config);
+
+}  // namespace pax::sim

@@ -1,0 +1,76 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pax::sim {
+
+double SimResult::utilization() const {
+  if (makespan == 0 || workers == 0) return 0.0;
+  return static_cast<double>(compute_ticks) /
+         (static_cast<double>(makespan) * static_cast<double>(workers));
+}
+
+double SimResult::mgmt_ratio() const {
+  if (exec_ticks == 0) return 0.0;
+  return static_cast<double>(compute_ticks) / static_cast<double>(exec_ticks);
+}
+
+std::vector<double> SimResult::timeline(std::size_t buckets) const {
+  PAX_CHECK_MSG(!compute_intervals.empty() || tasks_executed == 0,
+                "timeline requires recorded intervals");
+  std::vector<double> out(buckets, 0.0);
+  if (makespan == 0 || buckets == 0 || workers == 0) return out;
+  const double width = static_cast<double>(makespan) / static_cast<double>(buckets);
+  for (const Interval& iv : compute_intervals) {
+    // Distribute the interval's busy mass across the buckets it spans.
+    const double b0 = static_cast<double>(iv.begin) / width;
+    const double b1 = static_cast<double>(iv.end) / width;
+    auto first = static_cast<std::size_t>(b0);
+    auto last = static_cast<std::size_t>(b1);
+    first = std::min(first, buckets - 1);
+    last = std::min(last, buckets - 1);
+    if (first == last) {
+      out[first] += b1 - b0;
+    } else {
+      out[first] += static_cast<double>(first + 1) - b0;
+      for (std::size_t b = first + 1; b < last; ++b) out[b] += 1.0;
+      out[last] += b1 - static_cast<double>(last);
+    }
+  }
+  for (auto& v : out) v /= static_cast<double>(workers);
+  return out;
+}
+
+double SimResult::busy_workers_in(SimTime a, SimTime b) const {
+  PAX_CHECK(b > a);
+  double busy_ticks = 0.0;
+  for (const Interval& iv : compute_intervals) {
+    const SimTime lo = std::max(a, iv.begin);
+    const SimTime hi = std::min(b, iv.end);
+    if (hi > lo) busy_ticks += static_cast<double>(hi - lo);
+  }
+  return busy_ticks / static_cast<double>(b - a);
+}
+
+double SimResult::window_utilization(SimTime a, SimTime b) const {
+  return busy_workers_in(a, b) / static_cast<double>(workers);
+}
+
+const RunRecord* SimResult::run_record(RunId id) const {
+  for (const auto& r : runs)
+    if (r.run == id) return &r;
+  return nullptr;
+}
+
+SimTime SimResult::phase_completion(PhaseId phase) const {
+  SimTime t = kTimeNever;
+  for (const auto& r : runs) {
+    if (r.phase != phase || r.completed == kTimeNever) continue;
+    t = (t == kTimeNever) ? r.completed : std::max(t, r.completed);
+  }
+  return t;
+}
+
+}  // namespace pax::sim

@@ -1,0 +1,94 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pax::sim {
+
+const char* to_string(DurationModel m) {
+  switch (m) {
+    case DurationModel::kFixed: return "fixed";
+    case DurationModel::kUniform: return "uniform";
+    case DurationModel::kExponential: return "exponential";
+    case DurationModel::kBimodal: return "bimodal";
+  }
+  return "?";
+}
+
+void Workload::set_phase(PhaseId phase, PhaseWorkload w) {
+  if (per_phase_.size() <= phase) per_phase_.resize(phase + 1);
+  per_phase_[phase] = w;
+}
+
+const PhaseWorkload& Workload::phase(PhaseId p) const {
+  return p < per_phase_.size() ? per_phase_[p] : default_;
+}
+
+namespace {
+
+/// Two independent 53-bit uniforms in [0,1) from one (seed, phase, granule).
+struct HashDraws {
+  double u0;
+  double u1;
+};
+
+HashDraws draws(std::uint64_t seed, PhaseId phase, GranuleId g) {
+  std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL * (phase + 1)) ^
+                    (0xC2B2AE3D27D4EB4FULL * (static_cast<std::uint64_t>(g) + 1));
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  return {static_cast<double>(a >> 11) * 0x1.0p-53,
+          static_cast<double>(b >> 11) * 0x1.0p-53};
+}
+
+}  // namespace
+
+SimTime Workload::granule_duration(PhaseId p, GranuleId g) const {
+  const PhaseWorkload& w = phase(p);
+  const HashDraws d = draws(seed_, p, g);
+
+  if (w.skip_probability > 0.0 && d.u1 < w.skip_probability) return w.skip_cost;
+
+  double t = w.mean;
+  switch (w.model) {
+    case DurationModel::kFixed:
+      break;
+    case DurationModel::kUniform:
+      t = w.mean - w.spread + 2.0 * w.spread * d.u0;
+      break;
+    case DurationModel::kExponential: {
+      double u = std::min(d.u0, 0.9999999999999999);
+      t = -w.mean * std::log1p(-u);
+      break;
+    }
+    case DurationModel::kBimodal:
+      t = d.u0 < w.bimodal_p ? w.mean + w.spread : w.mean;
+      break;
+  }
+  return static_cast<SimTime>(std::max(1.0, std::llround(t) * 1.0));
+}
+
+SimTime Workload::task_duration(PhaseId p, GranuleRange r) const {
+  // Fast path for fixed, non-conditional workloads (the common case in big
+  // sweeps): avoid per-granule hashing.
+  const PhaseWorkload& w = phase(p);
+  if (w.model == DurationModel::kFixed && w.skip_probability == 0.0) {
+    return static_cast<SimTime>(std::max(1.0, std::llround(w.mean) * 1.0)) * r.size();
+  }
+  SimTime total = 0;
+  for (GranuleId g = r.lo; g < r.hi; ++g) total += granule_duration(p, g);
+  return total;
+}
+
+double Workload::expected_phase_work(PhaseId p, GranuleId n) const {
+  const PhaseWorkload& w = phase(p);
+  double mean = w.mean;
+  if (w.model == DurationModel::kBimodal) mean = w.mean + w.bimodal_p * w.spread;
+  const double effective = (1.0 - w.skip_probability) * mean +
+                           w.skip_probability * static_cast<double>(w.skip_cost);
+  return effective * static_cast<double>(n);
+}
+
+}  // namespace pax::sim

@@ -1,0 +1,69 @@
+// workload.hpp — synthetic task-duration models for the simulator.
+//
+// The paper motivates dynamic scheduling with workloads whose granules
+// "could not even be ascribed with definite execution times" and where
+// "whether or not the computation was even to be carried out in a particular
+// instance was a conditional part of the algorithm".
+//
+// Durations are sampled by *hashing* (seed, phase, granule) rather than by
+// drawing from a sequential stream, so a granule's duration is independent
+// of the schedule. Overlap-on and overlap-off runs therefore execute
+// precisely the same work, making makespan comparisons exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace pax::sim {
+
+enum class DurationModel : std::uint8_t {
+  kFixed,        ///< every granule takes `mean` ticks (checkerboard model)
+  kUniform,      ///< uniform in [mean - spread, mean + spread]
+  kExponential,  ///< exponential with the given mean (indefinite times)
+  kBimodal,      ///< mean with probability 1-p, mean+spread with p
+};
+
+[[nodiscard]] const char* to_string(DurationModel m);
+
+/// Per-phase duration distribution.
+struct PhaseWorkload {
+  DurationModel model = DurationModel::kFixed;
+  double mean = 100.0;     ///< ticks per granule
+  double spread = 0.0;     ///< half-width (uniform) / long-mode extra (bimodal)
+  double bimodal_p = 0.1;  ///< probability of the long mode
+  /// Conditional execution: probability a granule's computation is skipped
+  /// entirely (it still costs `skip_cost` ticks to evaluate the condition).
+  double skip_probability = 0.0;
+  SimTime skip_cost = 1;
+};
+
+class Workload {
+ public:
+  explicit Workload(std::uint64_t seed = 1) : seed_(seed) {}
+
+  /// Set the distribution for a phase (default for unset phases: kFixed/100).
+  void set_phase(PhaseId phase, PhaseWorkload w);
+
+  [[nodiscard]] const PhaseWorkload& phase(PhaseId p) const;
+
+  /// Duration of a single granule — pure function of (seed, phase, granule).
+  [[nodiscard]] SimTime granule_duration(PhaseId phase, GranuleId g) const;
+
+  /// Duration of a contiguous task.
+  [[nodiscard]] SimTime task_duration(PhaseId phase, GranuleRange r) const;
+
+  /// Expected total work of a phase with n granules (analytic, for sizing).
+  [[nodiscard]] double expected_phase_work(PhaseId phase, GranuleId n) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<PhaseWorkload> per_phase_;
+  PhaseWorkload default_{};
+};
+
+}  // namespace pax::sim

@@ -1,0 +1,296 @@
+// Unit tests for src/common: intrusive ring, RNG, stats, table, CSR.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/csr.hpp"
+#include "common/intrusive_ring.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace pax {
+namespace {
+
+// --- intrusive ring ----------------------------------------------------------
+
+struct Node {
+  int value = 0;
+  RingHook hook;
+};
+using Ring = IntrusiveRing<Node, &Node::hook>;
+
+TEST(IntrusiveRing, StartsEmpty) {
+  Ring r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.front(), nullptr);
+  EXPECT_EQ(r.pop_front(), nullptr);
+}
+
+TEST(IntrusiveRing, PushBackPreservesFifo) {
+  Ring r;
+  Node a{1}, b{2}, c{3};
+  r.push_back(a);
+  r.push_back(b);
+  r.push_back(c);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.pop_front()->value, 1);
+  EXPECT_EQ(r.pop_front()->value, 2);
+  EXPECT_EQ(r.pop_front()->value, 3);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(IntrusiveRing, PushFrontAndBack) {
+  Ring r;
+  Node a{1}, b{2}, c{3};
+  r.push_back(b);
+  r.push_front(a);
+  r.push_back(c);
+  EXPECT_EQ(r.front()->value, 1);
+  EXPECT_EQ(r.back()->value, 3);
+  r.drain([](Node&) {});
+}
+
+TEST(IntrusiveRing, UnlinkFromMiddle) {
+  Ring r;
+  Node a{1}, b{2}, c{3};
+  r.push_back(a);
+  r.push_back(b);
+  r.push_back(c);
+  Ring::remove(b);
+  EXPECT_FALSE(Ring::is_linked(b));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.pop_front()->value, 1);
+  EXPECT_EQ(r.pop_front()->value, 3);
+}
+
+TEST(IntrusiveRing, InsertBeforeAndAfter) {
+  Ring r;
+  Node a{1}, b{2}, c{3}, d{4};
+  r.push_back(a);
+  r.push_back(d);
+  Ring::insert_after(a, b);
+  Ring::insert_before(d, c);
+  std::vector<int> got;
+  r.drain([&](Node& n) { got.push_back(n.value); });
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(IntrusiveRing, SpliceBackMovesAll) {
+  Ring r1, r2;
+  Node a{1}, b{2}, c{3};
+  r1.push_back(a);
+  r2.push_back(b);
+  r2.push_back(c);
+  r1.splice_back(r2);
+  EXPECT_TRUE(r2.empty());
+  EXPECT_EQ(r1.size(), 3u);
+  std::vector<int> got;
+  r1.drain([&](Node& n) { got.push_back(n.value); });
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(IntrusiveRing, SpliceEmptyIsNoop) {
+  Ring r1, r2;
+  Node a{1};
+  r1.push_back(a);
+  r1.splice_back(r2);
+  EXPECT_EQ(r1.size(), 1u);
+  r1.drain([](Node&) {});
+}
+
+TEST(IntrusiveRing, ForEachAllowsRemovingVisited) {
+  Ring r;
+  Node a{1}, b{2}, c{3};
+  r.push_back(a);
+  r.push_back(b);
+  r.push_back(c);
+  r.for_each([](Node& n) {
+    if (n.value == 2) Ring::remove(n);
+  });
+  EXPECT_EQ(r.size(), 2u);
+  r.drain([](Node&) {});
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(10);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, ExponentialMeanRoughlyRight) {
+  Rng r(11);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(r.exponential(50.0));
+  EXPECT_NEAR(acc.mean(), 50.0, 2.5);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(12);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.15);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.15);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(13);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+  EXPECT_EQ(a.count(), 8u);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator whole, left, right;
+  Rng r(14);
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.uniform(0, 100);
+    whole.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_EQ(left.count(), whole.count());
+}
+
+TEST(Histogram, QuantilesOrdered) {
+  Histogram h(0, 100, 50);
+  Rng r(15);
+  for (int i = 0; i < 10000; ++i) h.add(r.uniform(0, 100));
+  const double q25 = h.quantile(0.25);
+  const double q50 = h.quantile(0.50);
+  const double q75 = h.quantile(0.75);
+  EXPECT_LT(q25, q50);
+  EXPECT_LT(q50, q75);
+  EXPECT_NEAR(q50, 50.0, 5.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0, 10, 10);
+  h.add(-5.0);
+  h.add(15.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+}
+
+TEST(Histogram, SparklineLengthMatchesBuckets) {
+  Histogram h(0, 10, 12);
+  for (int i = 0; i < 100; ++i) h.add(5.0);
+  EXPECT_FALSE(h.sparkline().empty());
+}
+
+// --- table ----------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("demo");
+  t.header({"name", "count"});
+  t.row({"alpha", "1"});
+  t.row({"b", "20"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // Right-aligned numeric column: " 1" under "20".
+  EXPECT_NE(s.find(" 1"), std::string::npos);
+}
+
+TEST(Table, FormattersBehave) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.5, 0), "50%");
+  EXPECT_EQ(Table::count(0), "0");
+  EXPECT_EQ(Table::count(999), "999");
+  EXPECT_EQ(Table::count(1000), "1,000");
+  EXPECT_EQ(Table::count(524288), "524,288");
+  EXPECT_EQ(Table::count(1234567), "1,234,567");
+}
+
+// --- CSR ------------------------------------------------------------------------
+
+TEST(Csr, BuildsRowsFromUnsortedPairs) {
+  auto csr = Csr<int>::from_pairs(
+      4, {{2, 20}, {0, 1}, {2, 21}, {0, 2}, {3, 30}});
+  EXPECT_EQ(csr.rows(), 4u);
+  EXPECT_EQ(csr.entries(), 5u);
+  EXPECT_EQ(csr[0].size(), 2u);
+  EXPECT_TRUE(csr.row_empty(1));
+  EXPECT_EQ(csr[2].size(), 2u);
+  EXPECT_EQ(csr[3][0], 30);
+}
+
+TEST(Csr, EmptyCsr) {
+  Csr<int> csr;
+  EXPECT_EQ(csr.rows(), 0u);
+  auto built = Csr<int>::from_pairs(3, {});
+  EXPECT_EQ(built.rows(), 3u);
+  EXPECT_TRUE(built.row_empty(0));
+}
+
+}  // namespace
+}  // namespace pax

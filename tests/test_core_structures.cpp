@@ -1,0 +1,296 @@
+// Unit tests for the core scheduling structures: RangeSet, DescriptorPool,
+// WaitingQueue, CompositeGranuleMap, coalescing, cost ledger.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/cost_model.hpp"
+#include "core/descriptor.hpp"
+#include "core/enablement.hpp"
+#include "core/granule.hpp"
+#include "core/range_set.hpp"
+#include "core/waiting_queue.hpp"
+
+namespace pax {
+namespace {
+
+// --- RangeSet -------------------------------------------------------------------
+
+TEST(RangeSet, InsertAndMergeNeighbours) {
+  RangeSet rs;
+  rs.insert({0, 4});
+  rs.insert({8, 12});
+  EXPECT_EQ(rs.fragments(), 2u);
+  rs.insert({4, 8});  // bridges the two
+  EXPECT_EQ(rs.fragments(), 1u);
+  EXPECT_EQ(rs.cardinality(), 12u);
+  EXPECT_TRUE(rs.contains(0));
+  EXPECT_TRUE(rs.contains(11));
+  EXPECT_FALSE(rs.contains(12));
+}
+
+TEST(RangeSet, MergeLeftOnly) {
+  RangeSet rs;
+  rs.insert({0, 4});
+  rs.insert({4, 6});
+  EXPECT_EQ(rs.fragments(), 1u);
+  EXPECT_EQ(rs.ranges()[0], (GranuleRange{0, 6}));
+}
+
+TEST(RangeSet, MergeRightOnly) {
+  RangeSet rs;
+  rs.insert({4, 8});
+  rs.insert({2, 4});
+  EXPECT_EQ(rs.fragments(), 1u);
+  EXPECT_EQ(rs.ranges()[0], (GranuleRange{2, 8}));
+}
+
+TEST(RangeSet, ComplementCoversGaps) {
+  RangeSet rs;
+  rs.insert({2, 4});
+  rs.insert({6, 8});
+  const auto gaps = rs.complement(10);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (GranuleRange{0, 2}));
+  EXPECT_EQ(gaps[1], (GranuleRange{4, 6}));
+  EXPECT_EQ(gaps[2], (GranuleRange{8, 10}));
+}
+
+TEST(RangeSet, ComplementOfEmptyIsWhole) {
+  RangeSet rs;
+  const auto gaps = rs.complement(5);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (GranuleRange{0, 5}));
+}
+
+TEST(RangeSet, RandomPermutationCollapsesToOne) {
+  // Property: inserting all singletons of [0, n) in any order yields exactly
+  // one fragment covering everything.
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const GranuleId n = 64;
+    std::vector<GranuleId> ids(n);
+    for (GranuleId i = 0; i < n; ++i) ids[i] = i;
+    for (GranuleId i = n; i > 1; --i)
+      std::swap(ids[i - 1], ids[rng.below(i)]);
+    RangeSet rs;
+    for (GranuleId g : ids) rs.insert({g, g + 1});
+    EXPECT_EQ(rs.fragments(), 1u);
+    EXPECT_EQ(rs.cardinality(), n);
+  }
+}
+
+// --- coalesce_sorted --------------------------------------------------------------
+
+TEST(Coalesce, MergesAdjacentAndSkipsDuplicates) {
+  const auto ranges = coalesce_sorted({1, 2, 3, 5, 7, 8, 8, 9});
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], (GranuleRange{1, 4}));
+  EXPECT_EQ(ranges[1], (GranuleRange{5, 6}));
+  EXPECT_EQ(ranges[2], (GranuleRange{7, 10}));
+}
+
+TEST(Coalesce, EmptyInput) { EXPECT_TRUE(coalesce_sorted({}).empty()); }
+
+// --- DescriptorPool ----------------------------------------------------------------
+
+TEST(DescriptorPool, RecyclesSlots) {
+  DescriptorPool pool;
+  Descriptor& a = pool.acquire(0, 0, {0, 10});
+  const auto index = a.pool_index;
+  EXPECT_EQ(pool.live(), 1u);
+  pool.release(a);
+  EXPECT_EQ(pool.live(), 0u);
+  Descriptor& b = pool.acquire(1, 1, {5, 6});
+  EXPECT_EQ(b.pool_index, index);  // reused the slot
+  EXPECT_EQ(b.run, 1u);
+  EXPECT_FALSE(b.tracks_owner);
+  pool.release(b);
+}
+
+TEST(DescriptorPool, GrowsStably) {
+  DescriptorPool pool;
+  std::vector<Descriptor*> descs;
+  for (GranuleId i = 0; i < 100; ++i)
+    descs.push_back(&pool.acquire(0, 0, {i, i + 1}));
+  // Addresses remain valid after growth.
+  for (GranuleId i = 0; i < 100; ++i) EXPECT_EQ(descs[i]->range.lo, i);
+  EXPECT_EQ(pool.total_acquired(), 100u);
+  for (auto* d : descs) pool.release(*d);
+}
+
+// --- WaitingQueue -------------------------------------------------------------------
+
+TEST(WaitingQueue, ElevatedBeforeNormalFifoWithin) {
+  DescriptorPool pool;
+  WaitingQueue q;
+  Descriptor& n1 = pool.acquire(0, 0, {0, 1}, Priority::kNormal);
+  Descriptor& n2 = pool.acquire(0, 0, {1, 2}, Priority::kNormal);
+  Descriptor& e1 = pool.acquire(0, 0, {2, 3}, Priority::kElevated);
+  Descriptor& e2 = pool.acquire(0, 0, {3, 4}, Priority::kElevated);
+  q.enqueue(n1);
+  q.enqueue(e1);
+  q.enqueue(n2);
+  q.enqueue(e2);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.elevated_size(), 2u);
+  EXPECT_EQ(q.pop(), &e1);
+  EXPECT_EQ(q.pop(), &e2);
+  EXPECT_EQ(q.pop(), &n1);
+  EXPECT_EQ(q.pop(), &n2);
+  EXPECT_EQ(q.pop(), nullptr);
+  for (Descriptor* d : {&n1, &n2, &e1, &e2}) pool.release(*d);
+}
+
+TEST(WaitingQueue, PeekDoesNotDetach) {
+  DescriptorPool pool;
+  WaitingQueue q;
+  Descriptor& d = pool.acquire(0, 0, {0, 8});
+  q.enqueue(d);
+  EXPECT_EQ(q.peek(), &d);
+  EXPECT_EQ(q.size(), 1u);
+  q.remove(d);
+  pool.release(d);
+}
+
+TEST(WaitingQueue, InsertBeforePreservesPosition) {
+  DescriptorPool pool;
+  WaitingQueue q;
+  Descriptor& a = pool.acquire(0, 0, {0, 1});
+  Descriptor& b = pool.acquire(0, 0, {1, 2});
+  Descriptor& c = pool.acquire(0, 0, {2, 3});
+  q.enqueue(a);
+  q.enqueue(c);
+  q.insert_before(c, b);
+  EXPECT_EQ(q.pop(), &a);
+  EXPECT_EQ(q.pop(), &b);
+  EXPECT_EQ(q.pop(), &c);
+  for (Descriptor* d : {&a, &b, &c}) pool.release(*d);
+}
+
+// --- CompositeGranuleMap ---------------------------------------------------------------
+
+TEST(CompositeMap, ReverseAllOfSemantics) {
+  // Successor r needs {r, r+1 mod 4}.
+  auto built = CompositeGranuleMap::build_reverse(4, 4, [](GranuleId r) {
+    return std::vector<GranuleId>{r, (r + 1) % 4};
+  });
+  EXPECT_EQ(built.entries, 8u);
+  EXPECT_TRUE(built.initially_enabled.empty());
+  CompositeGranuleMap& m = built.map;
+  EXPECT_EQ(m.outstanding(), 8u);
+
+  std::vector<GranuleId> newly;
+  m.on_complete(0, newly);
+  EXPECT_TRUE(newly.empty());  // r=3 needs {3,0}; r=0 needs {0,1}
+  m.on_complete(1, newly);
+  ASSERT_EQ(newly.size(), 1u);  // r=0 now complete
+  EXPECT_EQ(newly[0], 0u);
+  newly.clear();
+  m.on_complete(2, newly);
+  EXPECT_EQ(newly, (std::vector<GranuleId>{1}));
+  newly.clear();
+  m.on_complete(3, newly);
+  // r=2 (needs 2,3) and r=3 (needs 3,0) both fire.
+  std::sort(newly.begin(), newly.end());
+  EXPECT_EQ(newly, (std::vector<GranuleId>{2, 3}));
+  EXPECT_EQ(m.outstanding(), 0u);
+}
+
+TEST(CompositeMap, ForwardUnfedSuccessorsInitiallyEnabled) {
+  // Current granule p feeds successor 2p; odd successors are unfed.
+  auto built = CompositeGranuleMap::build_forward(4, 8, [](GranuleId p) {
+    return std::vector<GranuleId>{2 * p};
+  });
+  EXPECT_EQ(built.initially_enabled, (std::vector<GranuleId>{1, 3, 5, 7}));
+  std::vector<GranuleId> newly;
+  built.map.on_complete(3, newly);
+  EXPECT_EQ(newly, (std::vector<GranuleId>{6}));
+}
+
+TEST(CompositeMap, DuplicateRequirementsCollapse) {
+  // Successor 0 lists granule 5 three times: one completion satisfies all.
+  auto built = CompositeGranuleMap::build_reverse(8, 1, [](GranuleId) {
+    return std::vector<GranuleId>{5, 5, 5};
+  });
+  EXPECT_EQ(built.entries, 1u);
+  std::vector<GranuleId> newly;
+  built.map.on_complete(5, newly);
+  EXPECT_EQ(newly, (std::vector<GranuleId>{0}));
+}
+
+TEST(CompositeMap, SubsetLeavesOthersUntracked) {
+  auto built = CompositeGranuleMap::build_reverse(
+      8, 8, [](GranuleId r) { return std::vector<GranuleId>{r}; },
+      std::vector<GranuleId>{0, 1, 2});
+  EXPECT_EQ(built.map.tracked_successors().size(), 3u);
+  EXPECT_EQ(built.map.untracked_successors().size(), 5u);
+  // Completing an untracked-only granule does nothing.
+  std::vector<GranuleId> newly;
+  EXPECT_EQ(built.map.on_complete(5, newly), 0u);
+  EXPECT_TRUE(newly.empty());
+  EXPECT_FALSE(built.map.participates(5));
+  EXPECT_TRUE(built.map.participates(1));
+}
+
+TEST(CompositeMap, PreferredOrderGroupsByEarliestSuccessor) {
+  // Successor 0 needs {6, 7}; successor 1 needs {2}.
+  auto built = CompositeGranuleMap::build_reverse(8, 2, [](GranuleId r) {
+    return r == 0 ? std::vector<GranuleId>{6, 7} : std::vector<GranuleId>{2};
+  });
+  const auto& order = built.map.preferred_order();
+  ASSERT_EQ(order.size(), 3u);
+  // Granules enabling successor 0 come first (6 then 7), then 2.
+  EXPECT_EQ(order[0], 6u);
+  EXPECT_EQ(order[1], 7u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+TEST(CompositeMap, OnCompleteIdempotentPerGranule) {
+  auto built = CompositeGranuleMap::build_reverse(4, 4, [](GranuleId r) {
+    return std::vector<GranuleId>{r};
+  });
+  std::vector<GranuleId> newly;
+  EXPECT_EQ(built.map.on_complete(2, newly), 1u);
+  EXPECT_EQ(built.map.on_complete(2, newly), 0u);  // status bit cleared
+}
+
+// --- cost model / ledger -------------------------------------------------------------
+
+TEST(CostModel, DefaultsNonZeroAndScalable) {
+  CostModel m;
+  EXPECT_GT(m.of(MgmtOp::kCompletion), 0u);
+  const CostModel x3 = m.scaled(3);
+  EXPECT_EQ(x3.of(MgmtOp::kCompletion), 3 * m.of(MgmtOp::kCompletion));
+  const CostModel zero = CostModel::free_of_charge();
+  for (std::size_t i = 0; i < kMgmtOpCount; ++i)
+    EXPECT_EQ(zero.of(static_cast<MgmtOp>(i)), 0u);
+}
+
+TEST(MgmtLedger, ChargesAndDrains) {
+  CostModel m;
+  MgmtLedger l;
+  l.charge(MgmtOp::kSplit, m, 2);
+  l.charge(MgmtOp::kCompletion, m);
+  EXPECT_EQ(l.count(MgmtOp::kSplit), 2u);
+  EXPECT_EQ(l.units(MgmtOp::kSplit), 2 * m.of(MgmtOp::kSplit));
+  const SimTime pending = l.drain_pending();
+  EXPECT_EQ(pending, 2 * m.of(MgmtOp::kSplit) + m.of(MgmtOp::kCompletion));
+  EXPECT_EQ(l.drain_pending(), 0u);  // drained
+  EXPECT_EQ(l.total_units(), pending);  // totals persist
+}
+
+TEST(MgmtLedger, ChargeRawAddsUnitsWithoutCount) {
+  MgmtLedger l;
+  l.charge_raw(MgmtOp::kSerialAction, 500);
+  EXPECT_EQ(l.count(MgmtOp::kSerialAction), 0u);
+  EXPECT_EQ(l.units(MgmtOp::kSerialAction), 500u);
+  EXPECT_EQ(l.drain_pending(), 500u);
+}
+
+TEST(MgmtOpNames, AllNamed) {
+  for (std::size_t i = 0; i < kMgmtOpCount; ++i)
+    EXPECT_STRNE(to_string(static_cast<MgmtOp>(i)), "?");
+}
+
+}  // namespace
+}  // namespace pax

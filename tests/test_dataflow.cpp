@@ -1,0 +1,168 @@
+// Mapping inference and the PARALLEL(x, y) predicate, including the paper's
+// four Fortran fragments as direct test cases.
+#include <gtest/gtest.h>
+
+#include "core/dataflow.hpp"
+
+namespace pax {
+namespace {
+
+// Paper fragment 1: B(I)=A(I) then D(I)=C(I) — universal mapping.
+TEST(InferMapping, PaperUniversalFragment) {
+  PhaseSpec p1 = make_phase("loop100", 64).reads("A").writes("B");
+  PhaseSpec p2 = make_phase("loop200", 64).reads("C").writes("D");
+  const auto m = infer_mapping(p1, p2);
+  EXPECT_EQ(m.kind, MappingKind::kUniversal);
+  EXPECT_TRUE(m.carrier_arrays.empty());
+}
+
+// Paper fragment 2: B(I)=A(I) then C(I)=B(I) — identity mapping.
+TEST(InferMapping, PaperIdentityFragment) {
+  PhaseSpec p1 = make_phase("loop100", 64).reads("A").writes("B");
+  PhaseSpec p2 = make_phase("loop200", 64).reads("B").writes("C");
+  const auto m = infer_mapping(p1, p2);
+  EXPECT_EQ(m.kind, MappingKind::kIdentity);
+  EXPECT_EQ(m.carrier_arrays, (std::vector<std::string>{"B"}));
+}
+
+// Paper fragment 3: A(I)=FUNC(I) then B(I)+=A(IMAP(J,I)) — reverse indirect.
+TEST(InferMapping, PaperReverseIndirectFragment) {
+  PhaseSpec p1 = make_phase("loop100", 64).writes("A");
+  PhaseSpec p2 = make_phase("loop200", 64)
+                     .reads("A", IndexPattern::kIndirect, "IMAP")
+                     .writes("B");
+  const auto m = infer_mapping(p1, p2);
+  EXPECT_EQ(m.kind, MappingKind::kReverseIndirect);
+  EXPECT_EQ(m.selection_maps, (std::vector<std::string>{"IMAP"}));
+}
+
+// Paper fragment 4: B(IMAP(I))=A(IMAP(I)) then C(I)=B(I) — forward indirect.
+TEST(InferMapping, PaperForwardIndirectFragment) {
+  PhaseSpec p1 = make_phase("loop100", 64)
+                     .reads("A", IndexPattern::kIndirect, "IMAP")
+                     .writes("B", IndexPattern::kIndirect, "IMAP");
+  PhaseSpec p2 = make_phase("loop200", 64).reads("B").writes("C");
+  const auto m = infer_mapping(p1, p2);
+  EXPECT_EQ(m.kind, MappingKind::kForwardIndirect);
+}
+
+TEST(InferMapping, SerialActionForcesNull) {
+  PhaseSpec p1 = make_phase("a", 64).writes("X");
+  PhaseSpec p2 = make_phase("b", 64).reads("X");
+  EXPECT_EQ(infer_mapping(p1, p2, /*serial_between=*/true).kind, MappingKind::kNull);
+  EXPECT_EQ(infer_mapping(p1, p2, /*serial_between=*/false).kind,
+            MappingKind::kIdentity);
+}
+
+TEST(InferMapping, WholeArrayDependenceIsNull) {
+  PhaseSpec p1 = make_phase("reduce", 64).writes("sum", IndexPattern::kWhole);
+  PhaseSpec p2 = make_phase("scale", 64).reads("sum", IndexPattern::kWhole);
+  EXPECT_EQ(infer_mapping(p1, p2).kind, MappingKind::kNull);
+}
+
+TEST(InferMapping, MismatchedGranuleDomainsBlockIdentity) {
+  PhaseSpec p1 = make_phase("a", 64).writes("X");
+  PhaseSpec p2 = make_phase("b", 32).reads("X");
+  EXPECT_EQ(infer_mapping(p1, p2).kind, MappingKind::kNull);
+}
+
+TEST(InferMapping, WriteWriteConflictIsDependence) {
+  PhaseSpec p1 = make_phase("a", 64).writes("X");
+  PhaseSpec p2 = make_phase("b", 64).writes("X");
+  EXPECT_EQ(infer_mapping(p1, p2).kind, MappingKind::kIdentity);
+}
+
+TEST(InferMapping, ReadReadIsNoDependence) {
+  PhaseSpec p1 = make_phase("a", 64).reads("X").writes("A1");
+  PhaseSpec p2 = make_phase("b", 64).reads("X").writes("B1");
+  EXPECT_EQ(infer_mapping(p1, p2).kind, MappingKind::kUniversal);
+}
+
+TEST(InferMapping, ReverseWinsWhenBothSidesIndirect) {
+  // Next side indirection dominates: only a reverse map is identifiable.
+  PhaseSpec p1 = make_phase("a", 64).writes("X", IndexPattern::kIndirect, "F");
+  PhaseSpec p2 =
+      make_phase("b", 64).reads("X", IndexPattern::kIndirect, "R").writes("Y");
+  EXPECT_EQ(infer_mapping(p1, p2).kind, MappingKind::kReverseIndirect);
+}
+
+// --- phase-level PARALLEL ---------------------------------------------------------
+
+TEST(ParallelPhases, DisjointDataIsParallel) {
+  PhaseSpec a = make_phase("a", 8).reads("X").writes("Y");
+  PhaseSpec b = make_phase("b", 8).reads("P").writes("Q");
+  EXPECT_TRUE(parallel_phases(a, b));
+}
+
+TEST(ParallelPhases, SharedReadOnlyIsParallel) {
+  PhaseSpec a = make_phase("a", 8).reads("X").writes("Y");
+  PhaseSpec b = make_phase("b", 8).reads("X").writes("Q");
+  EXPECT_TRUE(parallel_phases(a, b));
+}
+
+TEST(ParallelPhases, WriteConflictIsNotParallel) {
+  PhaseSpec a = make_phase("a", 8).writes("X");
+  PhaseSpec b = make_phase("b", 8).reads("X");
+  EXPECT_FALSE(parallel_phases(a, b));
+}
+
+// --- granule-level PARALLEL oracle ---------------------------------------------------
+
+TEST(AccessOracle, IdentityGranulesConflictOnlyOnSameIndex) {
+  PhaseSpec a = make_phase("a", 8).writes("X");
+  PhaseSpec b = make_phase("b", 8).reads("X");
+  AccessOracle oracle;
+  EXPECT_FALSE(oracle.parallel(a, 3, b, 3));
+  EXPECT_TRUE(oracle.parallel(a, 3, b, 4));
+}
+
+TEST(AccessOracle, IndirectGranulesUseRegisteredMap) {
+  PhaseSpec a = make_phase("a", 4).writes("X");
+  PhaseSpec b = make_phase("b", 4).reads("X", IndexPattern::kIndirect, "M");
+  AccessOracle oracle;
+  // Successor granule g touches elements {g, 3}.
+  oracle.set_map("M", {{0, 3}, {1, 3}, {2, 3}, {3, 3}});
+  EXPECT_FALSE(oracle.parallel(a, 3, b, 0));  // via the shared element 3
+  EXPECT_FALSE(oracle.parallel(a, 1, b, 1));
+  EXPECT_TRUE(oracle.parallel(a, 1, b, 2));   // {1} vs {2,3}
+}
+
+TEST(AccessOracle, WholeArrayConflictsWithEverything) {
+  PhaseSpec a = make_phase("a", 4).writes("X", IndexPattern::kWhole);
+  PhaseSpec b = make_phase("b", 4).reads("X");
+  AccessOracle oracle;
+  for (GranuleId g = 0; g < 4; ++g) EXPECT_FALSE(oracle.parallel(a, 0, b, g));
+}
+
+// The key theorem the paper relies on: if the executive only enables
+// successor granules whose requirement sets completed, every still-running
+// pair satisfies PARALLEL. Spot-check with the oracle on a small instance.
+TEST(AccessOracle, EnablementImpliesParallel) {
+  const GranuleId n = 6;
+  PhaseSpec cur = make_phase("cur", n).writes("X");
+  PhaseSpec next =
+      make_phase("next", n).reads("X", IndexPattern::kIndirect, "M").writes("Y");
+  // requirement sets: next granule r needs {r, (r+2) % n}.
+  std::vector<std::vector<GranuleId>> touched(n);
+  for (GranuleId r = 0; r < n; ++r) touched[r] = {r, (r + 2) % n};
+  AccessOracle oracle;
+  oracle.set_map("M", touched);
+  for (GranuleId r = 0; r < n; ++r) {
+    for (GranuleId q = 0; q < n; ++q) {
+      const bool q_in_requirements = q == r || q == (r + 2) % n;
+      // If q is NOT in r's requirement set, running them together is fine.
+      if (!q_in_requirements) EXPECT_TRUE(oracle.parallel(cur, q, next, r));
+      // If q IS required, the pair conflicts — exactly why the executive
+      // waits for q's completion before enabling r.
+      if (q_in_requirements) EXPECT_FALSE(oracle.parallel(cur, q, next, r));
+    }
+  }
+}
+
+TEST(MappingNames, AllNamed) {
+  for (int i = 0; i < 5; ++i)
+    EXPECT_STRNE(to_string(static_cast<MappingKind>(i)), "?");
+}
+
+}  // namespace
+}  // namespace pax

@@ -1,0 +1,592 @@
+// Behavioural tests of ExecutiveCore driven directly (no simulator): split
+// policies, conflict submission, deferred map builds, caching, elevation,
+// interlock diagnostics, branch preprocessing, loops, and a property sweep
+// asserting exactly-once execution across the configuration space.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "core/dataflow.hpp"
+#include "core/executive.hpp"
+
+namespace pax {
+namespace {
+
+/// Drain an executive to completion with one synthetic worker, returning the
+/// executed granule set per *run* (phases may run many times in loops).
+/// Runs idle_work whenever the queue is empty (like a parked worker donating
+/// time). The per-run RangeSet aborts on any double execution.
+std::map<RunId, std::pair<PhaseId, RangeSet>> drain(ExecutiveCore& core,
+                                                    GranuleId expect_total) {
+  std::map<RunId, std::pair<PhaseId, RangeSet>> done;
+  GranuleId executed = 0;
+  std::size_t spins = 0;
+  while (!core.finished() || core.work_available()) {
+    PAX_CHECK_MSG(++spins < 10'000'000, "drain did not converge");
+    auto w = core.request_work(0);
+    if (!w.has_value()) {
+      if (core.idle_work()) continue;
+      PAX_CHECK_MSG(core.finished(), "no work, idle_work dry, program unfinished");
+      break;
+    }
+    auto& entry = done[w->run];
+    entry.first = w->phase;
+    entry.second.insert(w->range);
+    executed += w->range.size();
+    core.complete(w->ticket);
+  }
+  EXPECT_EQ(executed, expect_total);
+  return done;
+}
+
+PhaseProgram identity_two_phase(GranuleId n) {
+  PhaseProgram prog;
+  PhaseId a = prog.define_phase(make_phase("a", n).writes("X"));
+  PhaseId b = prog.define_phase(make_phase("b", n).reads("X").writes("Y"));
+  prog.dispatch(a, {EnableClause{"b", MappingKind::kIdentity, {}}});
+  prog.dispatch(b);
+  prog.halt();
+  (void)a;
+  (void)b;
+  return prog;
+}
+
+// --- exactly-once execution across the config space (property sweep) -----------
+
+struct SweepParam {
+  MappingKind kind;
+  GranuleId grain;
+  SplitPolicy policy;
+  bool defer;
+  GranuleId subset;
+};
+
+class ExactlyOnce : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ExactlyOnce, EveryGranuleExecutesExactlyOnce) {
+  const SweepParam p = GetParam();
+  const GranuleId n = 96;
+  PhaseProgram prog;
+  PhaseId a = prog.define_phase(make_phase("a", n).writes("X"));
+  PhaseId b = prog.define_phase(make_phase("b", n).reads("X").writes("Y"));
+  EnableClause clause{"b", p.kind, {}};
+  if (p.kind == MappingKind::kReverseIndirect) {
+    clause.indirection.requires_of = [n](GranuleId r) {
+      return std::vector<GranuleId>{r, (3 * r + 5) % n, (7 * r + 1) % n};
+    };
+  }
+  if (p.kind == MappingKind::kForwardIndirect) {
+    clause.indirection.enables_of = [n](GranuleId g) {
+      return std::vector<GranuleId>{(5 * g + 2) % n};
+    };
+  }
+  prog.dispatch(a, {clause});
+  prog.dispatch(b);
+  prog.halt();
+
+  ExecConfig cfg;
+  cfg.grain = p.grain;
+  cfg.split_policy = p.policy;
+  cfg.defer_map_build = p.defer;
+  cfg.indirect_subset = p.subset;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  auto done = drain(core, 2 * n);
+  ASSERT_EQ(done.size(), 2u);
+  for (auto& [run, entry] : done) {
+    EXPECT_TRUE(entry.first == a || entry.first == b);
+    EXPECT_EQ(entry.second.cardinality(), n);
+    EXPECT_EQ(entry.second.fragments(), 1u);
+  }
+  EXPECT_TRUE(core.diagnostics().empty());
+  EXPECT_EQ(core.live_descriptors(), 0u);  // no leaked descriptors
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const SweepParam& p = info.param;
+  std::string kind;
+  switch (p.kind) {
+    case MappingKind::kUniversal: kind = "universal"; break;
+    case MappingKind::kIdentity: kind = "identity"; break;
+    case MappingKind::kReverseIndirect: kind = "reverse"; break;
+    case MappingKind::kForwardIndirect: kind = "forward"; break;
+    case MappingKind::kNull: kind = "null"; break;
+  }
+  return kind + "_g" + std::to_string(p.grain) + "_" +
+         to_string(p.policy) + (p.defer ? "_defer" : "_eager") + "_s" +
+         std::to_string(p.subset);
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  for (MappingKind kind :
+       {MappingKind::kUniversal, MappingKind::kIdentity,
+        MappingKind::kReverseIndirect, MappingKind::kForwardIndirect,
+        MappingKind::kNull}) {
+    for (GranuleId grain : {1u, 3u, 8u, 96u, 1000u}) {
+      for (SplitPolicy policy :
+           {SplitPolicy::kInline, SplitPolicy::kPresplit, SplitPolicy::kDeferred}) {
+        // defer/subset only matter for indirect kinds; keep the sweep lean.
+        const bool indirect = kind == MappingKind::kReverseIndirect ||
+                              kind == MappingKind::kForwardIndirect;
+        if (indirect) {
+          out.push_back({kind, grain, policy, true, 0});
+          out.push_back({kind, grain, policy, false, 17});
+        } else {
+          out.push_back({kind, grain, policy, true, 0});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(ConfigSpace, ExactlyOnce,
+                         ::testing::ValuesIn(sweep_params()), sweep_name);
+
+// --- ordering invariants ----------------------------------------------------------
+
+TEST(ExecutiveOrder, IdentitySuccessorNeverPrecedesItsEnabler) {
+  const GranuleId n = 48;
+  PhaseProgram prog = identity_two_phase(n);
+  ExecConfig cfg;
+  cfg.grain = 4;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  RangeSet a_done;
+  std::size_t spins = 0;
+  while (!core.finished() || core.work_available()) {
+    ASSERT_LT(++spins, 1'000'000u);
+    auto w = core.request_work(0);
+    if (!w.has_value()) {
+      if (!core.idle_work()) break;
+      continue;
+    }
+    if (w->phase == 1) {
+      for (GranuleId g = w->range.lo; g < w->range.hi; ++g)
+        EXPECT_TRUE(a_done.contains(g)) << "successor granule " << g
+                                        << " ran before its enabler";
+    }
+    if (w->phase == 0) a_done.insert(w->range);
+    core.complete(w->ticket);
+  }
+}
+
+TEST(ExecutiveOrder, ReverseIndirectWaitsForAllRequirements) {
+  const GranuleId n = 32;
+  PhaseProgram prog;
+  PhaseId a = prog.define_phase(make_phase("a", n).writes("X"));
+  prog.define_phase(make_phase("b", n)
+                        .reads("X", IndexPattern::kIndirect, "M")
+                        .writes("Y"));
+  auto requires_of = [n](GranuleId r) {
+    return std::vector<GranuleId>{r, (r + 11) % n, (r + 17) % n};
+  };
+  EnableClause clause{"b", MappingKind::kReverseIndirect, {}};
+  clause.indirection.requires_of = requires_of;
+  prog.dispatch(a, {clause});
+  prog.dispatch(1);
+  prog.halt();
+
+  ExecConfig cfg;
+  cfg.grain = 2;
+  cfg.defer_map_build = false;  // build at dispatch: overlap from the start
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  RangeSet a_done;
+  std::size_t spins = 0;
+  while (!core.finished() || core.work_available()) {
+    ASSERT_LT(++spins, 1'000'000u);
+    auto w = core.request_work(0);
+    if (!w.has_value()) {
+      if (!core.idle_work()) break;
+      continue;
+    }
+    if (w->phase == 1) {
+      for (GranuleId g = w->range.lo; g < w->range.hi; ++g)
+        for (GranuleId need : requires_of(g))
+          EXPECT_TRUE(a_done.contains(need))
+              << "successor " << g << " ran before requirement " << need;
+    }
+    if (w->phase == 0) a_done.insert(w->range);
+    core.complete(w->ticket);
+  }
+}
+
+// --- conflict submission (the mechanism's original purpose) -------------------------
+
+TEST(ExecutiveConflicts, DynamicallySubmittedWorkWaitsForBlocker) {
+  const GranuleId n = 16;
+  PhaseProgram prog;
+  PhaseId a = prog.define_phase(make_phase("a", n).writes("X"));
+  PhaseId extra = prog.define_phase(make_phase("extra", 4).reads("X"));
+  prog.dispatch(a);
+  prog.halt();
+
+  ExecConfig cfg;
+  cfg.grain = 4;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+
+  // Grab the blocker run's id through the observer.
+  RunId blocker = kNoRun;
+  core.observer = [&](const ExecEvent& ev) {
+    if (ev.kind == ExecEvent::Kind::kRunCreated && blocker == kNoRun)
+      blocker = ev.run;
+  };
+  auto first = core.request_work(0);
+  ASSERT_TRUE(first.has_value());
+  blocker = first->run;
+
+  core.submit_conflicting(blocker, extra, {0, 4});
+
+  // The conflicting work must not be schedulable while `a` is incomplete.
+  std::vector<Assignment> held{*first};
+  while (auto w = core.request_work(0)) {
+    EXPECT_EQ(w->phase, a);
+    held.push_back(*w);
+  }
+  for (auto& h : held) core.complete(h.ticket);
+
+  // Now the conflicting work appears — at elevated priority.
+  auto w = core.request_work(0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->phase, extra);
+  EXPECT_EQ(w->priority, Priority::kElevated);
+  core.complete(w->ticket);
+  EXPECT_TRUE(core.finished());
+}
+
+TEST(ExecutiveConflicts, SubmitAgainstCompleteRunIsImmediatelyReady) {
+  PhaseProgram prog;
+  PhaseId a = prog.define_phase(make_phase("a", 2).writes("X"));
+  PhaseId extra = prog.define_phase(make_phase("extra", 2).reads("X"));
+  prog.dispatch(a);
+  prog.halt();
+  ExecConfig cfg;
+  cfg.grain = 2;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  auto w = core.request_work(0);
+  const RunId blocker = w->run;
+  core.complete(w->ticket);
+  core.submit_conflicting(blocker, extra, {0, 2});
+  auto w2 = core.request_work(0);
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w2->phase, extra);
+  core.complete(w2->ticket);
+}
+
+// --- interlock diagnostics ------------------------------------------------------------
+
+TEST(ExecutiveInterlock, WrongSuccessorNameSuppressesOverlapWithDiagnostic) {
+  PhaseProgram prog;
+  prog.define_phase(make_phase("a", 8).writes("X"));
+  prog.define_phase(make_phase("b", 8).reads("X"));
+  prog.define_phase(make_phase("c", 8));
+  prog.dispatch(0, {EnableClause{"c", MappingKind::kUniversal, {}}});  // wrong!
+  prog.dispatch(1);
+  prog.halt();
+  ExecConfig cfg;
+  cfg.grain = 8;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  ASSERT_FALSE(core.diagnostics().empty());
+  EXPECT_NE(core.diagnostics()[0].find("overlap suppressed"), std::string::npos);
+  // Program still runs correctly, just without overlap.
+  drain(core, 16);
+}
+
+// --- branch preprocessing ---------------------------------------------------------------
+
+TEST(ExecutiveBranch, PhaseIndependentBranchIsPreprocessedForOverlap) {
+  // a ENABLE [b, c]; branch selects b; with preprocessing, b's run is created
+  // while a still executes.
+  PhaseProgram prog;
+  prog.define_phase(make_phase("a", 8).writes("X"));
+  prog.define_phase(make_phase("b", 8));
+  prog.define_phase(make_phase("c", 8));
+  prog.dispatch(0, {EnableClause{"b", MappingKind::kUniversal, {}},
+                    EnableClause{"c", MappingKind::kUniversal, {}}});
+  const auto branch_idx = static_cast<std::uint32_t>(prog.size());
+  // Shape: branch -> {b-node, c-node}; after b, jump over c to halt.
+  prog.branch("choose", [](const ProgramEnv&) { return std::size_t{0}; },
+              {branch_idx + 1, branch_idx + 3}, /*phase_independent=*/true);
+  prog.dispatch(1);  // arm 0 -> b
+  prog.branch("join", [](const ProgramEnv&) { return std::size_t{0}; },
+              {branch_idx + 4}, /*phase_independent=*/true);
+  prog.dispatch(2);  // arm 1 -> c
+  prog.halt();       // node branch_idx + 4
+
+  ExecConfig cfg;
+  cfg.grain = 8;
+  bool b_created_early = false;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.observer = [&](const ExecEvent& ev) {
+    if (ev.kind == ExecEvent::Kind::kOverlapSetUp && ev.phase == 1)
+      b_created_early = true;
+  };
+  core.start();
+  EXPECT_TRUE(b_created_early);
+
+  // b's universal work is already queued behind a's root.
+  auto w1 = core.request_work(0);  // a
+  auto w2 = core.request_work(0);  // b, before a completes
+  ASSERT_TRUE(w1 && w2);
+  EXPECT_EQ(w1->phase, 0u);
+  EXPECT_EQ(w2->phase, 1u);
+  core.complete(w1->ticket);
+  core.complete(w2->ticket);
+  // After the branch, c must never run.
+  while (auto w = core.request_work(0)) {
+    EXPECT_NE(w->phase, 2u);
+    core.complete(w->ticket);
+  }
+  EXPECT_TRUE(core.finished());
+}
+
+TEST(ExecutiveBranch, PhaseDependentBranchBlocksOverlap) {
+  PhaseProgram prog;
+  prog.define_phase(make_phase("a", 8).writes("X"));
+  prog.define_phase(make_phase("b", 8));
+  prog.dispatch(0, {EnableClause{"b", MappingKind::kUniversal, {}}});
+  const auto branch_idx = static_cast<std::uint32_t>(prog.size());
+  prog.branch("data_dependent", [](const ProgramEnv&) { return std::size_t{0}; },
+              {branch_idx + 1}, /*phase_independent=*/false);
+  prog.dispatch(1);
+  prog.halt();
+
+  ExecConfig cfg;
+  cfg.grain = 8;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  auto w1 = core.request_work(0);
+  ASSERT_TRUE(w1.has_value());
+  // No b work before a completes: the branch cannot be preprocessed.
+  EXPECT_FALSE(core.request_work(0).has_value());
+  core.complete(w1->ticket);
+  auto w2 = core.request_work(0);
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w2->phase, 1u);
+  core.complete(w2->ticket);
+}
+
+// --- early serial actions ----------------------------------------------------------------
+
+TEST(ExecutiveSerial, NonConflictingSerialHoistedOnlyWithEarlySerial) {
+  for (const bool early : {false, true}) {
+    PhaseProgram prog;
+    prog.define_phase(make_phase("a", 4).writes("X"));
+    prog.define_phase(make_phase("b", 4));
+    prog.dispatch(0, {EnableClause{"b", MappingKind::kUniversal, {}}});
+    prog.serial("bookkeeping", {}, 0, /*conflicts=*/false);
+    prog.dispatch(1);
+    prog.halt();
+
+    ExecConfig cfg;
+    cfg.grain = 4;
+    cfg.early_serial = early;
+    ExecutiveCore core(prog, cfg, CostModel{});
+    core.start();
+    auto w1 = core.request_work(0);
+    ASSERT_TRUE(w1.has_value());
+    const auto w2 = core.request_work(0);
+    EXPECT_EQ(w2.has_value(), early) << "early_serial=" << early;
+    core.complete(w1->ticket);
+    if (w2) core.complete(w2->ticket);
+    drain(core, w2 ? 0 : 4);
+  }
+}
+
+TEST(ExecutiveSerial, SerialActionRunsExactlyOncePerPass) {
+  int runs = 0;
+  PhaseProgram prog;
+  prog.define_phase(make_phase("a", 4).writes("X"));
+  prog.define_phase(make_phase("b", 4));
+  prog.dispatch(0, {EnableClause{"b", MappingKind::kUniversal, {}}});
+  prog.serial("count", [&runs](ProgramEnv&) { ++runs; }, 0, /*conflicts=*/false);
+  prog.dispatch(1);
+  prog.halt();
+  ExecConfig cfg;
+  cfg.grain = 4;
+  cfg.early_serial = true;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  drain(core, 8);
+  EXPECT_EQ(runs, 1);  // hoisted once, not re-run at the program counter
+}
+
+// --- loops and re-dispatch ---------------------------------------------------------------
+
+TEST(ExecutiveLoop, BackwardBranchRedispatchesPhases) {
+  PhaseProgram prog;
+  prog.define_phase(make_phase("body", 8).writes("X"));
+  prog.serial("init", [](ProgramEnv& env) { env.set("i", 0); }, 0, false);
+  const std::uint32_t top = prog.dispatch(0);
+  prog.serial("inc", [](ProgramEnv& env) { env.add("i", 1); }, 0, false);
+  prog.branch("loop",
+              [](const ProgramEnv& env) {
+                return env.get("i") < 5 ? std::size_t{0} : std::size_t{1};
+              },
+              {top, static_cast<std::uint32_t>(prog.size() + 1)}, true);
+  prog.halt();
+  ExecConfig cfg;
+  cfg.grain = 8;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  drain(core, 5 * 8);
+  EXPECT_EQ(core.env().get("i"), 5);
+}
+
+TEST(ExecutiveLoop, OverlapAcrossLoopIterations) {
+  // body ENABLE [body/...]: the lookahead goes through the backward branch
+  // to the same dispatch node of the next iteration.
+  PhaseProgram prog;
+  prog.define_phase(make_phase("body", 16).writes("B16"));
+  prog.serial("init", [](ProgramEnv& env) { env.set("i", 0); }, 0, false);
+  const std::uint32_t top =
+      prog.dispatch(0, {EnableClause{"body", MappingKind::kUniversal, {}}});
+  prog.serial("inc", [](ProgramEnv& env) { env.add("i", 1); }, 0, false);
+  prog.branch("loop",
+              [](const ProgramEnv& env) {
+                return env.get("i") < 3 ? std::size_t{0} : std::size_t{1};
+              },
+              {top, static_cast<std::uint32_t>(prog.size() + 1)}, true);
+  prog.halt();
+  ExecConfig cfg;
+  cfg.grain = 16;
+  cfg.early_serial = true;  // hoist "inc" to see through to the next iteration
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  // Two assignments must be available at once (iterations overlap).
+  auto w1 = core.request_work(0);
+  auto w2 = core.request_work(0);
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_TRUE(w2.has_value());
+  core.complete(w1->ticket);
+  if (w2) core.complete(w2->ticket);
+  drain(core, 16);  // one iteration left
+  EXPECT_TRUE(core.finished());
+}
+
+// --- map caching -------------------------------------------------------------------------
+
+TEST(ExecutiveMapCache, StableIndirectionBuildsOnceAcrossIterations) {
+  PhaseProgram prog;
+  prog.define_phase(make_phase("a", 32).writes("X"));
+  prog.define_phase(make_phase("b", 32).reads("X", IndexPattern::kIndirect, "M"));
+  EnableClause clause{"b", MappingKind::kReverseIndirect, {}};
+  clause.indirection.requires_of = [](GranuleId r) {
+    return std::vector<GranuleId>{r};
+  };
+  clause.indirection.stable = true;
+  prog.serial("init", [](ProgramEnv& env) { env.set("i", 0); }, 0, false);
+  const std::uint32_t top = prog.dispatch(0, {clause});
+  prog.dispatch(1);
+  prog.serial("inc", [](ProgramEnv& env) { env.add("i", 1); }, 0, false);
+  prog.branch("loop",
+              [](const ProgramEnv& env) {
+                return env.get("i") < 4 ? std::size_t{0} : std::size_t{1};
+              },
+              {top, static_cast<std::uint32_t>(prog.size() + 1)}, true);
+  prog.halt();
+
+  ExecConfig cfg;
+  cfg.grain = 8;
+  cfg.defer_map_build = false;  // build at dispatch so every run materialises
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  drain(core, 4 * 64);
+  // One build (32 entries), three cached reuses.
+  EXPECT_EQ(core.ledger().count(MgmtOp::kMapBuildEntry), 32u);
+  EXPECT_GT(core.ledger().count(MgmtOp::kMapReset), 0u);
+}
+
+TEST(ExecutiveMapCache, UnstableIndirectionRebuildsEveryRun) {
+  PhaseProgram prog;
+  prog.define_phase(make_phase("a", 32).writes("X"));
+  prog.define_phase(make_phase("b", 32).reads("X", IndexPattern::kIndirect, "M"));
+  EnableClause clause{"b", MappingKind::kReverseIndirect, {}};
+  clause.indirection.requires_of = [](GranuleId r) {
+    return std::vector<GranuleId>{r};
+  };
+  clause.indirection.stable = false;
+  prog.serial("init", [](ProgramEnv& env) { env.set("i", 0); }, 0, false);
+  const std::uint32_t top = prog.dispatch(0, {clause});
+  prog.dispatch(1);
+  prog.serial("inc", [](ProgramEnv& env) { env.add("i", 1); }, 0, false);
+  prog.branch("loop",
+              [](const ProgramEnv& env) {
+                return env.get("i") < 4 ? std::size_t{0} : std::size_t{1};
+              },
+              {top, static_cast<std::uint32_t>(prog.size() + 1)}, true);
+  prog.halt();
+
+  ExecConfig cfg;
+  cfg.grain = 8;
+  cfg.defer_map_build = false;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  drain(core, 4 * 64);
+  EXPECT_EQ(core.ledger().count(MgmtOp::kMapBuildEntry), 4u * 32u);
+  EXPECT_EQ(core.ledger().count(MgmtOp::kMapReset), 0u);
+}
+
+// --- elevation with subsets ---------------------------------------------------------------
+
+TEST(ExecutiveElevation, SubsetEnablersAreElevatedInPreferredOrder) {
+  const GranuleId n = 64;
+  PhaseProgram prog;
+  prog.define_phase(make_phase("a", n).writes("X"));
+  prog.define_phase(make_phase("b", n).reads("X", IndexPattern::kIndirect, "M"));
+  EnableClause clause{"b", MappingKind::kReverseIndirect, {}};
+  // Successor r requires exactly current granule n-1-r (reversed identity).
+  clause.indirection.requires_of = [n](GranuleId r) {
+    return std::vector<GranuleId>{n - 1 - r};
+  };
+  prog.dispatch(0, {clause});
+  prog.dispatch(1);
+  prog.halt();
+
+  ExecConfig cfg;
+  cfg.grain = 4;
+  cfg.indirect_subset = 4;       // solve successors {0,1,2,3}
+  cfg.defer_map_build = false;   // materialise immediately
+  cfg.elevate_enabling = true;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+  // The first assignments must be the elevated enablers of successors 0..3,
+  // i.e. current granules 63, 62, 61, 60 in that (preferred) order.
+  for (GranuleId expect : {n - 1, n - 2, n - 3, n - 4}) {
+    auto w = core.request_work(0);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->priority, Priority::kElevated);
+    EXPECT_EQ(w->range.lo, expect);
+    EXPECT_EQ(w->range.size(), 1u);
+    core.complete(w->ticket);
+  }
+  drain(core, 2 * n - 4);
+}
+
+// --- pool hygiene ----------------------------------------------------------------------
+
+TEST(ExecutiveHygiene, NoDescriptorsLeakAcrossConfigs) {
+  for (const GranuleId grain : {1u, 5u, 32u}) {
+    for (const SplitPolicy policy :
+         {SplitPolicy::kInline, SplitPolicy::kPresplit, SplitPolicy::kDeferred}) {
+      PhaseProgram prog = identity_two_phase(64);
+      ExecConfig cfg;
+      cfg.grain = grain;
+      cfg.split_policy = policy;
+      ExecutiveCore core(prog, cfg, CostModel{});
+      core.start();
+      drain(core, 128);
+      EXPECT_EQ(core.live_descriptors(), 0u)
+          << "grain=" << grain << " policy=" << to_string(policy);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pax

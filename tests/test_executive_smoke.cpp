@@ -1,0 +1,157 @@
+// Smoke tests: end-to-end executive + simulator behaviour on tiny programs.
+#include <gtest/gtest.h>
+
+#include "core/executive.hpp"
+#include "sim/machine.hpp"
+
+namespace pax {
+namespace {
+
+/// Two-phase program: copy A->B then B->C (the paper's identity example).
+PhaseProgram two_phase_identity(GranuleId n, MappingKind kind) {
+  PhaseProgram prog;
+  PhaseId a = prog.define_phase(
+      make_phase("copyA", n).reads("A").writes("B"));
+  PhaseId b = prog.define_phase(
+      make_phase("copyB", n).reads("B").writes("C"));
+  prog.dispatch(a, {EnableClause{"copyB", kind, {}}});
+  prog.dispatch(b);
+  prog.halt();
+  (void)b;
+  return prog;
+}
+
+TEST(ExecutiveSmoke, BarrierBaselineCompletes) {
+  PhaseProgram prog = two_phase_identity(64, MappingKind::kIdentity);
+  ExecConfig cfg;
+  cfg.overlap = false;
+  cfg.grain = 4;
+  sim::Workload wl(7);
+  sim::MachineConfig mc;
+  mc.workers = 4;
+  sim::SimResult res = sim::simulate(prog, cfg, CostModel{}, wl, mc);
+  EXPECT_EQ(res.granules_executed, 128u);
+  EXPECT_GT(res.makespan, 0u);
+  EXPECT_TRUE(res.diagnostics.empty());
+}
+
+TEST(ExecutiveSmoke, IdentityOverlapCompletesAndIsFaster) {
+  // Rundown-dominated regime: tasks barely outnumber processors, so each
+  // phase ends with a long straggler tail that overlap can fill.
+  PhaseProgram prog = two_phase_identity(256, MappingKind::kIdentity);
+  sim::Workload wl(7);
+  sim::PhaseWorkload pw;
+  pw.model = sim::DurationModel::kUniform;
+  pw.mean = 100;
+  pw.spread = 60;
+  wl.set_phase(0, pw);
+  wl.set_phase(1, pw);
+  sim::MachineConfig mc;
+  mc.workers = 32;
+
+  ExecConfig off;
+  off.overlap = false;
+  off.grain = 4;
+  ExecConfig on = off;
+  on.overlap = true;
+
+  sim::SimResult r_off = sim::simulate(prog, off, CostModel{}, wl, mc);
+  sim::SimResult r_on = sim::simulate(prog, on, CostModel{}, wl, mc);
+  EXPECT_EQ(r_off.granules_executed, 512u);
+  EXPECT_EQ(r_on.granules_executed, 512u);
+  EXPECT_LT(r_on.makespan, r_off.makespan);
+}
+
+TEST(ExecutiveSmoke, UniversalOverlapCompletes) {
+  PhaseProgram prog;
+  PhaseId a = prog.define_phase(
+      make_phase("p1", 32).reads("A").writes("B"));
+  PhaseId b = prog.define_phase(
+      make_phase("p2", 32).reads("C").writes("D"));
+  prog.dispatch(a, {EnableClause{"p2", MappingKind::kUniversal, {}}});
+  prog.dispatch(b);
+  prog.halt();
+  ExecConfig cfg;
+  cfg.grain = 1;
+  sim::SimResult res =
+      sim::simulate(prog, cfg, CostModel{}, sim::Workload(3), sim::MachineConfig{4});
+  EXPECT_EQ(res.granules_executed, 64u);
+}
+
+TEST(ExecutiveSmoke, ReverseIndirectOverlapCompletes) {
+  const GranuleId n = 64;
+  PhaseProgram prog;
+  PhaseId a = prog.define_phase(make_phase("gen", n).writes("A"));
+  PhaseId b = prog.define_phase(
+      make_phase("sum", n)
+          .reads("A", IndexPattern::kIndirect, "IMAP")
+          .writes("B"));
+  EnableClause clause{"sum", MappingKind::kReverseIndirect, {}};
+  // Successor granule r requires current granules {r, (r*7+3) % n}.
+  clause.indirection.requires_of = [n](GranuleId r) {
+    return std::vector<GranuleId>{r, (r * 7 + 3) % n};
+  };
+  prog.dispatch(a, {clause});
+  prog.dispatch(b);
+  prog.halt();
+  ExecConfig cfg;
+  cfg.grain = 2;
+  sim::SimResult res =
+      sim::simulate(prog, cfg, CostModel{}, sim::Workload(11), sim::MachineConfig{4});
+  EXPECT_EQ(res.granules_executed, 2u * n);
+  EXPECT_TRUE(res.diagnostics.empty());
+}
+
+TEST(ExecutiveSmoke, NullMappingKeepsPhasesStrict) {
+  PhaseProgram prog = two_phase_identity(64, MappingKind::kIdentity);
+  // Observe via ExecutiveCore directly: with a null clause nothing of phase 2
+  // is enabled before phase 1 completes.
+  PhaseProgram p2;
+  PhaseId a = p2.define_phase(make_phase("x", 8));
+  PhaseId b = p2.define_phase(make_phase("y", 8));
+  p2.dispatch(a, {EnableClause{"y", MappingKind::kNull, {}}});
+  p2.dispatch(b);
+  p2.halt();
+
+  ExecConfig cfg;
+  cfg.grain = 1;
+  ExecutiveCore core(p2, cfg, CostModel::free_of_charge());
+  core.start();
+  // Drain phase 1 fully; every assignment must be phase 0 until it is done.
+  std::vector<Assignment> out;
+  for (int i = 0; i < 8; ++i) {
+    auto w = core.request_work(0);
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(w->phase, a);
+    out.push_back(*w);
+  }
+  EXPECT_FALSE(core.request_work(0).has_value());  // nothing enabled early
+  for (auto& asgn : out) core.complete(asgn.ticket);
+  // Now phase 2 opens.
+  auto w = core.request_work(0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->phase, b);
+  (void)prog;
+}
+
+TEST(ExecutiveSmoke, DeterministicAcrossRuns) {
+  PhaseProgram prog = two_phase_identity(128, MappingKind::kIdentity);
+  ExecConfig cfg;
+  cfg.grain = 4;
+  sim::Workload wl(99);
+  sim::PhaseWorkload pw;
+  pw.model = sim::DurationModel::kExponential;
+  pw.mean = 50;
+  wl.set_phase(0, pw);
+  wl.set_phase(1, pw);
+  sim::MachineConfig mc;
+  mc.workers = 6;
+  sim::SimResult r1 = sim::simulate(prog, cfg, CostModel{}, wl, mc);
+  sim::SimResult r2 = sim::simulate(prog, cfg, CostModel{}, wl, mc);
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.compute_ticks, r2.compute_ticks);
+  EXPECT_EQ(r1.exec_ticks, r2.exec_ticks);
+}
+
+}  // namespace
+}  // namespace pax

@@ -1,0 +1,326 @@
+// PAX language: lexer, parser, validator interlocks, compiler lowering, and
+// end-to-end execution of compiled programs.
+#include <gtest/gtest.h>
+
+#include "lang/compiler.hpp"
+#include "lang/lexer.hpp"
+#include "lang/parser.hpp"
+#include "lang/validator.hpp"
+#include "sim/machine.hpp"
+
+namespace pax::lang {
+namespace {
+
+constexpr const char* kTwoPhase = R"(
+# The paper's identity example: B(I)=A(I) then C(I)=B(I).
+DEFINE PHASE copyA GRANULES=64 LINES=3
+  READS A
+  WRITES B
+END
+DEFINE PHASE copyB GRANULES=64 LINES=3
+  READS B
+  WRITES C
+END
+
+DISPATCH copyA ENABLE [ copyB/MAPPING=IDENTITY ]
+DISPATCH copyB
+HALT
+)";
+
+TEST(Lexer, TokenizesKeywordsNumbersAndPunctuation) {
+  auto r = lex("DISPATCH p1 ENABLE [ x/MAPPING=IDENTITY ]\nIF n % 10 != 0 GOTO l");
+  ASSERT_TRUE(r.diags.empty());
+  ASSERT_GE(r.tokens.size(), 10u);
+  EXPECT_EQ(r.tokens[0].kind, Tok::kIdent);
+  EXPECT_EQ(r.tokens[0].text, "DISPATCH");
+  // Newline token splits the statements.
+  const auto nl = std::find_if(r.tokens.begin(), r.tokens.end(), [](const Token& t) {
+    return t.kind == Tok::kNewline;
+  });
+  EXPECT_NE(nl, r.tokens.end());
+}
+
+TEST(Lexer, CommentsAndLineNumbers) {
+  auto r = lex("# comment only\nHALT -- trailing\n");
+  ASSERT_TRUE(r.diags.empty());
+  ASSERT_EQ(r.tokens.size(), 3u);  // HALT, newline, end
+  EXPECT_EQ(r.tokens[0].text, "HALT");
+  EXPECT_EQ(r.tokens[0].line, 2);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  auto r = lex("DISPATCH @phase");
+  EXPECT_TRUE(has_errors(r.diags));
+}
+
+TEST(Parser, ParsesDefineAndDispatch) {
+  auto r = parse(kTwoPhase);
+  ASSERT_TRUE(r.ok()) << r.diags.empty();
+  ASSERT_EQ(r.module.phases.size(), 2u);
+  EXPECT_EQ(r.module.phases[0].name, "copyA");
+  EXPECT_EQ(r.module.phases[0].granules, 64u);
+  EXPECT_EQ(r.module.phases[0].accesses.size(), 2u);
+  ASSERT_EQ(r.module.statements.size(), 3u);
+  const auto* d = std::get_if<StDispatch>(&r.module.statements[0]);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->form, EnableForm::kList);
+  ASSERT_EQ(d->enables.size(), 1u);
+  EXPECT_EQ(d->enables[0].phase, "copyB");
+  EXPECT_EQ(d->enables[0].kind, MappingKind::kIdentity);
+}
+
+TEST(Parser, ParsesBranchIndependentForm) {
+  auto r = parse(R"(
+DEFINE PHASE p GRANULES=4
+END
+DEFINE PHASE q GRANULES=4
+END
+DISPATCH p ENABLE/BRANCHINDEPENDENT [ q/MAPPING=UNIVERSAL ]
+IF IMOD(counter, 10) != 0 GOTO alt
+DISPATCH q
+LABEL alt
+HALT
+)");
+  ASSERT_TRUE(r.ok());
+  const auto* d = std::get_if<StDispatch>(&r.module.statements[0]);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->form, EnableForm::kBranchIndependent);
+}
+
+TEST(Parser, ParsesIndirectUsingClause) {
+  auto r = parse(R"(
+DEFINE PHASE gen GRANULES=8
+  WRITES A
+END
+DEFINE PHASE sum GRANULES=8
+  READS A INDIRECT IMAP
+  WRITES B
+END
+DISPATCH gen ENABLE [ sum/MAPPING=REVERSE/USING=IMAP ]
+DISPATCH sum
+HALT
+)");
+  ASSERT_TRUE(r.ok());
+  const auto* d = std::get_if<StDispatch>(&r.module.statements[0]);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->enables[0].kind, MappingKind::kReverseIndirect);
+  EXPECT_EQ(d->enables[0].using_map, "IMAP");
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto r = parse("LET x = 2 + 3 * 4 % 5\nHALT\n");
+  ASSERT_TRUE(r.ok());
+  const auto* l = std::get_if<StLet>(&r.module.statements[0]);
+  ASSERT_NE(l, nullptr);
+  ProgramEnv env;
+  EXPECT_EQ(l->value->eval(env), 2 + (3 * 4) % 5);
+}
+
+TEST(Validator, AcceptsWellFormedModule) {
+  auto r = parse(kTwoPhase);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(has_errors(validate(r.module)));
+}
+
+TEST(Validator, RejectsEnableOfPhaseThatCannotFollow) {
+  // The interlock: copyC does not follow copyA.
+  auto r = parse(R"(
+DEFINE PHASE copyA GRANULES=8
+  WRITES B
+END
+DEFINE PHASE copyB GRANULES=8
+  READS B
+END
+DEFINE PHASE copyC GRANULES=8
+END
+DISPATCH copyA ENABLE [ copyC/MAPPING=UNIVERSAL ]
+DISPATCH copyB
+HALT
+)");
+  ASSERT_TRUE(r.ok());
+  const auto diags = validate(r.module);
+  ASSERT_TRUE(has_errors(diags));
+  bool found = false;
+  for (const auto& d : diags)
+    if (d.message.find("cannot follow") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Validator, RejectsUnsafeMappingKind) {
+  // Accesses imply reverse-indirect; claiming identity under-synchronises.
+  auto r = parse(R"(
+DEFINE PHASE gen GRANULES=8
+  WRITES A
+END
+DEFINE PHASE sum GRANULES=8
+  READS A INDIRECT IMAP
+END
+DISPATCH gen ENABLE [ sum/MAPPING=IDENTITY ]
+DISPATCH sum
+HALT
+)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(has_errors(validate(r.module)));
+}
+
+TEST(Validator, WarnsOnSimpleFormWithoutInterlock) {
+  auto r = parse(R"(
+DEFINE PHASE a GRANULES=4
+END
+DEFINE PHASE b GRANULES=4
+END
+DISPATCH a ENABLE/MAPPING=UNIVERSAL
+DISPATCH b
+HALT
+)");
+  ASSERT_TRUE(r.ok());
+  const auto diags = validate(r.module);
+  EXPECT_FALSE(has_errors(diags));
+  bool warned = false;
+  for (const auto& d : diags)
+    if (d.severity == Diag::Severity::kWarning &&
+        d.message.find("interlock") != std::string::npos)
+      warned = true;
+  EXPECT_TRUE(warned);
+}
+
+TEST(Validator, SuccessorWalkSeesBothBranchArms) {
+  auto r = parse(R"(
+DEFINE PHASE a GRANULES=4
+END
+DEFINE PHASE b GRANULES=4
+END
+DEFINE PHASE c GRANULES=4
+END
+DISPATCH a ENABLE [ b/MAPPING=UNIVERSAL c/MAPPING=UNIVERSAL ]
+IF flag != 0 GOTO alt
+DISPATCH b
+GOTO done
+LABEL alt
+DISPATCH c
+LABEL done
+HALT
+)");
+  ASSERT_TRUE(r.ok());
+  const auto succ = successors_of(r.module, 0);
+  ASSERT_EQ(succ.size(), 2u);
+  EXPECT_FALSE(has_errors(validate(r.module)));
+}
+
+TEST(Validator, ConflictingSerialMakesEnableUnreachable) {
+  auto r = parse(R"(
+DEFINE PHASE a GRANULES=4
+  WRITES X
+END
+DEFINE PHASE b GRANULES=4
+  READS X
+END
+DISPATCH a ENABLE [ b/MAPPING=IDENTITY ]
+SERIAL decide CONFLICTS
+DISPATCH b
+HALT
+)");
+  ASSERT_TRUE(r.ok());
+  const auto diags = validate(r.module);
+  EXPECT_FALSE(has_errors(diags));  // warning, not error
+  bool warned = false;
+  for (const auto& d : diags)
+    if (d.message.find("never be applied") != std::string::npos) warned = true;
+  EXPECT_TRUE(warned);
+}
+
+TEST(Compiler, LowersAndRunsTwoPhaseProgram) {
+  CompileResult res = compile_source(kTwoPhase);
+  ASSERT_TRUE(res.ok);
+  ExecConfig cfg;
+  cfg.grain = 4;
+  auto sim_res = sim::simulate(res.program, cfg, CostModel{}, sim::Workload(1),
+                               sim::MachineConfig{4});
+  EXPECT_EQ(sim_res.granules_executed, 128u);
+  EXPECT_TRUE(sim_res.diagnostics.empty());
+}
+
+TEST(Compiler, ReverseMappingNeedsBinding) {
+  const char* src = R"(
+DEFINE PHASE gen GRANULES=8
+  WRITES A
+END
+DEFINE PHASE sum GRANULES=8
+  READS A INDIRECT IMAP
+END
+DISPATCH gen ENABLE [ sum/MAPPING=REVERSE/USING=IMAP ]
+DISPATCH sum
+HALT
+)";
+  CompileResult without = compile_source(src);
+  EXPECT_FALSE(without.ok);
+
+  Compiler compiler;
+  IndirectionSpec spec;
+  spec.requires_of = [](GranuleId r) { return std::vector<GranuleId>{r}; };
+  compiler.bind("IMAP", spec);
+  CompileResult with = compile_source(src, compiler);
+  EXPECT_TRUE(with.ok);
+
+  ExecConfig cfg;
+  cfg.grain = 1;
+  auto sim_res = sim::simulate(with.program, cfg, CostModel{}, sim::Workload(2),
+                               sim::MachineConfig{2});
+  EXPECT_EQ(sim_res.granules_executed, 16u);
+}
+
+TEST(Compiler, LoopProgramRunsToCompletion) {
+  // A counter loop: run phase `step` three times.
+  const char* src = R"(
+DEFINE PHASE step GRANULES=16
+  WRITES OUT
+END
+LET n = 0
+LABEL top
+DISPATCH step
+SERIAL bump NOCONFLICT SET n = n + 1
+IF n < 3 GOTO top
+HALT
+)";
+  CompileResult res = compile_source(src);
+  ASSERT_TRUE(res.ok) << res.diags.size();
+  ExecConfig cfg;
+  cfg.grain = 4;
+  auto sim_res = sim::simulate(res.program, cfg, CostModel{}, sim::Workload(3),
+                               sim::MachineConfig{2});
+  EXPECT_EQ(sim_res.granules_executed, 48u);
+}
+
+TEST(Compiler, BranchIndependentRegionMarksBranchNodes) {
+  const char* src = R"(
+DEFINE PHASE p GRANULES=8
+  WRITES X
+END
+DEFINE PHASE q GRANULES=8
+END
+DEFINE PHASE r GRANULES=8
+END
+LET counter = 10
+DISPATCH p ENABLE/BRANCHINDEPENDENT [ q/MAPPING=UNIVERSAL r/MAPPING=UNIVERSAL ]
+IF IMOD(counter, 10) != 0 GOTO alt
+DISPATCH q
+GOTO fin
+LABEL alt
+DISPATCH r
+LABEL fin
+HALT
+)";
+  CompileResult res = compile_source(src);
+  ASSERT_TRUE(res.ok);
+  // counter % 10 == 0 -> falls through to DISPATCH q; the executive should
+  // preprocess the branch and overlap q (universal).
+  ExecConfig cfg;
+  cfg.grain = 2;
+  auto sim_res = sim::simulate(res.program, cfg, CostModel{}, sim::Workload(4),
+                               sim::MachineConfig{2});
+  EXPECT_EQ(sim_res.granules_executed, 16u);  // p and q, never r
+  EXPECT_TRUE(sim_res.diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace pax::lang

@@ -1,0 +1,356 @@
+// Simulator tests: workload distributions, trace math, placements,
+// determinism, termination, and the machine's accounting identities.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "sim/machine.hpp"
+
+namespace pax::sim {
+namespace {
+
+PhaseProgram one_phase(GranuleId n) {
+  PhaseProgram prog;
+  prog.dispatch(prog.define_phase(make_phase("p", n)));
+  prog.halt();
+  return prog;
+}
+
+// --- workload -------------------------------------------------------------------
+
+TEST(Workload, FixedModelIsExact) {
+  Workload wl(1);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kFixed;
+  pw.mean = 123;
+  wl.set_phase(0, pw);
+  for (GranuleId g = 0; g < 32; ++g) EXPECT_EQ(wl.granule_duration(0, g), 123u);
+  EXPECT_EQ(wl.task_duration(0, {0, 10}), 1230u);
+}
+
+TEST(Workload, DurationsAreScheduleIndependent) {
+  // Pure function of (seed, phase, granule): same value on every query.
+  Workload wl(77);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kExponential;
+  pw.mean = 100;
+  wl.set_phase(3, pw);
+  const SimTime first = wl.granule_duration(3, 41);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(wl.granule_duration(3, 41), first);
+}
+
+TEST(Workload, SeedsChangeDurations) {
+  PhaseWorkload pw;
+  pw.model = DurationModel::kUniform;
+  pw.mean = 100;
+  pw.spread = 50;
+  Workload a(1), b(2);
+  a.set_phase(0, pw);
+  b.set_phase(0, pw);
+  int diff = 0;
+  for (GranuleId g = 0; g < 64; ++g)
+    if (a.granule_duration(0, g) != b.granule_duration(0, g)) ++diff;
+  EXPECT_GT(diff, 48);
+}
+
+TEST(Workload, UniformStaysInBounds) {
+  Workload wl(5);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kUniform;
+  pw.mean = 100;
+  pw.spread = 30;
+  wl.set_phase(0, pw);
+  for (GranuleId g = 0; g < 1000; ++g) {
+    const SimTime d = wl.granule_duration(0, g);
+    EXPECT_GE(d, 70u);
+    EXPECT_LE(d, 130u);
+  }
+}
+
+TEST(Workload, ExponentialMeanApproximatelyRight) {
+  Workload wl(6);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kExponential;
+  pw.mean = 200;
+  wl.set_phase(0, pw);
+  Accumulator acc;
+  for (GranuleId g = 0; g < 20000; ++g)
+    acc.add(static_cast<double>(wl.granule_duration(0, g)));
+  EXPECT_NEAR(acc.mean(), 200.0, 10.0);
+}
+
+TEST(Workload, BimodalHitsBothModes) {
+  Workload wl(7);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kBimodal;
+  pw.mean = 100;
+  pw.spread = 900;
+  pw.bimodal_p = 0.2;
+  wl.set_phase(0, pw);
+  int longs = 0;
+  for (GranuleId g = 0; g < 5000; ++g)
+    if (wl.granule_duration(0, g) == 1000u) ++longs;
+  EXPECT_NEAR(static_cast<double>(longs) / 5000.0, 0.2, 0.03);
+}
+
+TEST(Workload, ConditionalSkipsAtConfiguredRate) {
+  Workload wl(8);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kFixed;
+  pw.mean = 500;
+  pw.skip_probability = 0.4;
+  pw.skip_cost = 2;
+  wl.set_phase(0, pw);
+  int skipped = 0;
+  for (GranuleId g = 0; g < 5000; ++g)
+    if (wl.granule_duration(0, g) == 2u) ++skipped;
+  EXPECT_NEAR(static_cast<double>(skipped) / 5000.0, 0.4, 0.03);
+}
+
+TEST(Workload, ExpectedPhaseWorkMatchesEmpirical) {
+  Workload wl(9);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kBimodal;
+  pw.mean = 100;
+  pw.spread = 400;
+  pw.bimodal_p = 0.1;
+  pw.skip_probability = 0.25;
+  pw.skip_cost = 1;
+  wl.set_phase(0, pw);
+  const GranuleId n = 20000;
+  double total = 0;
+  for (GranuleId g = 0; g < n; ++g)
+    total += static_cast<double>(wl.granule_duration(0, g));
+  EXPECT_NEAR(total / wl.expected_phase_work(0, n), 1.0, 0.03);
+}
+
+// --- trace math -----------------------------------------------------------------
+
+TEST(Trace, UtilizationIdentity) {
+  // compute_ticks == P * makespan * utilization by definition.
+  PhaseProgram prog = one_phase(64);
+  MachineConfig mc;
+  mc.workers = 4;
+  const auto res = simulate(prog, ExecConfig{}, CostModel{}, Workload(3), mc);
+  EXPECT_NEAR(res.utilization() * static_cast<double>(res.makespan) * 4.0,
+              static_cast<double>(res.compute_ticks),
+              1.0);
+}
+
+TEST(Trace, TimelineIntegratesToUtilization) {
+  PhaseProgram prog = one_phase(128);
+  MachineConfig mc;
+  mc.workers = 8;
+  const auto res = simulate(prog, ExecConfig{}, CostModel{}, Workload(4), mc);
+  const auto tl = res.timeline(50);
+  double mean = 0;
+  for (double v : tl) mean += v;
+  mean /= static_cast<double>(tl.size());
+  EXPECT_NEAR(mean, res.utilization(), 0.02);
+}
+
+TEST(Trace, WindowUtilizationBounds) {
+  PhaseProgram prog = one_phase(64);
+  MachineConfig mc;
+  mc.workers = 4;
+  const auto res = simulate(prog, ExecConfig{}, CostModel{}, Workload(5), mc);
+  const double w = res.window_utilization(0, res.makespan);
+  EXPECT_GE(w, 0.0);
+  EXPECT_LE(w, 1.0);
+  EXPECT_NEAR(w, res.utilization(), 1e-9);
+}
+
+TEST(Trace, RunRecordsHaveSaneLifecycle) {
+  PhaseProgram prog = one_phase(32);
+  MachineConfig mc;
+  mc.workers = 2;
+  const auto res = simulate(prog, ExecConfig{}, CostModel{}, Workload(6), mc);
+  ASSERT_EQ(res.runs.size(), 1u);
+  const RunRecord& r = res.runs[0];
+  EXPECT_LE(r.created, r.first_task);
+  EXPECT_LT(r.first_task, r.completed);
+  EXPECT_LE(r.completed, res.makespan);
+  EXPECT_EQ(res.phase_completion(r.phase), r.completed);
+}
+
+// --- machine behaviours ------------------------------------------------------------
+
+TEST(Machine, SingleWorkerSerializesEverything) {
+  PhaseProgram prog = one_phase(16);
+  Workload wl(7);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kFixed;
+  pw.mean = 100;
+  wl.set_phase(0, pw);
+  MachineConfig mc;
+  mc.workers = 1;
+  const auto res = simulate(prog, ExecConfig{}, CostModel::free_of_charge(), wl, mc);
+  EXPECT_EQ(res.makespan, 1600u);
+  EXPECT_NEAR(res.utilization(), 1.0, 1e-9);
+}
+
+TEST(Machine, PerfectDivisionReachesFullUtilization) {
+  PhaseProgram prog = one_phase(64);
+  Workload wl(8);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kFixed;
+  pw.mean = 50;
+  wl.set_phase(0, pw);
+  MachineConfig mc;
+  mc.workers = 8;
+  const auto res = simulate(prog, ExecConfig{}, CostModel::free_of_charge(), wl, mc);
+  EXPECT_EQ(res.makespan, 8u * 50u);  // 64 granules / 8 workers
+  EXPECT_NEAR(res.utilization(), 1.0, 1e-9);
+}
+
+TEST(Machine, LeftoverCreatesRundownTail) {
+  // 9 unit tasks on 8 workers: the ninth runs alone.
+  PhaseProgram prog = one_phase(9);
+  Workload wl(9);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kFixed;
+  pw.mean = 100;
+  wl.set_phase(0, pw);
+  MachineConfig mc;
+  mc.workers = 8;
+  const auto res = simulate(prog, ExecConfig{}, CostModel::free_of_charge(), wl, mc);
+  EXPECT_EQ(res.makespan, 200u);
+  EXPECT_NEAR(res.busy_workers_in(100, 200), 1.0, 1e-9);
+}
+
+TEST(Machine, ManagementCostsExtendMakespan) {
+  PhaseProgram prog = one_phase(64);
+  Workload wl(10);
+  MachineConfig mc;
+  mc.workers = 4;
+  const auto free_run =
+      simulate(prog, ExecConfig{}, CostModel::free_of_charge(), wl, mc);
+  const auto paid_run = simulate(prog, ExecConfig{}, CostModel{}, wl, mc);
+  EXPECT_GT(paid_run.makespan, free_run.makespan);
+  EXPECT_GT(paid_run.exec_ticks, 0u);
+  EXPECT_EQ(free_run.exec_ticks, 0u);
+}
+
+TEST(Machine, DedicatedPlacementBeatsWorkerStealingUnderLoad) {
+  // Heavy management at grain 1: off-worker completions should help.
+  PhaseProgram prog = one_phase(512);
+  Workload wl(11);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kFixed;
+  pw.mean = 60;
+  wl.set_phase(0, pw);
+  MachineConfig mc;
+  mc.workers = 8;
+  ExecConfig ws;
+  ws.placement = ExecPlacement::kWorkerStealing;
+  ExecConfig ded;
+  ded.placement = ExecPlacement::kDedicated;
+  const auto r_ws = simulate(prog, ws, CostModel{}, wl, mc);
+  const auto r_ded = simulate(prog, ded, CostModel{}, wl, mc);
+  EXPECT_LT(r_ded.makespan, r_ws.makespan);
+}
+
+TEST(Machine, TaskOverheadAccrues) {
+  PhaseProgram prog = one_phase(32);
+  Workload wl(12);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kFixed;
+  pw.mean = 10;
+  wl.set_phase(0, pw);
+  MachineConfig a;
+  a.workers = 2;
+  MachineConfig b = a;
+  b.task_overhead = 90;
+  const auto ra = simulate(prog, ExecConfig{}, CostModel::free_of_charge(), wl, a);
+  const auto rb = simulate(prog, ExecConfig{}, CostModel::free_of_charge(), wl, b);
+  EXPECT_EQ(rb.makespan, ra.makespan * 10);  // 10 -> 100 per task
+}
+
+TEST(Machine, RequestLatencyTracked) {
+  PhaseProgram prog = one_phase(64);
+  MachineConfig mc;
+  mc.workers = 4;
+  const auto res = simulate(prog, ExecConfig{}, CostModel{}, Workload(13), mc);
+  EXPECT_GT(res.request_latency.count(), 0u);
+  EXPECT_GT(res.request_latency.mean(), 0.0);
+}
+
+TEST(Machine, GranuleConservationAcrossPlacements) {
+  for (ExecPlacement placement :
+       {ExecPlacement::kWorkerStealing, ExecPlacement::kDedicated}) {
+    PhaseProgram prog;
+    PhaseId a = prog.define_phase(make_phase("a", 100).writes("X"));
+    prog.dispatch(a, {EnableClause{"b", MappingKind::kIdentity, {}}});
+    prog.dispatch(prog.define_phase(make_phase("b", 100).reads("X")));
+    prog.halt();
+    ExecConfig cfg;
+    cfg.grain = 7;
+    cfg.placement = placement;
+    MachineConfig mc;
+    mc.workers = 6;
+    const auto res = simulate(prog, cfg, CostModel{}, Workload(14), mc);
+    EXPECT_EQ(res.granules_executed, 200u);
+    EXPECT_EQ(res.diagnostics.size(), 0u);
+  }
+}
+
+TEST(Machine, ManyWorkersFewTasksTerminates) {
+  PhaseProgram prog = one_phase(3);
+  MachineConfig mc;
+  mc.workers = 64;  // far more workers than work
+  const auto res = simulate(prog, ExecConfig{}, CostModel{}, Workload(15), mc);
+  EXPECT_EQ(res.granules_executed, 3u);
+}
+
+TEST(Machine, MaxTimeGuardAccepted) {
+  PhaseProgram prog = one_phase(8);
+  MachineConfig mc;
+  mc.workers = 2;
+  mc.max_time = 1'000'000'000;
+  const auto res = simulate(prog, ExecConfig{}, CostModel{}, Workload(16), mc);
+  EXPECT_LE(res.makespan, mc.max_time);
+}
+
+class SimDeterminism
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(SimDeterminism, IdenticalResultsForIdenticalInputs) {
+  const auto [workers, grain, overlap] = GetParam();
+  PhaseProgram prog;
+  PhaseId a = prog.define_phase(make_phase("a", 96).writes("X"));
+  prog.dispatch(a, {EnableClause{"b", MappingKind::kIdentity, {}}});
+  prog.dispatch(prog.define_phase(make_phase("b", 96).reads("X")));
+  prog.halt();
+  Workload wl(20);
+  PhaseWorkload pw;
+  pw.model = DurationModel::kExponential;
+  pw.mean = 80;
+  wl.set_phase(0, pw);
+  wl.set_phase(1, pw);
+  ExecConfig cfg;
+  cfg.grain = static_cast<GranuleId>(grain);
+  cfg.overlap = overlap;
+  MachineConfig mc;
+  mc.workers = static_cast<std::uint32_t>(workers);
+  const auto r1 = simulate(prog, cfg, CostModel{}, wl, mc);
+  const auto r2 = simulate(prog, cfg, CostModel{}, wl, mc);
+  EXPECT_EQ(r1.makespan, r2.makespan);
+  EXPECT_EQ(r1.exec_ticks, r2.exec_ticks);
+  EXPECT_EQ(r1.compute_ticks, r2.compute_ticks);
+  EXPECT_EQ(r1.tasks_executed, r2.tasks_executed);
+}
+
+std::string determinism_name(
+    const ::testing::TestParamInfo<std::tuple<int, int, bool>>& info) {
+  return "w" + std::to_string(std::get<0>(info.param)) + "_g" +
+         std::to_string(std::get<1>(info.param)) +
+         (std::get<2>(info.param) ? "_overlap" : "_barrier");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimDeterminism,
+                         ::testing::Combine(::testing::Values(1, 3, 16),
+                                            ::testing::Values(1, 8),
+                                            ::testing::Values(false, true)),
+                         determinism_name);
+
+}  // namespace
+}  // namespace pax::sim
