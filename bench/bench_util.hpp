@@ -5,8 +5,10 @@
 // two-phase programs for every mapping kind and run them on the simulator.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/executive.hpp"

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "casper/pipeline.hpp"

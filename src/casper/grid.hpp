@@ -1,6 +1,7 @@
 // grid.hpp — 2D potential grid for the checkerboard SOR solver.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -2,6 +2,7 @@
 // granule maps (current granule -> successor granules it helps enable).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <utility>

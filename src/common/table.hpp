@@ -4,6 +4,8 @@
 // text; this gives them a common, diff-friendly rendering.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>

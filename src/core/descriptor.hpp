@@ -17,6 +17,7 @@
 // conflict queue, and its own conflict-queue head.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <vector>

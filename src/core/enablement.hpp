@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/csr.hpp"

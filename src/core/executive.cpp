@@ -49,6 +49,14 @@ struct ExecutiveCore::CachedMap {
   std::uint64_t entries = 0;
 };
 
+/// Successor granules of one overlap edge enabled during a completion batch,
+/// keyed by the successor run (the edge may die mid-batch when its current
+/// run completes; the run outlives it).
+struct ExecutiveCore::DeferredEnable {
+  RunId succ = kNoRun;
+  std::vector<GranuleId> newly;
+};
+
 /// Deferred successor-splitting task: "The successor computation description
 /// could be removed from the current computation description and included in
 /// the successor-splitting task information."
@@ -331,6 +339,18 @@ std::optional<Assignment> ExecutiveCore::request_work(WorkerId) {
   return Assignment{t, task->run, task->phase, task->range, task->priority};
 }
 
+std::size_t ExecutiveCore::request_work_batch(WorkerId worker, std::size_t max_n,
+                                              std::vector<Assignment>& out) {
+  std::size_t got = 0;
+  while (got < max_n) {
+    std::optional<Assignment> a = request_work(worker);
+    if (!a.has_value()) break;
+    out.push_back(*a);
+    ++got;
+  }
+  return got;
+}
+
 void ExecutiveCore::release_conflicts(Descriptor& d) {
   d.conflict_queue.drain([&](Descriptor& s) {
     // Identity-successor pieces queue behind the remaining current-phase
@@ -347,15 +367,14 @@ void ExecutiveCore::release_conflicts(Descriptor& d) {
   });
 }
 
-CompletionResult ExecutiveCore::complete(Ticket ticket) {
+void ExecutiveCore::complete_one(Ticket ticket,
+                                 std::vector<DeferredEnable>& deferred,
+                                 CompletionResult& res) {
   PAX_CHECK(ticket < assignments_.size() && assignments_[ticket] != nullptr);
   Descriptor* d = assignments_[ticket];
   assignments_[ticket] = nullptr;
   free_tickets_.push_back(ticket);
   PAX_CHECK(d->state == DescState::kAssigned);
-
-  CompletionResult res;
-  const std::size_t waiting_before = waiting_.size();
 
   ledger_.charge(MgmtOp::kCompletion, costs_);
   if (d->pending_split != nullptr) force_pending_split(*d);
@@ -376,22 +395,50 @@ CompletionResult ExecutiveCore::complete(Ticket ticket) {
       updates += m.on_complete(g, newly);
     if (updates > 0) ledger_.charge(MgmtOp::kCounterUpdate, costs_, updates);
     if (!newly.empty()) {
-      std::sort(newly.begin(), newly.end());
-      Run& succ = run_of(r.outgoing->succ);
-      const Priority prio =
-          config_.elevate_released ? Priority::kElevated : Priority::kNormal;
-      for (const GranuleRange& range : coalesce_sorted(newly))
-        enqueue_enabled(succ, range, prio);
+      const RunId succ = r.outgoing->succ;
+      DeferredEnable* slot = nullptr;
+      for (auto& de : deferred)
+        if (de.succ == succ) slot = &de;
+      if (slot == nullptr) slot = &deferred.emplace_back(DeferredEnable{succ, {}});
+      slot->newly.insert(slot->newly.end(), newly.begin(), newly.end());
     }
   }
 
   retire_desc(*d);
 
   if (r.completed_count == r.total) {
+    // A run completion can advance the program counter, and dispatch-time
+    // overlap setup assumes every enabled successor granule is materialised
+    // as a descriptor — so flush the batch's pending enablements first.
+    flush_deferred(deferred);
     on_run_complete(r);
     res.run_completed = true;
   }
+}
 
+void ExecutiveCore::flush_deferred(std::vector<DeferredEnable>& deferred) {
+  const Priority prio =
+      config_.elevate_released ? Priority::kElevated : Priority::kNormal;
+  for (DeferredEnable& de : deferred) {
+    std::sort(de.newly.begin(), de.newly.end());
+    de.newly.erase(std::unique(de.newly.begin(), de.newly.end()), de.newly.end());
+    Run& succ = run_of(de.succ);
+    for (const GranuleRange& range : coalesce_sorted(de.newly))
+      enqueue_enabled(succ, range, prio);
+  }
+  deferred.clear();
+}
+
+CompletionResult ExecutiveCore::complete(Ticket ticket) {
+  return complete_batch({&ticket, 1});
+}
+
+CompletionResult ExecutiveCore::complete_batch(std::span<const Ticket> tickets) {
+  CompletionResult res;
+  const std::size_t waiting_before = waiting_.size();
+  std::vector<DeferredEnable> deferred;
+  for (const Ticket t : tickets) complete_one(t, deferred, res);
+  flush_deferred(deferred);
   res.new_work = waiting_.size() > waiting_before;
   res.program_finished = finished_;
   return res;

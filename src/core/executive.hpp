@@ -20,10 +20,12 @@
 //     std::jthread workers execute the assignments.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,8 +89,25 @@ class ExecutiveCore {
   /// computable right now.
   std::optional<Assignment> request_work(WorkerId worker);
 
+  /// Batched handoff: pop up to `max_n` assignments in one call, appending
+  /// them to `out`. Stops early when the queue runs dry. Ledger charges are
+  /// identical to `max_n` single requests; what a batch saves is the
+  /// *driver's* per-assignment executive round-trip (mutex acquisition on
+  /// the threaded runtime). Returns the number of assignments appended.
+  std::size_t request_work_batch(WorkerId worker, std::size_t max_n,
+                                 std::vector<Assignment>& out);
+
   /// Completion processing for an assignment previously handed out.
   CompletionResult complete(Ticket ticket);
+
+  /// Batched completion: retire several tickets in one call. Indirect
+  /// enablements are coalesced across the whole batch — counter decrements
+  /// happen per ticket, but newly enabled successor granules are enqueued
+  /// (and their kGranulesEnabled events emitted) once, as maximal ranges,
+  /// which keeps the waiting queue unfragmented when one worker retires
+  /// many scattered granules at once. The merged result ORs the per-ticket
+  /// outcomes; `new_work` reflects the whole batch.
+  CompletionResult complete_batch(std::span<const Ticket> tickets);
 
   /// Executive idle-time work: presplitting and deferred successor-splitting
   /// tasks. Returns true if something was done (drivers loop while true and
@@ -134,6 +153,10 @@ class ExecutiveCore {
   struct Run;
   struct Edge;
   struct SplitTask;
+  /// Indirect enablements accumulated across a completion batch, flushed as
+  /// coalesced ranges (and always before a run-completion can advance the
+  /// program, so dispatch-time invariants see a fully enqueued successor).
+  struct DeferredEnable;
 
   // Node processing.
   void advance_program();
@@ -160,6 +183,13 @@ class ExecutiveCore {
   const Run& run_of(RunId id) const;
   Descriptor& make_desc(Run& r, GranuleRange range, Priority prio);
   void retire_desc(Descriptor& d);
+  /// Completion processing for one ticket; indirect enablements accumulate
+  /// in `deferred` for a coalesced flush (complete() is a batch of one —
+  /// for a single ticket the deferred flush is observably identical to an
+  /// eager enqueue).
+  void complete_one(Ticket ticket, std::vector<DeferredEnable>& deferred,
+                    CompletionResult& res);
+  void flush_deferred(std::vector<DeferredEnable>& deferred);
   void enqueue_enabled(Run& succ, GranuleRange range, Priority prio);
   void on_run_complete(Run& r);
   void release_conflicts(Descriptor& d);

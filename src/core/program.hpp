@@ -9,9 +9,11 @@
 // the successor its lookahead discovers (provided an ENABLE clause names it).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 

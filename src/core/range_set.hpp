@@ -6,6 +6,7 @@
 // partially complete phase.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/check.hpp"

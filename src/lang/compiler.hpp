@@ -9,6 +9,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/program.hpp"
 #include "lang/ast.hpp"

@@ -5,6 +5,7 @@
 // keywords are recognised case-insensitively by the parser.
 #pragma once
 
+#include <string>
 #include <string_view>
 #include <vector>
 

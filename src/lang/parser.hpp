@@ -1,7 +1,9 @@
 // parser.hpp — recursive-descent parser for the PAX language.
 #pragma once
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "lang/ast.hpp"
 #include "lang/token.hpp"

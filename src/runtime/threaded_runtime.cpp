@@ -1,5 +1,6 @@
 #include "runtime/threaded_runtime.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "common/check.hpp"
@@ -7,12 +8,19 @@
 namespace pax::rt {
 
 double RtResult::utilization() const {
-  if (wall.count() == 0 || worker_busy.empty()) return 0.0;
-  std::chrono::nanoseconds total{0};
-  for (auto b : worker_busy) total += b;
-  return static_cast<double>(total.count()) /
-         (static_cast<double>(wall.count()) *
-          static_cast<double>(worker_busy.size()));
+  std::chrono::nanoseconds total_busy{0};
+  for (auto b : worker_busy) total_busy += b;
+  std::chrono::nanoseconds denom{0};
+  if (!worker_wall.empty()) {
+    for (auto w : worker_wall) denom += w;
+  } else {
+    // Pre-measurement results (or hand-built ones): fall back to folding the
+    // whole run() span into every worker.
+    denom = wall * static_cast<std::int64_t>(worker_busy.size());
+  }
+  if (denom.count() == 0) return 0.0;
+  return static_cast<double>(total_busy.count()) /
+         static_cast<double>(denom.count());
 }
 
 ThreadedRuntime::ThreadedRuntime(const PhaseProgram& program, ExecConfig config,
@@ -22,51 +30,115 @@ ThreadedRuntime::ThreadedRuntime(const PhaseProgram& program, ExecConfig config,
       bodies_(bodies),
       rt_config_(rt_config),
       core_(program, config, costs),
-      busy_(rt_config.workers, std::chrono::nanoseconds{0}) {
+      busy_(rt_config.workers, std::chrono::nanoseconds{0}),
+      worker_wall_(rt_config.workers, std::chrono::nanoseconds{0}) {
   PAX_CHECK_MSG(rt_config_.workers > 0, "need at least one worker");
+  PAX_CHECK_MSG(rt_config_.batch > 0, "batch must be at least 1");
 }
 
 void ThreadedRuntime::set_observer(std::function<void(const ExecEvent&)> obs) {
   core_.observer = std::move(obs);
 }
 
-void ThreadedRuntime::worker_main(WorkerId id) {
-  std::unique_lock lock(mu_);
-  while (true) {
-    if (core_.finished() && !core_.work_available()) return;
+void ThreadedRuntime::submit_conflicting(RunId blocker, PhaseId phase,
+                                         GranuleRange range) {
+  bool notify;
+  {
+    std::scoped_lock lock(mu_);
+    core_.submit_conflicting(blocker, phase, range);
+    // Work enqueues immediately when the blocker already completed.
+    notify = core_.work_available();
+  }
+  if (notify) cv_.notify_all();
+}
 
-    std::optional<Assignment> work = core_.request_work(id);
-    if (!work.has_value()) {
+void ThreadedRuntime::worker_main(WorkerId id) {
+  const auto enter = std::chrono::steady_clock::now();
+  const std::size_t max_batch = rt_config_.batch;
+  std::vector<Assignment> batch;
+  std::vector<Ticket> done;
+  batch.reserve(max_batch);
+  done.reserve(max_batch);
+  std::chrono::nanoseconds busy{0};
+  std::uint64_t tasks = 0;
+  std::uint64_t granules = 0;
+  std::uint64_t locks = 0;
+  bool pending_notify_all = false;
+
+  std::unique_lock lock(mu_);
+  ++locks;
+  while (true) {
+    // Retire the previous batch and pull the next one in the same critical
+    // section: one lock round-trip per `max_batch` tasks in steady state.
+    if (!done.empty()) {
+      const CompletionResult res = core_.complete_batch(done);
+      done.clear();
+      if (res.new_work || res.program_finished) pending_notify_all = true;
+    }
+    if (core_.finished() && !core_.work_available()) break;
+
+    batch.clear();
+    core_.request_work_batch(id, max_batch, batch);
+
+    if (batch.empty()) {
       // Donate idle time to the executive (presplitting, deferred
       // successor-splitting tasks, composite-map slices) before sleeping.
       if (core_.idle_work()) {
         // Idle work may have enabled work; peers must not sleep through it.
-        if (core_.work_available()) cv_.notify_all();
+        if (core_.work_available()) pending_notify_all = true;
         continue;
       }
-      if (core_.finished()) return;
+      if (core_.finished()) break;
+      if (pending_notify_all) {
+        // Cold path: notify before sleeping (wait() releases the mutex, so
+        // notifying under it here cannot make peers spin against us).
+        cv_.notify_all();
+        pending_notify_all = false;
+      }
       cv_.wait(lock, [&] { return core_.work_available() || core_.finished(); });
+      ++locks;
       continue;
     }
 
-    const Assignment a = *work;
-    // More work remains after this assignment: wake a sleeping peer (work
-    // can become available through paths that do not notify, e.g. another
-    // worker's idle-time enablements).
-    if (core_.work_available()) cv_.notify_one();
+    const bool more = core_.work_available();
     lock.unlock();
+    // Notifications go out after the unlock so a woken peer finds the
+    // executive mutex free instead of immediately blocking on it.
+    if (pending_notify_all) {
+      cv_.notify_all();
+      pending_notify_all = false;
+    } else if (more) {
+      // More work remains after this batch: wake a sleeping peer (work can
+      // become available through paths that do not notify, e.g. another
+      // worker's idle-time enablements).
+      cv_.notify_one();
+    }
 
-    const auto t0 = std::chrono::steady_clock::now();
-    bodies_.of(a.phase)(a.range, id);
-    const auto t1 = std::chrono::steady_clock::now();
+    for (const Assignment& a : batch) {
+      const auto t0 = std::chrono::steady_clock::now();
+      bodies_.of(a.phase)(a.range, id);
+      const auto t1 = std::chrono::steady_clock::now();
+      busy += std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
+      granules += a.range.size();
+      done.push_back(a.ticket);
+    }
+    tasks += batch.size();
 
     lock.lock();
-    busy_[id] += std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
-    ++tasks_;
-    granules_ += a.range.size();
-    const CompletionResult res = core_.complete(a.ticket);
-    if (res.new_work || res.program_finished) cv_.notify_all();
+    ++locks;
   }
+
+  // The loop exits holding the lock: publish per-worker accounting. The
+  // worker wall clock closes here, inside worker_main, so thread spawn/join
+  // overhead never counts as worker idle time.
+  busy_[id] += busy;
+  worker_wall_[id] = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - enter);
+  tasks_ += tasks;
+  granules_ += granules;
+  lock_acquisitions_ += locks;
+  lock.unlock();
+  if (pending_notify_all) cv_.notify_all();
 }
 
 RtResult ThreadedRuntime::run() {
@@ -94,8 +166,10 @@ RtResult ThreadedRuntime::run() {
   RtResult res;
   res.wall = std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 - wall0);
   res.worker_busy = busy_;
+  res.worker_wall = worker_wall_;
   res.tasks_executed = tasks_;
   res.granules_executed = granules_;
+  res.exec_lock_acquisitions = lock_acquisitions_;
   res.ledger = core_.ledger();
   res.diagnostics = core_.diagnostics();
   return res;

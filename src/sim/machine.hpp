@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <queue>
 #include <vector>
 

@@ -2,6 +2,7 @@
 // rundown-window metrics.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

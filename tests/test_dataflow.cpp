@@ -151,10 +151,14 @@ TEST(AccessOracle, EnablementImpliesParallel) {
     for (GranuleId q = 0; q < n; ++q) {
       const bool q_in_requirements = q == r || q == (r + 2) % n;
       // If q is NOT in r's requirement set, running them together is fine.
-      if (!q_in_requirements) EXPECT_TRUE(oracle.parallel(cur, q, next, r));
+      if (!q_in_requirements) {
+        EXPECT_TRUE(oracle.parallel(cur, q, next, r));
+      }
       // If q IS required, the pair conflicts — exactly why the executive
       // waits for q's completion before enabling r.
-      if (q_in_requirements) EXPECT_FALSE(oracle.parallel(cur, q, next, r));
+      if (q_in_requirements) {
+        EXPECT_FALSE(oracle.parallel(cur, q, next, r));
+      }
     }
   }
 }

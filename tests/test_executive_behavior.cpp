@@ -588,5 +588,150 @@ TEST(ExecutiveHygiene, NoDescriptorsLeakAcrossConfigs) {
   }
 }
 
+// --- batched worker protocol --------------------------------------------------
+
+TEST(BatchedProtocol, RequestWorkBatchPopsDisjointPrefixes) {
+  const GranuleId n = 64;
+  PhaseProgram prog = identity_two_phase(n);
+  ExecConfig cfg;
+  cfg.grain = 4;
+  ExecutiveCore core(prog, cfg, CostModel{});
+  core.start();
+
+  std::vector<Assignment> batch;
+  const std::size_t got = core.request_work_batch(0, 5, batch);
+  ASSERT_EQ(got, 5u);
+  ASSERT_EQ(batch.size(), 5u);
+  RangeSet seen;
+  for (const Assignment& a : batch) {
+    EXPECT_EQ(a.range.size(), 4u);
+    seen.insert(a.range);  // RangeSet aborts on overlap
+  }
+  EXPECT_EQ(seen.cardinality(), 20u);
+
+  // Empty-queue batch: returns 0 and appends nothing.
+  std::vector<Assignment> rest;
+  while (core.request_work_batch(0, 8, rest) > 0) {
+  }
+  for (const Assignment& a : rest) core.complete(a.ticket);
+  for (const Assignment& a : batch) core.complete(a.ticket);
+  while (!core.finished() || core.work_available()) {
+    std::vector<Assignment> more;
+    if (core.request_work_batch(0, 8, more) == 0) {
+      if (!core.idle_work()) break;
+      continue;
+    }
+    std::vector<Ticket> tickets;
+    for (const Assignment& a : more) tickets.push_back(a.ticket);
+    core.complete_batch(tickets);
+  }
+  EXPECT_TRUE(core.finished());
+  EXPECT_EQ(core.live_descriptors(), 0u);
+}
+
+TEST(BatchedProtocol, CompleteBatchMatchesSingleCompletionOutcome) {
+  // Drive the identical program once with single-item completion and once
+  // with batch-of-8 completion: both must execute every granule exactly
+  // once, finish the program, and agree on completion/op counts.
+  const GranuleId n = 96;
+  auto drive = [&](std::size_t batch_n) {
+    PhaseProgram prog;
+    PhaseId a = prog.define_phase(make_phase("a", n).writes("X"));
+    PhaseId b = prog.define_phase(make_phase("b", n).reads("X").writes("Y"));
+    EnableClause clause{"b", MappingKind::kReverseIndirect, {}};
+    clause.indirection.requires_of = [n](GranuleId r) {
+      return std::vector<GranuleId>{r, (3 * r + 5) % n, (7 * r + 1) % n};
+    };
+    prog.dispatch(a, {clause});
+    prog.dispatch(b);
+    prog.halt();
+
+    ExecConfig cfg;
+    cfg.grain = 4;
+    ExecutiveCore core(prog, cfg, CostModel{});
+    core.start();
+    GranuleId executed = 0;
+    std::uint64_t tasks = 0;
+    bool any_run_completed = false;
+    std::size_t spins = 0;
+    while (!core.finished() || core.work_available()) {
+      PAX_CHECK_MSG(++spins < 1'000'000, "batch drain did not converge");
+      std::vector<Assignment> batch;
+      if (core.request_work_batch(0, batch_n, batch) == 0) {
+        if (core.idle_work()) continue;
+        break;
+      }
+      std::vector<Ticket> tickets;
+      for (const Assignment& a : batch) {
+        executed += a.range.size();
+        tickets.push_back(a.ticket);
+      }
+      tasks += tickets.size();
+      const CompletionResult res = core.complete_batch(tickets);
+      any_run_completed |= res.run_completed;
+    }
+    EXPECT_EQ(executed, 2 * n);
+    EXPECT_TRUE(core.finished());
+    EXPECT_TRUE(any_run_completed);
+    EXPECT_TRUE(core.diagnostics().empty());
+    EXPECT_EQ(core.live_descriptors(), 0u);
+    // Completion processing stays per ticket under batching: one kCompletion
+    // charge per retired task (batching coalesces enqueues, not accounting).
+    EXPECT_EQ(core.ledger().count(MgmtOp::kCompletion), tasks);
+  };
+  drive(1);
+  drive(8);
+}
+
+TEST(BatchedProtocol, BatchCompletionCoalescesEnablementEvents) {
+  // Forward-indirect scatter: each current granule enables one successor
+  // granule far away. Retiring a whole wavefront in one complete_batch must
+  // enqueue the newly enabled successors as coalesced ranges — observable as
+  // far fewer kGranulesEnabled events than per-ticket completion emits.
+  const GranuleId n = 64;
+  auto count_enable_events = [&](bool batched) {
+    PhaseProgram prog;
+    PhaseId a = prog.define_phase(make_phase("a", n).writes("X"));
+    PhaseId b = prog.define_phase(make_phase("b", n).reads("X").writes("Y"));
+    EnableClause clause{"b", MappingKind::kForwardIndirect, {}};
+    // Bit-reversal-flavoured scatter: adjacent current granules enable
+    // non-adjacent successors, so per-ticket enqueues cannot merge.
+    clause.indirection.enables_of = [n](GranuleId g) {
+      return std::vector<GranuleId>{(g * 37) % n};
+    };
+    prog.dispatch(a, {clause});
+    prog.dispatch(b);
+    prog.halt();
+
+    ExecConfig cfg;
+    cfg.grain = 1;
+    cfg.defer_map_build = false;  // map exists before the first completion
+    ExecutiveCore core(prog, cfg, CostModel{});
+    std::uint64_t enable_events = 0;
+    core.observer = [&](const ExecEvent& ev) {
+      if (ev.kind == ExecEvent::Kind::kGranulesEnabled) ++enable_events;
+    };
+    core.start();
+    std::size_t spins = 0;
+    while (!core.finished() || core.work_available()) {
+      PAX_CHECK_MSG(++spins < 1'000'000, "coalesce drain did not converge");
+      std::vector<Assignment> batch;
+      if (core.request_work_batch(0, batched ? n : 1, batch) == 0) {
+        if (core.idle_work()) continue;
+        break;
+      }
+      std::vector<Ticket> tickets;
+      for (const Assignment& a : batch) tickets.push_back(a.ticket);
+      core.complete_batch(tickets);
+    }
+    EXPECT_TRUE(core.finished());
+    return enable_events;
+  };
+  const auto scattered = count_enable_events(false);
+  const auto coalesced = count_enable_events(true);
+  EXPECT_LT(coalesced, scattered)
+      << "batched completion should emit fewer, wider enablement events";
+}
+
 }  // namespace
 }  // namespace pax
