@@ -94,7 +94,11 @@ int main() {
   Table t("T6 — lock round-trips and utilization vs batch size");
   t.header({"workers", "batch", "granules", "locks", "locks/granule",
             "utilization", "wall ms"});
-  for (std::uint32_t workers : {2u, hw / 2, hw}) {
+  std::vector<std::uint32_t> worker_counts{2u, hw / 2, hw};
+  std::sort(worker_counts.begin(), worker_counts.end());
+  worker_counts.erase(std::unique(worker_counts.begin(), worker_counts.end()),
+                      worker_counts.end());
+  for (std::uint32_t workers : worker_counts) {
     if (workers == 0) continue;
     double base_lpg = 0.0;
     std::uint64_t base_granules = 0;

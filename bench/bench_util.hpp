@@ -1,7 +1,7 @@
 // bench_util.hpp — shared builders for the experiment harness.
 //
 // Each bench binary regenerates one quantitative claim of the paper (see
-// DESIGN.md §4 and EXPERIMENTS.md). The helpers here build canonical
+// DESIGN.md §4 and the README bench matrix). The helpers here build canonical
 // two-phase programs for every mapping kind and run them on the simulator.
 #pragma once
 

@@ -123,6 +123,22 @@ class ExecutiveCore {
   [[nodiscard]] bool work_available() const { return !waiting_.empty(); }
   [[nodiscard]] std::size_t waiting_size() const { return waiting_.size(); }
 
+  /// Idle-time work *may* be pending (presplitting is excluded: it only
+  /// matters while the waiting queue is non-empty). May report stale `true`
+  /// for dead map builds or retired split tasks; idle_work() is the exact
+  /// answer and erases such entries as it scans.
+  [[nodiscard]] bool has_idle_work() const {
+    return !pending_map_builds_.empty() || !split_tasks_.empty();
+  }
+
+  /// Cheap probe for cross-job scheduling (pool runtime): can a worker make
+  /// progress on this core right now? False does not mean finished — work
+  /// may be outstanding on other workers whose completions will enable more.
+  /// A core that has not start()ed yet also reports false.
+  [[nodiscard]] bool runnable() const {
+    return !finished_ && (!waiting_.empty() || has_idle_work());
+  }
+
   [[nodiscard]] const MgmtLedger& ledger() const { return ledger_; }
   MgmtLedger& ledger() { return ledger_; }
 

@@ -1,0 +1,13 @@
+#include "pool/job.hpp"
+
+#include "common/check.hpp"
+#include "pool/pool_runtime.hpp"
+
+namespace pax::pool {
+
+bool JobHandle::cancel() {
+  PAX_CHECK_MSG(pool_ != nullptr && job_ != nullptr, "cancel on empty handle");
+  return pool_->cancel_job(job_);
+}
+
+}  // namespace pax::pool

@@ -1,0 +1,176 @@
+// job.hpp — one submitted PhaseProgram inside the pool runtime.
+//
+// Each job wraps its own ExecutiveCore behind its own mutex, so concurrent
+// jobs never contend on a shared executive: the serial resource the paper
+// worries about stays per-program, and the pool's cross-job scheduling works
+// entirely on cheap atomic probes refreshed whenever the job lock is held.
+//
+// Lock discipline (pool-wide): a thread never holds a job mutex and the pool
+// mutex at the same time. Probes flip while only the job mutex is held, so
+// every path that can turn a sleeper's predicate true re-acquires the
+// relevant mutex (empty critical section) before notifying — see
+// PoolRuntime::wake_pool() and cancellation in pool_runtime.cpp.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/check.hpp"
+#include "core/executive.hpp"
+#include "pool/pool_stats.hpp"
+#include "runtime/body_table.hpp"
+
+namespace pax::pool {
+
+enum class JobState : std::uint8_t {
+  kQueued,     ///< submitted; no worker has adopted it yet
+  kRunning,    ///< its executive has start()ed
+  kCancelled,  ///< cancelled before open (terminal)
+  kComplete,   ///< program finished (terminal)
+};
+
+[[nodiscard]] inline const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kComplete: return "complete";
+  }
+  return "?";
+}
+
+class PoolRuntime;
+
+namespace detail {
+
+/// Pool-internal job record. Lifetime is shared between the pool's runnable
+/// list and any JobHandles. The submitted program and bodies are borrowed:
+/// the caller keeps them alive until the job reaches a terminal state.
+struct Job {
+  Job(std::uint64_t id_in, int priority_in, const PhaseProgram& program,
+      const rt::BodyTable& bodies_in, ExecConfig config, CostModel costs)
+      : id(id_in),
+        priority(priority_in),
+        bodies(bodies_in),
+        core(program, config, costs),
+        submitted_at(std::chrono::steady_clock::now()) {}
+
+  const std::uint64_t id;
+  const int priority;
+  const rt::BodyTable& bodies;
+
+  // --- guarded by mu -------------------------------------------------------
+  std::mutex mu;
+  ExecutiveCore core;
+  JobStats stats;
+  std::chrono::steady_clock::time_point submitted_at;
+  std::chrono::steady_clock::time_point opened_at{};
+  std::chrono::steady_clock::time_point finished_at{};
+
+  /// Signalled (with mu) on transition to a terminal state.
+  std::condition_variable done_cv;
+
+  // --- atomic probes for the lock-free cross-job pick ----------------------
+  std::atomic<JobState> state{JobState::kQueued};
+  /// Cached ExecutiveCore::runnable() (queue depth or pending idle work).
+  std::atomic<bool> core_runnable{false};
+  std::atomic<std::uint64_t> granules_done{0};
+
+  /// Refresh the pick probe from the core; true when it flipped from
+  /// not-runnable to runnable — only then can a sleeper be stuck, so only
+  /// then must the caller wake the pool. Caller holds mu.
+  [[nodiscard]] bool refresh_probes() {
+    const bool now = core.runnable();
+    const bool before = core_runnable.exchange(now, std::memory_order_relaxed);
+    return now && !before;
+  }
+
+  /// Probe: could a rotating worker make progress here? Queued jobs count
+  /// (adoption start()s them). May be stale — the adopting worker verifies
+  /// under mu and simply rotates on if the work evaporated.
+  [[nodiscard]] bool runnable_probe() const {
+    const JobState s = state.load(std::memory_order_relaxed);
+    if (s == JobState::kQueued) return true;
+    if (s != JobState::kRunning) return false;
+    return core_runnable.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the stats. Caller holds mu.
+  [[nodiscard]] JobStats stats_snapshot() const {
+    JobStats out = stats;
+    const auto now = std::chrono::steady_clock::now();
+    const auto end =
+        finished_at.time_since_epoch().count() != 0 ? finished_at : now;
+    out.span = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        end - submitted_at);
+    if (opened_at.time_since_epoch().count() != 0)
+      out.queued = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          opened_at - submitted_at);
+    return out;
+  }
+};
+
+}  // namespace detail
+
+/// Caller-side view of a submitted job: poll, wait, cancel-before-open,
+/// stats. Copyable; all copies refer to the same job. Handles must not
+/// outlive the PoolRuntime that issued them (cancel() calls back into it).
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const { return job_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const {
+    PAX_CHECK_MSG(job_ != nullptr, "empty JobHandle");
+    return job_->id;
+  }
+
+  /// Non-blocking state poll.
+  [[nodiscard]] JobState state() const {
+    PAX_CHECK_MSG(job_ != nullptr, "empty JobHandle");
+    return job_->state.load(std::memory_order_acquire);
+  }
+
+  /// True when the job reached a terminal state (complete or cancelled).
+  [[nodiscard]] bool done() const {
+    const JobState s = state();
+    return s == JobState::kComplete || s == JobState::kCancelled;
+  }
+
+  /// Block until the job reaches a terminal state; returns it.
+  JobState wait() {
+    PAX_CHECK_MSG(job_ != nullptr, "empty JobHandle");
+    std::unique_lock lock(job_->mu);
+    job_->done_cv.wait(lock, [&] {
+      const JobState s = job_->state.load(std::memory_order_acquire);
+      return s == JobState::kComplete || s == JobState::kCancelled;
+    });
+    return job_->state.load(std::memory_order_acquire);
+  }
+
+  /// Cancel the job if no worker has opened it yet. True exactly when this
+  /// call cancelled it; false when it already opened (or already ended) —
+  /// in-flight programs run to completion, there is no mid-run abort.
+  bool cancel();
+
+  /// Stats snapshot (final once done()).
+  [[nodiscard]] JobStats stats() const {
+    PAX_CHECK_MSG(job_ != nullptr, "empty JobHandle");
+    std::scoped_lock lock(job_->mu);
+    return job_->stats_snapshot();
+  }
+
+ private:
+  friend class PoolRuntime;
+  JobHandle(PoolRuntime* pool, std::shared_ptr<detail::Job> job)
+      : pool_(pool), job_(std::move(job)) {}
+
+  PoolRuntime* pool_ = nullptr;
+  std::shared_ptr<detail::Job> job_;
+};
+
+}  // namespace pax::pool

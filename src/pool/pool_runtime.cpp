@@ -1,0 +1,276 @@
+#include "pool/pool_runtime.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "runtime/worker_loop.hpp"
+
+namespace pax::pool {
+
+namespace {
+constexpr std::uint64_t kNoJobId = ~std::uint64_t{0};
+}  // namespace
+
+PoolRuntime::PoolRuntime(PoolConfig config)
+    : config_(config),
+      busy_(config.workers, std::chrono::nanoseconds{0}),
+      worker_wall_(config.workers, std::chrono::nanoseconds{0}) {
+  PAX_CHECK_MSG(config_.workers > 0, "pool needs at least one worker");
+  PAX_CHECK_MSG(config_.batch > 0, "pool batch must be at least 1");
+  workers_.reserve(config_.workers);
+  for (WorkerId w = 0; w < config_.workers; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+}
+
+PoolRuntime::~PoolRuntime() { shutdown(); }
+
+JobHandle PoolRuntime::submit(const PhaseProgram& program,
+                              const rt::BodyTable& bodies, ExecConfig config,
+                              int priority, CostModel costs) {
+  std::uint64_t id = 0;
+  {
+    std::scoped_lock lock(mu_);
+    PAX_CHECK_MSG(!stop_, "submit on a stopped pool");
+    id = next_id_++;
+  }
+  // Job construction (executive setup) happens outside the pool lock.
+  auto job = std::make_shared<detail::Job>(id, priority, program, bodies,
+                                           config, costs);
+  {
+    std::scoped_lock lock(mu_);
+    PAX_CHECK_MSG(!stop_, "submit on a stopped pool");
+    jobs_.push_back(job);
+    ++jobs_submitted_;
+  }
+  // notify_all, not notify_one: drain() waits on the same cv and a
+  // notify_one could land on a drainer instead of an idle worker.
+  cv_.notify_all();
+  return JobHandle(this, std::move(job));
+}
+
+void PoolRuntime::drain() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return jobs_.empty(); });
+}
+
+void PoolRuntime::shutdown() {
+  drain();
+  {
+    std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  workers_.clear();  // jthread destructors join
+}
+
+PoolStats PoolRuntime::stats() const {
+  std::scoped_lock lock(mu_);
+  PoolStats s;
+  s.jobs_submitted = jobs_submitted_;
+  s.jobs_completed = jobs_completed_;
+  s.jobs_cancelled = jobs_cancelled_;
+  s.tasks_executed = tasks_;
+  s.granules_executed = granules_;
+  s.exec_lock_acquisitions = lock_acquisitions_;
+  s.rotations = rotations_;
+  s.worker_busy = busy_;
+  s.worker_wall = worker_wall_;
+  return s;
+}
+
+bool PoolRuntime::any_runnable_locked() const {
+  return std::any_of(jobs_.begin(), jobs_.end(),
+                     [](const auto& j) { return j->runnable_probe(); });
+}
+
+std::shared_ptr<detail::Job> PoolRuntime::pick_job_locked() {
+  std::shared_ptr<detail::Job> best;
+  JobView best_view;
+  for (const auto& j : jobs_) {
+    if (!j->runnable_probe()) continue;
+    const JobView v{j->id, j->priority,
+                    j->granules_done.load(std::memory_order_relaxed)};
+    if (best == nullptr || schedules_before(v, best_view, config_.policy)) {
+      best = j;
+      best_view = v;
+    }
+  }
+  return best;
+}
+
+void PoolRuntime::wake_pool() {
+  // The probe that turned the sleep predicate true was flipped under a job
+  // mutex, not mu_. Passing through mu_ orders that flip against any
+  // sleeper's predicate evaluation, closing the lost-wakeup window.
+  { std::scoped_lock lock(mu_); }
+  cv_.notify_all();
+}
+
+void PoolRuntime::remove_job_locked(const std::shared_ptr<detail::Job>& job) {
+  auto it = std::find(jobs_.begin(), jobs_.end(), job);
+  if (it != jobs_.end()) jobs_.erase(it);
+}
+
+bool PoolRuntime::cancel_job(const std::shared_ptr<detail::Job>& job) {
+  JobState expected = JobState::kQueued;
+  if (!job->state.compare_exchange_strong(expected, JobState::kCancelled,
+                                          std::memory_order_acq_rel)) {
+    return false;  // already opened, completed, or cancelled
+  }
+  {
+    std::scoped_lock lock(mu_);
+    remove_job_locked(job);
+    ++jobs_cancelled_;
+  }
+  cv_.notify_all();  // drain()ers re-check the (shrunk) job list
+  {
+    std::scoped_lock jlock(job->mu);
+    job->finished_at = std::chrono::steady_clock::now();
+  }
+  job->done_cv.notify_all();
+  return true;
+}
+
+void PoolRuntime::worker_main(WorkerId id) {
+  const auto enter = std::chrono::steady_clock::now();
+  const std::size_t max_batch = config_.batch;
+  std::vector<Assignment> batch;
+  std::vector<Ticket> done;
+  batch.reserve(max_batch);
+  done.reserve(max_batch);
+  rt::BodyLoopStats totals;  // everything this worker executed
+  rt::BodyLoopStats delta;   // executed since the last merge into the job
+  std::uint64_t locks = 0;
+  std::uint64_t rotations = 0;
+  std::uint64_t last_resident = kNoJobId;
+  std::shared_ptr<detail::Job> job;  // resident job
+
+  while (true) {
+    if (job == nullptr) {
+      PAX_DCHECK(done.empty());
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || any_runnable_locked(); });
+      job = pick_job_locked();
+      if (job == nullptr) {
+        if (stop_) break;
+        continue;  // stale probe; re-evaluate
+      }
+      if (job->id != last_resident) {
+        if (last_resident != kNoJobId) ++rotations;
+        last_resident = job->id;
+      }
+    }
+
+    // One critical section on the resident job's executive: merge body
+    // accounting, open on first adoption, retire the previous batch, refill.
+    enum class Outcome : std::uint8_t {
+      kExecute,   ///< got assignments; run them unlocked
+      kRetry,     ///< did executive idle work; poll the queue again
+      kFinished,  ///< program finished and we won the finalize
+      kDrained,   ///< rundown: queue empty, job not finished — rotate
+      kGone,      ///< job cancelled or finalized by a peer — rotate
+    };
+    Outcome out;
+    bool wake = false;
+    {
+      std::unique_lock jlock(job->mu);
+      ++locks;
+      ++job->stats.exec_lock_acquisitions;
+      if (delta.granules != 0 || delta.tasks != 0) {
+        job->stats.tasks += delta.tasks;
+        job->stats.granules += delta.granules;
+        job->stats.busy += delta.busy;
+        job->granules_done.fetch_add(delta.granules, std::memory_order_relaxed);
+        delta = {};
+      }
+
+      JobState st = job->state.load(std::memory_order_relaxed);
+      if (st == JobState::kQueued) {
+        JobState open_expected = JobState::kQueued;
+        if (job->state.compare_exchange_strong(open_expected, JobState::kRunning,
+                                               std::memory_order_acq_rel)) {
+          job->core.start();
+          job->opened_at = std::chrono::steady_clock::now();
+          st = JobState::kRunning;
+        } else {
+          st = open_expected;  // lost the open race to cancel()
+        }
+      }
+
+      if (st != JobState::kRunning) {
+        PAX_DCHECK(done.empty());
+        out = Outcome::kGone;
+      } else {
+        rt::retire_and_refill(job->core, id, max_batch, done, batch);
+        if (!batch.empty()) {
+          out = Outcome::kExecute;
+        } else if (job->core.finished() && !job->core.work_available()) {
+          // kRunning -> kComplete happens only here, under the job lock, by
+          // whoever retires the final ticket; the CAS cannot lose.
+          JobState fin_expected = JobState::kRunning;
+          const bool won = job->state.compare_exchange_strong(
+              fin_expected, JobState::kComplete, std::memory_order_acq_rel);
+          PAX_CHECK_MSG(won, "double finalize of a pool job");
+          job->finished_at = std::chrono::steady_clock::now();
+          out = Outcome::kFinished;
+        } else if (job->core.idle_work()) {
+          // Donate the rotation gap to this job's executive (map builds,
+          // deferred splits) before declaring its rundown.
+          out = Outcome::kRetry;
+        } else {
+          out = Outcome::kDrained;
+        }
+      }
+      // Probe flips cover every enqueue source in this section (retire
+      // enablements, start(), idle work): wake only on not-runnable ->
+      // runnable, when a sleeper could actually be stuck.
+      wake = job->refresh_probes();
+    }
+
+    if (wake) wake_pool();
+
+    switch (out) {
+      case Outcome::kExecute: {
+        rt::BodyLoopStats step;
+        rt::execute_assignments(job->bodies, batch, id, done, step);
+        delta += step;
+        totals += step;
+        break;
+      }
+      case Outcome::kRetry:
+        break;
+      case Outcome::kFinished: {
+        job->done_cv.notify_all();
+        {
+          std::scoped_lock lock(mu_);
+          remove_job_locked(job);
+          ++jobs_completed_;
+        }
+        cv_.notify_all();  // wake drain()ers and rotating workers
+        job.reset();
+        break;
+      }
+      case Outcome::kDrained:
+      case Outcome::kGone:
+        // The rundown signal at program scope: release residency and let
+        // the policy pick whose tail to fill next. refresh_probes() above
+        // keeps a drained job out of the pick until it has work again.
+        job.reset();
+        break;
+    }
+  }
+
+  // Publish per-worker accounting; the wall clock closes inside worker_main
+  // so spawn/join overhead never counts as pool idle time.
+  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - enter);
+  std::scoped_lock lock(mu_);
+  busy_[id] += totals.busy;
+  worker_wall_[id] = wall;
+  tasks_ += totals.tasks;
+  granules_ += totals.granules;
+  lock_acquisitions_ += locks;
+  rotations_ += rotations;
+}
+
+}  // namespace pax::pool

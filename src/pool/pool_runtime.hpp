@@ -1,0 +1,109 @@
+// pool_runtime.hpp — a shared worker pool executing many PhasePrograms
+// concurrently, so rundown tails overlap *across* programs.
+//
+// rt::ThreadedRuntime fills a phase's rundown with successor-phase granules,
+// but still owns its threads and runs one program to completion — the same
+// utilization collapse the paper fixes inside a program reappears at program
+// scope: the last program's rundown idles the whole pool. PoolRuntime hosts
+// one long-lived set of std::jthread workers and many jobs, each wrapping
+// its own ExecutiveCore behind its own mutex. The worker loop generalizes
+// the batched handoff into a two-level pick:
+//
+//   level 1 — prefer the resident job while its waiting queue is non-empty
+//             (the single-program loop, via the shared worker_loop helpers);
+//   level 2 — when it drains (the rundown signal), rotate to another
+//             runnable job chosen by SchedPolicy, so another program's
+//             granules fill this program's tail.
+//
+// Oversubscribing a fixed processor set with independent work sources is the
+// classic rundown cure at this scope (Argentini 2003, virtual processors for
+// SPMD programs); per-job accounting (JobStats vs. a solo baseline) keeps
+// the overlap honest about work inflation (Acar et al. 2017).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pool/job.hpp"
+#include "pool/pool_stats.hpp"
+#include "pool/scheduler_policy.hpp"
+
+namespace pax::pool {
+
+struct PoolConfig {
+  std::uint32_t workers = 4;
+  /// Assignments pulled / tickets retired per job-executive critical
+  /// section (the batched handoff, per resident job).
+  std::uint32_t batch = 8;
+  SchedPolicy policy = SchedPolicy::kFifo;
+};
+
+class PoolRuntime {
+ public:
+  /// Validates the config and starts the workers immediately.
+  explicit PoolRuntime(PoolConfig config);
+
+  /// shutdown(): drains remaining jobs, then stops and joins the workers.
+  ~PoolRuntime();
+
+  PoolRuntime(const PoolRuntime&) = delete;
+  PoolRuntime& operator=(const PoolRuntime&) = delete;
+
+  /// Submit a program for execution. `program` and `bodies` are borrowed
+  /// until the returned handle reports done(). Thread-safe; callable from
+  /// inside phase bodies (they run with no executive lock held). Higher
+  /// `priority` schedules earlier under SchedPolicy::kPriority.
+  JobHandle submit(const PhaseProgram& program, const rt::BodyTable& bodies,
+                   ExecConfig config, int priority = 0, CostModel costs = {});
+
+  /// Block until every submitted job has completed or been cancelled.
+  void drain();
+
+  /// drain(), then stop and join the workers. Idempotent; after it returns,
+  /// stats() is final (worker wall times included) and submit() is invalid.
+  void shutdown();
+
+  [[nodiscard]] PoolStats stats() const;
+
+  [[nodiscard]] const PoolConfig& config() const { return config_; }
+
+ private:
+  friend class JobHandle;
+
+  void worker_main(WorkerId id);
+  /// Policy pick over the runnable jobs' atomic probes. Caller holds mu_.
+  std::shared_ptr<detail::Job> pick_job_locked();
+  [[nodiscard]] bool any_runnable_locked() const;
+  /// Empty mu_ critical section + notify: makes probe flips (done under a
+  /// job mutex only) visible to sleepers without ever nesting the locks.
+  void wake_pool();
+  /// Erase `job` from the runnable list if present. Caller holds mu_.
+  void remove_job_locked(const std::shared_ptr<detail::Job>& job);
+  /// JobHandle::cancel backend.
+  bool cancel_job(const std::shared_ptr<detail::Job>& job);
+
+  PoolConfig config_;
+
+  mutable std::mutex mu_;        ///< guards everything below
+  std::condition_variable cv_;   ///< workers sleep; drain() waits here too
+  std::vector<std::shared_ptr<detail::Job>> jobs_;  ///< non-terminal jobs
+  std::uint64_t next_id_ = 0;
+  bool stop_ = false;
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_cancelled_ = 0;
+  std::uint64_t tasks_ = 0;
+  std::uint64_t granules_ = 0;
+  std::uint64_t lock_acquisitions_ = 0;
+  std::uint64_t rotations_ = 0;
+  std::vector<std::chrono::nanoseconds> busy_;
+  std::vector<std::chrono::nanoseconds> worker_wall_;
+
+  std::vector<std::jthread> workers_;  ///< last member: joins before teardown
+};
+
+}  // namespace pax::pool

@@ -1,0 +1,62 @@
+// pool_stats.hpp — per-job and pool-wide accounting for the pool runtime.
+//
+// Two independent accumulation paths cross-check each other: workers count
+// what they execute (published into PoolStats at worker exit), and each job
+// counts what is executed on its behalf (JobStats, merged under the job's
+// own lock). test_pool asserts the per-job sums equal the pool totals.
+// Per-job busy time against a solo-run baseline is the work-inflation
+// measure of Acar/Charguéraud/Rainey that bench_t7_pool reports.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace pax::pool {
+
+/// What one job cost, regardless of which workers ran it. Snapshot-able at
+/// any time through JobHandle::stats(); final once the job reaches a
+/// terminal state.
+struct JobStats {
+  std::uint64_t tasks = 0;
+  std::uint64_t granules = 0;
+  std::chrono::nanoseconds busy{0};  ///< body wall time summed over workers
+  /// submit() → first worker adoption (zero while queued / when cancelled).
+  std::chrono::nanoseconds queued{0};
+  /// submit() → terminal state (still running: submit() → now).
+  std::chrono::nanoseconds span{0};
+  /// Critical sections taken on this job's executive mutex.
+  std::uint64_t exec_lock_acquisitions = 0;
+};
+
+/// Pool-wide accounting. All worker-side totals (tasks, granules, lock
+/// acquisitions, rotations, and the wall/busy vectors) are published when
+/// the workers exit: a mid-run stats() call sees live job counters
+/// (jobs_submitted/completed/cancelled) but zero worker totals, and
+/// utilization() is only meaningful after shutdown(). Per-job live numbers
+/// are available any time through JobHandle::stats().
+struct PoolStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t tasks_executed = 0;     ///< worker-side totals
+  std::uint64_t granules_executed = 0;  ///< worker-side totals
+  std::uint64_t exec_lock_acquisitions = 0;
+  /// Cross-job moves: a worker released a drained resident and adopted a
+  /// different job. The overlap mechanism working at program scope.
+  std::uint64_t rotations = 0;
+  std::vector<std::chrono::nanoseconds> worker_busy;
+  std::vector<std::chrono::nanoseconds> worker_wall;  ///< in-worker_main span
+
+  /// Fraction of total worker wall time spent inside phase bodies (same
+  /// definition as rt::RtResult::utilization()).
+  [[nodiscard]] double utilization() const {
+    std::chrono::nanoseconds busy{0}, wall{0};
+    for (auto b : worker_busy) busy += b;
+    for (auto w : worker_wall) wall += w;
+    if (wall.count() == 0) return 0.0;
+    return static_cast<double>(busy.count()) / static_cast<double>(wall.count());
+  }
+};
+
+}  // namespace pax::pool

@@ -1,0 +1,55 @@
+// scheduler_policy.hpp — cross-job scheduling policies for the pool runtime.
+//
+// The pool's worker loop is a two-level pick: a worker prefers its resident
+// job while that job's waiting queue is non-empty, and when the queue drains
+// (the rundown signal, now at *program* scope) it rotates to another
+// runnable job. The policy decides only the second level — which job a
+// rotating worker adopts — so it is a pure comparator over a small snapshot
+// of each job, testable without threads.
+#pragma once
+
+#include <cstdint>
+
+namespace pax::pool {
+
+enum class SchedPolicy : std::uint8_t {
+  kFifo,       ///< submission order (lowest job id first)
+  kPriority,   ///< highest submit-time priority, fifo within a priority
+  kFairShare,  ///< fewest granules executed so far, fifo on ties
+};
+
+[[nodiscard]] inline const char* to_string(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kFifo: return "fifo";
+    case SchedPolicy::kPriority: return "priority";
+    case SchedPolicy::kFairShare: return "fair-share";
+  }
+  return "?";
+}
+
+/// Scheduling-relevant snapshot of a runnable job, read from cheap atomic
+/// probes (no job lock taken during the pick).
+struct JobView {
+  std::uint64_t id = 0;         ///< submission order, dense from 0
+  int priority = 0;             ///< larger = more urgent
+  std::uint64_t granules = 0;   ///< granules executed so far
+};
+
+/// True when a rotating worker should adopt `a` ahead of `b` under `policy`.
+/// Total order for fixed snapshots: every policy tie-breaks by id.
+[[nodiscard]] inline bool schedules_before(const JobView& a, const JobView& b,
+                                           SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFifo:
+      break;
+    case SchedPolicy::kPriority:
+      if (a.priority != b.priority) return a.priority > b.priority;
+      break;
+    case SchedPolicy::kFairShare:
+      if (a.granules != b.granules) return a.granules < b.granules;
+      break;
+  }
+  return a.id < b.id;
+}
+
+}  // namespace pax::pool

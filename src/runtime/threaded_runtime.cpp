@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "runtime/worker_loop.hpp"
 
 namespace pax::rt {
 
@@ -59,9 +60,7 @@ void ThreadedRuntime::worker_main(WorkerId id) {
   std::vector<Ticket> done;
   batch.reserve(max_batch);
   done.reserve(max_batch);
-  std::chrono::nanoseconds busy{0};
-  std::uint64_t tasks = 0;
-  std::uint64_t granules = 0;
+  BodyLoopStats stats;
   std::uint64_t locks = 0;
   bool pending_notify_all = false;
 
@@ -70,17 +69,12 @@ void ThreadedRuntime::worker_main(WorkerId id) {
   while (true) {
     // Retire the previous batch and pull the next one in the same critical
     // section: one lock round-trip per `max_batch` tasks in steady state.
-    if (!done.empty()) {
-      const CompletionResult res = core_.complete_batch(done);
-      done.clear();
-      if (res.new_work || res.program_finished) pending_notify_all = true;
-    }
-    if (core_.finished() && !core_.work_available()) break;
-
-    batch.clear();
-    core_.request_work_batch(id, max_batch, batch);
+    const CompletionResult res =
+        retire_and_refill(core_, id, max_batch, done, batch);
+    if (res.new_work || res.program_finished) pending_notify_all = true;
 
     if (batch.empty()) {
+      if (core_.finished()) break;
       // Donate idle time to the executive (presplitting, deferred
       // successor-splitting tasks, composite-map slices) before sleeping.
       if (core_.idle_work()) {
@@ -88,7 +82,6 @@ void ThreadedRuntime::worker_main(WorkerId id) {
         if (core_.work_available()) pending_notify_all = true;
         continue;
       }
-      if (core_.finished()) break;
       if (pending_notify_all) {
         // Cold path: notify before sleeping (wait() releases the mutex, so
         // notifying under it here cannot make peers spin against us).
@@ -114,15 +107,7 @@ void ThreadedRuntime::worker_main(WorkerId id) {
       cv_.notify_one();
     }
 
-    for (const Assignment& a : batch) {
-      const auto t0 = std::chrono::steady_clock::now();
-      bodies_.of(a.phase)(a.range, id);
-      const auto t1 = std::chrono::steady_clock::now();
-      busy += std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
-      granules += a.range.size();
-      done.push_back(a.ticket);
-    }
-    tasks += batch.size();
+    execute_assignments(bodies_, batch, id, done, stats);
 
     lock.lock();
     ++locks;
@@ -131,11 +116,11 @@ void ThreadedRuntime::worker_main(WorkerId id) {
   // The loop exits holding the lock: publish per-worker accounting. The
   // worker wall clock closes here, inside worker_main, so thread spawn/join
   // overhead never counts as worker idle time.
-  busy_[id] += busy;
+  busy_[id] += stats.busy;
   worker_wall_[id] = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - enter);
-  tasks_ += tasks;
-  granules_ += granules;
+  tasks_ += stats.tasks;
+  granules_ += stats.granules;
   lock_acquisitions_ += locks;
   lock.unlock();
   if (pending_notify_all) cv_.notify_all();

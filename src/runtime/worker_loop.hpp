@@ -1,0 +1,78 @@
+// worker_loop.hpp — the worker-side half of the batched executive handoff,
+// shared by every real-thread driver of an ExecutiveCore.
+//
+// A worker's steady-state loop is two alternating strides:
+//
+//   1. one executive critical section — retire the previous batch of tickets
+//      and refill the assignment batch (retire_and_refill), and
+//   2. unlocked body execution with per-body wall timing
+//      (execute_assignments).
+//
+// rt::ThreadedRuntime drives one core with one mutex; pool::PoolRuntime
+// drives many cores (one per job, each behind its own mutex) and rotates
+// workers across them. Both reuse these helpers, so the single-program
+// runtime is the single-job special case of the pool rather than a fork of
+// the dispatch loop.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/executive.hpp"
+#include "runtime/body_table.hpp"
+
+namespace pax::rt {
+
+/// Per-worker (or per-job) execution accounting accumulated by
+/// execute_assignments.
+struct BodyLoopStats {
+  std::chrono::nanoseconds busy{0};  ///< wall time inside phase bodies
+  std::uint64_t tasks = 0;
+  std::uint64_t granules = 0;
+
+  BodyLoopStats& operator+=(const BodyLoopStats& o) {
+    busy += o.busy;
+    tasks += o.tasks;
+    granules += o.granules;
+    return *this;
+  }
+};
+
+/// One executive critical section of the batched handoff: retire `done`
+/// (cleared on return), then refill `batch` (cleared first) with up to
+/// `max_batch` fresh assignments. The caller must hold whatever lock guards
+/// `core`. The returned CompletionResult ORs the retired tickets' outcomes
+/// (`new_work` tells the driver that peers may need waking).
+inline CompletionResult retire_and_refill(ExecutiveCore& core, WorkerId worker,
+                                          std::size_t max_batch,
+                                          std::vector<Ticket>& done,
+                                          std::vector<Assignment>& batch) {
+  CompletionResult res;
+  if (!done.empty()) {
+    res = core.complete_batch(done);
+    done.clear();
+  }
+  batch.clear();
+  core.request_work_batch(worker, max_batch, batch);
+  return res;
+}
+
+/// Execute every assignment in `batch` — outside any executive lock — timing
+/// each body, and queue the tickets on `done` for the next retire.
+inline void execute_assignments(const BodyTable& bodies,
+                                std::span<const Assignment> batch, WorkerId worker,
+                                std::vector<Ticket>& done, BodyLoopStats& stats) {
+  for (const Assignment& a : batch) {
+    const auto t0 = std::chrono::steady_clock::now();
+    bodies.of(a.phase)(a.range, worker);
+    const auto t1 = std::chrono::steady_clock::now();
+    stats.busy += std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
+    stats.granules += a.range.size();
+    done.push_back(a.ticket);
+  }
+  stats.tasks += batch.size();
+}
+
+}  // namespace pax::rt

@@ -167,6 +167,122 @@ TEST(WaitingQueue, InsertBeforePreservesPosition) {
   for (Descriptor* d : {&a, &b, &c}) pool.release(*d);
 }
 
+TEST(WaitingQueue, EnqueueFrontKeepsRemainderAheadWithinItsClass) {
+  // A partially consumed descriptor returns to the *front* of its priority
+  // class so FIFO order of the remainder holds — but it must not outrank the
+  // elevated class.
+  DescriptorPool pool;
+  WaitingQueue q;
+  Descriptor& n1 = pool.acquire(0, 0, {0, 1}, Priority::kNormal);
+  Descriptor& n2 = pool.acquire(0, 0, {1, 2}, Priority::kNormal);
+  Descriptor& e1 = pool.acquire(0, 0, {2, 3}, Priority::kElevated);
+  q.enqueue(n1);
+  q.enqueue(e1);
+  q.enqueue_front(n2);
+  EXPECT_EQ(q.pop(), &e1);  // elevated still first
+  EXPECT_EQ(q.pop(), &n2);  // front of the normal class
+  EXPECT_EQ(q.pop(), &n1);
+  for (Descriptor* d : {&n1, &n2, &e1}) pool.release(*d);
+}
+
+TEST(WaitingQueue, InsertAfterAndRemoveMiddle) {
+  DescriptorPool pool;
+  WaitingQueue q;
+  Descriptor& a = pool.acquire(0, 0, {0, 1});
+  Descriptor& b = pool.acquire(0, 0, {1, 2});
+  Descriptor& c = pool.acquire(0, 0, {2, 3});
+  q.enqueue(a);
+  q.enqueue(c);
+  q.insert_after(a, b);
+  EXPECT_EQ(q.size(), 3u);
+  q.remove(b);  // detach from the middle
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), &a);
+  EXPECT_EQ(q.pop(), &c);
+  for (Descriptor* d : {&a, &b, &c}) pool.release(*d);
+}
+
+TEST(WaitingQueue, ForEachVisitsElevatedClassFirst) {
+  DescriptorPool pool;
+  WaitingQueue q;
+  Descriptor& n1 = pool.acquire(0, 0, {0, 1}, Priority::kNormal);
+  Descriptor& e1 = pool.acquire(0, 0, {1, 2}, Priority::kElevated);
+  Descriptor& n2 = pool.acquire(0, 0, {2, 3}, Priority::kNormal);
+  q.enqueue(n1);
+  q.enqueue(e1);
+  q.enqueue(n2);
+  std::vector<Descriptor*> seen;
+  q.for_each([&](Descriptor& d) { seen.push_back(&d); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], &e1);
+  EXPECT_EQ(seen[1], &n1);
+  EXPECT_EQ(seen[2], &n2);
+  while (Descriptor* d = q.pop()) pool.release(*d);
+}
+
+TEST(RangeSetDeathTest, RejectsEmptyRange) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RangeSet rs;
+  EXPECT_DEATH(rs.insert({3, 3}), "PAX_CHECK failed");
+}
+
+TEST(RangeSetDeathTest, RejectsOverlappingInsert) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RangeSet rs;
+  rs.insert({0, 4});
+  EXPECT_DEATH(rs.insert({2, 6}), "overlapping insert");
+  EXPECT_DEATH(rs.insert({3, 4}), "overlapping insert");
+}
+
+TEST(RangeSet, AdjacentInsertsCoalesceFromBothSides) {
+  // Out-of-order adjacent inserts must collapse to one fragment whichever
+  // side they arrive from, including a bridging insert between two islands.
+  RangeSet rs;
+  rs.insert({10, 12});
+  rs.insert({14, 16});
+  rs.insert({6, 8});
+  EXPECT_EQ(rs.fragments(), 3u);
+  rs.insert({12, 14});  // bridges the upper islands
+  EXPECT_EQ(rs.fragments(), 2u);
+  rs.insert({8, 10});  // bridges the rest
+  EXPECT_EQ(rs.fragments(), 1u);
+  EXPECT_EQ(rs.ranges()[0], (GranuleRange{6, 16}));
+  EXPECT_EQ(rs.cardinality(), 10u);
+}
+
+TEST(RangeSet, ContainsAtFragmentBoundaries) {
+  RangeSet rs;
+  rs.insert({4, 8});
+  rs.insert({12, 16});
+  EXPECT_FALSE(rs.contains(3));
+  EXPECT_TRUE(rs.contains(4));
+  EXPECT_TRUE(rs.contains(7));
+  EXPECT_FALSE(rs.contains(8));   // hi is exclusive
+  EXPECT_FALSE(rs.contains(11));
+  EXPECT_TRUE(rs.contains(12));
+  EXPECT_FALSE(rs.contains(16));
+}
+
+TEST(RangeSet, ComplementOfExactCoverIsEmpty) {
+  RangeSet rs;
+  rs.insert({0, 5});
+  rs.insert({5, 10});
+  EXPECT_TRUE(rs.complement(10).empty());
+  // Complement bounded below the covered prefix is also empty.
+  EXPECT_TRUE(rs.complement(3).empty());
+}
+
+TEST(RangeSet, ClearResetsCoverage) {
+  RangeSet rs;
+  rs.insert({0, 4});
+  rs.clear();
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.cardinality(), 0u);
+  EXPECT_EQ(rs.fragments(), 0u);
+  rs.insert({0, 2});  // reusable after clear
+  EXPECT_EQ(rs.cardinality(), 2u);
+}
+
 // --- CompositeGranuleMap ---------------------------------------------------------------
 
 TEST(CompositeMap, ReverseAllOfSemantics) {

@@ -1,0 +1,431 @@
+// Pool runtime tests: K concurrent jobs complete with exact accounting,
+// scheduling policies order rotations as documented, cancel-before-open,
+// per-job stats sum to pool totals, and enablement order holds for a job
+// executed through the shared pool. Runs under ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pool/pool_runtime.hpp"
+#include "runtime/happens_before.hpp"
+
+namespace pax::pool {
+namespace {
+
+// --- program builders (programs/bodies outlive the jobs: test scope) --------
+
+struct SinglePhase {
+  PhaseProgram prog;
+  PhaseId p = kNoPhase;
+};
+
+SinglePhase make_single_phase(GranuleId n) {
+  SinglePhase s;
+  s.p = s.prog.define_phase(make_phase("only", n).writes("O"));
+  s.prog.dispatch(s.p);
+  s.prog.halt();
+  return s;
+}
+
+struct TwoPhase {
+  PhaseProgram prog;
+  PhaseId a = kNoPhase;
+  PhaseId b = kNoPhase;
+};
+
+TwoPhase make_two_phase_identity(GranuleId n) {
+  TwoPhase s;
+  s.a = s.prog.define_phase(make_phase("a", n).writes("X"));
+  s.b = s.prog.define_phase(make_phase("b", n).reads("X").writes("Y"));
+  s.prog.dispatch(s.a, {EnableClause{"b", MappingKind::kIdentity, {}}});
+  s.prog.dispatch(s.b);
+  s.prog.halt();
+  return s;
+}
+
+struct LoopProg {
+  PhaseProgram prog;
+  std::vector<PhaseId> phases;
+};
+
+LoopProg make_loop(GranuleId n, int iters) {
+  LoopProg s;
+  PhaseId a = s.prog.define_phase(make_phase("a", n).writes("A"));
+  PhaseId b = s.prog.define_phase(make_phase("b", n).reads("A").writes("B"));
+  PhaseId c = s.prog.define_phase(make_phase("c", n).reads("B").writes("C"));
+  s.phases = {a, b, c};
+  s.prog.serial("init", [](ProgramEnv& env) { env.set("i", 0); }, 0, false);
+  const std::uint32_t top =
+      s.prog.dispatch(a, {EnableClause{"b", MappingKind::kIdentity, {}}});
+  s.prog.dispatch(b, {EnableClause{"c", MappingKind::kIdentity, {}}});
+  s.prog.dispatch(c);
+  s.prog.serial("inc", [](ProgramEnv& env) { env.add("i", 1); }, 0, false);
+  s.prog.branch("loop",
+                [iters](const ProgramEnv& env) {
+                  return env.get("i") < iters ? std::size_t{0} : std::size_t{1};
+                },
+                {top, static_cast<std::uint32_t>(s.prog.size() + 1)}, true);
+  s.prog.halt();
+  return s;
+}
+
+rt::BodyTable counting_bodies(std::span<const PhaseId> phases,
+                              std::atomic<std::uint64_t>& counter) {
+  rt::BodyTable bodies;
+  for (PhaseId p : phases)
+    bodies.set(p, [&counter](GranuleRange r, WorkerId) {
+      counter.fetch_add(r.size(), std::memory_order_relaxed);
+    });
+  return bodies;
+}
+
+// --- scheduling policy comparator (pure, no threads) ------------------------
+
+TEST(SchedPolicyPick, FifoPicksLowestId) {
+  const JobView a{0, 0, 500};
+  const JobView b{1, 9, 0};
+  EXPECT_TRUE(schedules_before(a, b, SchedPolicy::kFifo));
+  EXPECT_FALSE(schedules_before(b, a, SchedPolicy::kFifo));
+}
+
+TEST(SchedPolicyPick, PriorityOutranksIdThenFifoTieBreak) {
+  const JobView low_first{0, 1, 0};
+  const JobView high_later{5, 7, 0};
+  EXPECT_TRUE(schedules_before(high_later, low_first, SchedPolicy::kPriority));
+  const JobView same_prio{9, 7, 0};
+  EXPECT_TRUE(schedules_before(high_later, same_prio, SchedPolicy::kPriority));
+}
+
+TEST(SchedPolicyPick, FairSharePicksLeastGranulesThenFifoTieBreak) {
+  const JobView ahead{0, 0, 1000};
+  const JobView behind{3, 0, 10};
+  EXPECT_TRUE(schedules_before(behind, ahead, SchedPolicy::kFairShare));
+  const JobView tied{7, 0, 10};
+  EXPECT_TRUE(schedules_before(behind, tied, SchedPolicy::kFairShare));
+}
+
+// --- config validation ------------------------------------------------------
+
+TEST(PoolConfigDeathTest, RejectsZeroWorkers) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(PoolRuntime({.workers = 0, .batch = 4}),
+               "pool needs at least one worker");
+}
+
+TEST(PoolConfigDeathTest, RejectsZeroBatch) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(PoolRuntime({.workers = 2, .batch = 0}),
+               "pool batch must be at least 1");
+}
+
+// --- completion and accounting ----------------------------------------------
+
+TEST(PoolCompletion, ManyConcurrentJobsAllCompleteWithExactAccounting) {
+  constexpr int kJobs = 6;
+  std::vector<TwoPhase> two(kJobs / 2);
+  std::vector<LoopProg> loops(kJobs / 2);
+  std::vector<rt::BodyTable> bodies;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> counts;
+  std::vector<std::uint64_t> expected;
+  bodies.reserve(kJobs);
+
+  for (int i = 0; i < kJobs / 2; ++i) {
+    two[i] = make_two_phase_identity(128);
+    counts.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+    const PhaseId ph[] = {two[i].a, two[i].b};
+    bodies.push_back(counting_bodies(ph, *counts.back()));
+    expected.push_back(2u * 128u);
+  }
+  for (int i = 0; i < kJobs / 2; ++i) {
+    loops[i] = make_loop(64, 4);
+    counts.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+    bodies.push_back(counting_bodies(loops[i].phases, *counts.back()));
+    expected.push_back(4u * 3u * 64u);
+  }
+
+  std::vector<JobHandle> handles;
+  {
+    PoolRuntime pool({.workers = 4, .batch = 4, .policy = SchedPolicy::kFairShare});
+    ExecConfig cfg;
+    cfg.grain = 8;
+    cfg.early_serial = true;
+    for (int i = 0; i < kJobs / 2; ++i)
+      handles.push_back(pool.submit(two[i].prog, bodies[i], cfg));
+    for (int i = 0; i < kJobs / 2; ++i)
+      handles.push_back(
+          pool.submit(loops[i].prog, bodies[kJobs / 2 + i], cfg));
+
+    for (auto& h : handles) EXPECT_EQ(h.wait(), JobState::kComplete);
+    pool.shutdown();
+
+    const PoolStats ps = pool.stats();
+    EXPECT_EQ(ps.jobs_submitted, static_cast<std::uint64_t>(kJobs));
+    EXPECT_EQ(ps.jobs_completed, static_cast<std::uint64_t>(kJobs));
+    EXPECT_EQ(ps.jobs_cancelled, 0u);
+
+    // Per-job stats sum exactly to the (independently accumulated) pool
+    // totals, and match the program-derived expectations.
+    std::uint64_t sum_granules = 0, sum_tasks = 0;
+    std::chrono::nanoseconds sum_busy{0};
+    for (int i = 0; i < kJobs; ++i) {
+      const JobStats js = handles[i].stats();
+      EXPECT_EQ(js.granules, expected[i]) << "job " << i;
+      EXPECT_EQ(counts[i]->load(), expected[i]) << "job " << i;
+      EXPECT_GT(js.exec_lock_acquisitions, 0u);
+      sum_granules += js.granules;
+      sum_tasks += js.tasks;
+      sum_busy += js.busy;
+    }
+    EXPECT_EQ(sum_granules, ps.granules_executed);
+    EXPECT_EQ(sum_tasks, ps.tasks_executed);
+    std::chrono::nanoseconds pool_busy{0};
+    for (auto b : ps.worker_busy) pool_busy += b;
+    EXPECT_EQ(sum_busy, pool_busy);
+    EXPECT_EQ(ps.worker_wall.size(), 4u);
+    for (auto w : ps.worker_wall) EXPECT_GT(w.count(), 0);
+    EXPECT_GT(ps.utilization(), 0.0);
+    EXPECT_LE(ps.utilization(), 1.0 + 1e-9);
+  }
+}
+
+// --- scheduling order on a single worker (deterministic) --------------------
+
+/// Submit a gate job that pins the only worker, queue three single-phase
+/// jobs, release the gate, and observe the rotation order by recording body
+/// executions.
+std::vector<int> run_three_jobs_under(SchedPolicy policy) {
+  SinglePhase gate_prog = make_single_phase(1);
+  SinglePhase jobs_prog[3] = {make_single_phase(4), make_single_phase(4),
+                              make_single_phase(4)};
+  std::atomic<bool> gate{false};
+  rt::BodyTable gate_bodies;
+  gate_bodies.set(gate_prog.p, [&gate](GranuleRange, WorkerId) {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  rt::BodyTable tag_bodies[3];
+  for (int i = 0; i < 3; ++i)
+    tag_bodies[i].set(jobs_prog[i].p, [i, &order_mu, &order](GranuleRange, WorkerId) {
+      std::scoped_lock lock(order_mu);
+      order.push_back(i);
+    });
+
+  PoolRuntime pool({.workers = 1, .batch = 4, .policy = policy});
+  ExecConfig cfg;
+  JobHandle blocker = pool.submit(gate_prog.prog, gate_bodies, cfg);
+  // Priorities: job0 low, job1 high, job2 mid — submission order 0,1,2.
+  const int prio[3] = {1, 9, 5};
+  JobHandle handles[3];
+  for (int i = 0; i < 3; ++i)
+    handles[i] = pool.submit(jobs_prog[i].prog, tag_bodies[i], cfg, prio[i]);
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.wait(), JobState::kComplete);
+  for (auto& h : handles) EXPECT_EQ(h.wait(), JobState::kComplete);
+  pool.shutdown();
+  return order;
+}
+
+TEST(PoolScheduling, PriorityPolicyOrdersRotationsByPriority) {
+  const std::vector<int> order = run_three_jobs_under(SchedPolicy::kPriority);
+  ASSERT_EQ(order.size(), 12u);  // 3 jobs x 4 granules, grain 1
+  const std::vector<int> want = {1, 1, 1, 1, 2, 2, 2, 2, 0, 0, 0, 0};
+  EXPECT_EQ(order, want);
+}
+
+TEST(PoolScheduling, FifoPolicyOrdersRotationsBySubmission) {
+  const std::vector<int> order = run_three_jobs_under(SchedPolicy::kFifo);
+  ASSERT_EQ(order.size(), 12u);
+  const std::vector<int> want = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2};
+  EXPECT_EQ(order, want);
+}
+
+// --- fair share balance ------------------------------------------------------
+
+/// Deterministic rotation scenario on two workers, batch = grain = 1.
+///
+/// Job L pins worker 1 (its single granule blocks on a gate). Job M's first
+/// two granules execute on worker 2, its third blocks in-body on a gate
+/// while its fourth still sits in the waiting queue — a runnable job with
+/// granule history. Job N is then submitted fresh (zero granules). Releasing
+/// L's gate sends worker 1 rotating with exactly two candidates:
+///   M (runnable, 2 granules executed)  vs  N (queued, 0 granules).
+/// kFairShare must adopt N first; kFifo must adopt M (lower id) first.
+/// Returns the recorded body order of M's fourth granule ("M") and N ("N").
+std::vector<char> run_fair_share_scenario(SchedPolicy policy) {
+  SinglePhase l_prog = make_single_phase(1);
+  SinglePhase m_prog = make_single_phase(4);
+  SinglePhase n_prog = make_single_phase(1);
+
+  std::atomic<bool> gate_l{false}, gate_m{false};
+  std::atomic<bool> l_started{false}, m_blocked{false};
+  std::mutex order_mu;
+  std::vector<char> order;
+
+  rt::BodyTable l_bodies;
+  l_bodies.set(l_prog.p, [&](GranuleRange, WorkerId) {
+    l_started.store(true, std::memory_order_release);
+    while (!gate_l.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  rt::BodyTable m_bodies;
+  m_bodies.set(m_prog.p, [&](GranuleRange r, WorkerId) {
+    if (r.lo == 2) {  // third granule: block with the fourth still queued
+      m_blocked.store(true, std::memory_order_release);
+      while (!gate_m.load(std::memory_order_acquire)) std::this_thread::yield();
+    } else if (r.lo == 3) {
+      std::scoped_lock lock(order_mu);
+      order.push_back('M');
+    }
+  });
+  rt::BodyTable n_bodies;
+  n_bodies.set(n_prog.p, [&](GranuleRange, WorkerId) {
+    std::scoped_lock lock(order_mu);
+    order.push_back('N');
+  });
+
+  PoolRuntime pool({.workers = 2, .batch = 1, .policy = policy});
+  ExecConfig cfg;  // grain = 1: one granule per assignment
+  JobHandle l = pool.submit(l_prog.prog, l_bodies, cfg);
+  while (!l_started.load(std::memory_order_acquire)) std::this_thread::yield();
+  JobHandle m = pool.submit(m_prog.prog, m_bodies, cfg);
+  while (!m_blocked.load(std::memory_order_acquire)) std::this_thread::yield();
+  JobHandle n = pool.submit(n_prog.prog, n_bodies, cfg);
+  gate_l.store(true, std::memory_order_release);
+
+  // Worker 1 finishes L, then rotates through N and M's fourth granule (in
+  // the policy's order); unblock M's third granule once both are recorded.
+  EXPECT_EQ(l.wait(), JobState::kComplete);
+  EXPECT_EQ(n.wait(), JobState::kComplete);
+  while (true) {
+    {
+      std::scoped_lock lock(order_mu);
+      if (order.size() == 2) break;
+    }
+    std::this_thread::yield();
+  }
+  gate_m.store(true, std::memory_order_release);
+  EXPECT_EQ(m.wait(), JobState::kComplete);
+  pool.shutdown();
+
+  EXPECT_GT(pool.stats().rotations, 0u);
+  EXPECT_EQ(m.stats().granules, 4u);
+  return order;
+}
+
+TEST(PoolScheduling, FairSharePrefersLeastServedJobAtRotation) {
+  const std::vector<char> order = run_fair_share_scenario(SchedPolicy::kFairShare);
+  EXPECT_EQ(order, (std::vector<char>{'N', 'M'}));
+}
+
+TEST(PoolScheduling, FifoPrefersEarliestSubmittedJobAtRotation) {
+  const std::vector<char> order = run_fair_share_scenario(SchedPolicy::kFifo);
+  EXPECT_EQ(order, (std::vector<char>{'M', 'N'}));
+}
+
+// --- cancellation ------------------------------------------------------------
+
+TEST(PoolCancel, CancelBeforeOpenWinsOnceAndVictimNeverRuns) {
+  SinglePhase gate_prog = make_single_phase(1);
+  SinglePhase victim_prog = make_single_phase(8);
+  std::atomic<bool> gate{false};
+  std::atomic<bool> victim_ran{false};
+
+  rt::BodyTable gate_bodies;
+  gate_bodies.set(gate_prog.p, [&gate](GranuleRange, WorkerId) {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  rt::BodyTable victim_bodies;
+  victim_bodies.set(victim_prog.p, [&victim_ran](GranuleRange, WorkerId) {
+    victim_ran.store(true, std::memory_order_relaxed);
+  });
+
+  PoolRuntime pool({.workers = 1, .batch = 4});
+  ExecConfig cfg;
+  JobHandle blocker = pool.submit(gate_prog.prog, gate_bodies, cfg);
+  JobHandle victim = pool.submit(victim_prog.prog, victim_bodies, cfg);
+
+  EXPECT_EQ(victim.state(), JobState::kQueued);
+  EXPECT_TRUE(victim.cancel());
+  EXPECT_FALSE(victim.cancel());  // second cancel loses
+  EXPECT_EQ(victim.state(), JobState::kCancelled);
+  EXPECT_EQ(victim.wait(), JobState::kCancelled);
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.wait(), JobState::kComplete);
+  EXPECT_FALSE(blocker.cancel());  // completed jobs cannot be cancelled
+  pool.shutdown();
+
+  EXPECT_FALSE(victim_ran.load());
+  const JobStats vs = victim.stats();
+  EXPECT_EQ(vs.granules, 0u);
+  EXPECT_EQ(vs.queued.count(), 0);
+  const PoolStats ps = pool.stats();
+  EXPECT_EQ(ps.jobs_cancelled, 1u);
+  EXPECT_EQ(ps.jobs_completed, 1u);
+  EXPECT_EQ(ps.granules_executed, 1u);  // the blocker's single granule
+}
+
+// --- enablement correctness through the pool ---------------------------------
+
+TEST(PoolHappensBefore, IdentityOrderHoldsForPooledJob) {
+  const GranuleId n = 256;
+  TwoPhase s = make_two_phase_identity(n);
+  rt::HappensBeforeRecorder rec(2, n);
+  rt::BodyTable bodies;
+  bodies.set(s.a, [&rec](GranuleRange r, WorkerId) {
+    for (GranuleId g = r.lo; g < r.hi; ++g) {
+      rec.on_start(0, g);
+      rec.on_finish(0, g);
+    }
+  });
+  bodies.set(s.b, [&rec](GranuleRange r, WorkerId) {
+    for (GranuleId g = r.lo; g < r.hi; ++g) {
+      rec.on_start(1, g);
+      rec.on_finish(1, g);
+    }
+  });
+
+  PoolRuntime pool({.workers = 4, .batch = 4});
+  ExecConfig cfg;
+  cfg.grain = 8;
+  JobHandle h = pool.submit(s.prog, bodies, cfg);
+  EXPECT_EQ(h.wait(), JobState::kComplete);
+  pool.shutdown();
+
+  EXPECT_EQ(h.stats().granules, 2u * n);
+  for (GranuleId g = 0; g < n; ++g) {
+    ASSERT_TRUE(rec.executed(0, g));
+    ASSERT_TRUE(rec.executed(1, g));
+    EXPECT_LT(rec.finish_ticket(0, g), rec.start_ticket(1, g))
+        << "identity enablement violated at granule " << g;
+  }
+}
+
+// --- handle ergonomics -------------------------------------------------------
+
+TEST(PoolHandles, PollAndQueuedTimeTracking) {
+  SinglePhase s = make_single_phase(16);
+  std::atomic<std::uint64_t> count{0};
+  const PhaseId ph[] = {s.p};
+  rt::BodyTable bodies = counting_bodies(ph, count);
+
+  PoolRuntime pool({.workers = 2, .batch = 4});
+  ExecConfig cfg;
+  JobHandle h = pool.submit(s.prog, bodies, cfg);
+  EXPECT_TRUE(h.valid());
+  EXPECT_EQ(h.wait(), JobState::kComplete);
+  EXPECT_TRUE(h.done());
+  const JobStats js = h.stats();
+  EXPECT_EQ(js.granules, 16u);
+  EXPECT_GE(js.span.count(), js.busy.count());
+  EXPECT_GE(js.span, js.queued);
+  pool.shutdown();
+}
+
+}  // namespace
+}  // namespace pax::pool

@@ -472,6 +472,32 @@ TEST(RtResultAccounting, WorkerWallMeasuredInsideWorkerMain) {
   EXPECT_GT(res.exec_lock_acquisitions, 0u);
 }
 
+// --- configuration validation ------------------------------------------------
+
+TEST(RtConfigDeathTest, RejectsZeroWorkers) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TwoPhaseSetup s = make_two_phase(8, MappingKind::kIdentity);
+  BodyTable bodies;
+  auto noop = [](GranuleRange, WorkerId) {};
+  bodies.set(s.a, noop);
+  bodies.set(s.b, noop);
+  EXPECT_DEATH(ThreadedRuntime(s.prog, ExecConfig{}, CostModel::free_of_charge(),
+                               bodies, {0, 1}),
+               "need at least one worker");
+}
+
+TEST(RtConfigDeathTest, RejectsZeroBatch) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TwoPhaseSetup s = make_two_phase(8, MappingKind::kIdentity);
+  BodyTable bodies;
+  auto noop = [](GranuleRange, WorkerId) {};
+  bodies.set(s.a, noop);
+  bodies.set(s.b, noop);
+  EXPECT_DEATH(ThreadedRuntime(s.prog, ExecConfig{}, CostModel::free_of_charge(),
+                               bodies, {4, 0}),
+               "batch must be at least 1");
+}
+
 TEST(HappensBefore, RecorderPrimitives) {
   HappensBeforeRecorder rec(1, 4);
   EXPECT_FALSE(rec.executed(0, 0));
