@@ -62,8 +62,14 @@ rt::RtResult run_once(const PhaseProgram& prog, std::uint32_t workers,
   ExecConfig cfg;
   cfg.grain = 4;
   cfg.early_serial = true;
-  rt::ThreadedRuntime runtime(prog, cfg, CostModel::free_of_charge(), bodies,
-                              {workers, batch});
+  // Stealing off: T6 isolates what *batching* buys on the serial handoff;
+  // the decentralized layer on top is T8's experiment (bench_t8_steal).
+  rt::RtConfig rc;
+  rc.workers = workers;
+  rc.batch = batch;
+  rc.steal = false;
+  rc.adaptive_grain = false;
+  rt::ThreadedRuntime runtime(prog, cfg, CostModel::free_of_charge(), bodies, rc);
   return runtime.run();
 }
 
@@ -74,9 +80,10 @@ double locks_per_granule(const rt::RtResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pax;
   using namespace pax::bench;
+  JsonReport json = JsonReport::from_args(argc, argv);
   print_banner("T6 — batched executive work handoff",
                "retiring and pulling several task descriptors per executive "
                "critical section amortises the serial-executive lock over the "
@@ -114,6 +121,10 @@ int main() {
         if (workers == hw) gate_ratio = ratio;
         if (ratio < 2.0 || r.granules_executed != base_granules) pass = false;
       }
+      const std::string config =
+          "workers=" + std::to_string(workers) + " batch=" + std::to_string(batch);
+      json.add("t6_handoff", "locks_per_granule", lpg, config);
+      json.add("t6_handoff", "utilization", r.utilization(), config);
       t.row({std::to_string(workers), std::to_string(batch),
              Table::count(r.granules_executed),
              Table::count(r.exec_lock_acquisitions), fixed(lpg, 4),

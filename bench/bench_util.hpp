@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,86 @@
 #include "sim/machine.hpp"
 
 namespace pax::bench {
+
+/// Machine-readable bench output: pass `--json <path>` to any T-series gate
+/// bench and it appends one record per reported metric, so the BENCH_*.json
+/// perf trajectory can be recorded per PR. Without the flag, add() is a
+/// no-op. Records are written by flush() (called by the destructor).
+class JsonReport {
+ public:
+  JsonReport() = default;
+
+  /// Scan argv for `--json <path>`. Unknown arguments are ignored (the
+  /// benches have no other flags).
+  static JsonReport from_args(int argc, char** argv) {
+    JsonReport r;
+    for (int i = 0; i + 1 < argc; ++i)
+      if (std::strcmp(argv[i], "--json") == 0) r.path_ = argv[i + 1];
+    return r;
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  JsonReport(JsonReport&&) = default;
+  JsonReport& operator=(JsonReport&&) = default;
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// One metric record: bench name, metric id, value, and the config string
+  /// that distinguishes sweep points (e.g. "workers=8 batch=16").
+  void add(const std::string& name, const std::string& metric, double value,
+           const std::string& config) {
+    if (enabled()) recs_.push_back({name, metric, value, config});
+  }
+
+  /// Write the records as a JSON array. Returns false (and warns on stderr)
+  /// when the file cannot be written.
+  bool flush() {
+    if (!enabled() || flushed_) return true;
+    flushed_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write --json file '%s'\n", path_.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < recs_.size(); ++i) {
+      const Rec& r = recs_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"metric\": \"%s\", \"value\": %.17g, "
+                   "\"config\": \"%s\"}%s\n",
+                   escape(r.name).c_str(), escape(r.metric).c_str(), r.value,
+                   escape(r.config).c_str(), i + 1 < recs_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+  ~JsonReport() { flush(); }
+
+ private:
+  struct Rec {
+    std::string name, metric;
+    double value;
+    std::string config;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Rec> recs_;
+  bool flushed_ = false;
+};
 
 /// A canonical two-phase (A then B) program with the requested enablement
 /// mapping from A to B. For reverse/forward kinds, `fan` controls the number

@@ -72,6 +72,18 @@ int main() {
               static_cast<unsigned long long>(result.tasks_executed));
   std::printf("wall time         : %.2f ms\n",
               static_cast<double>(result.wall.count()) / 1e6);
+  // The paper's headline number: fraction of worker wall-time spent inside
+  // phase bodies (kept high through the rundown by overlap + stealing).
+  std::printf("utilization       : %.1f%%\n", 100.0 * result.utilization());
+  std::printf("steals            : %llu (failed spins: %llu, peak local "
+              "queue: %llu)\n",
+              static_cast<unsigned long long>(result.steals),
+              static_cast<unsigned long long>(result.steal_fail_spins),
+              static_cast<unsigned long long>(result.peak_local_queue));
+  std::printf("exec lock acq.    : %llu (refill %llu + wait %llu)\n",
+              static_cast<unsigned long long>(result.exec_lock_acquisitions),
+              static_cast<unsigned long long>(result.refill_lock_acquisitions),
+              static_cast<unsigned long long>(result.wait_lock_acquisitions));
   std::printf("result check      : %s\n", wrong == 0 ? "OK" : "CORRUPT");
   for (const auto& d : result.diagnostics)
     std::printf("diagnostic: %s\n", d.c_str());

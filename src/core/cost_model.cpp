@@ -15,6 +15,7 @@ const char* to_string(MgmtOp op) {
     case MgmtOp::kPhaseInit: return "phase-init";
     case MgmtOp::kSerialAction: return "serial-action";
     case MgmtOp::kBranchPreprocess: return "branch-preprocess";
+    case MgmtOp::kSteal: return "steal";
     case MgmtOp::kCount_: break;
   }
   return "?";

@@ -28,6 +28,9 @@ enum class MgmtOp : std::uint8_t {
   kPhaseInit,         ///< initiating a phase (root description creation)
   kSerialAction,      ///< executing an inter-phase serial action
   kBranchPreprocess,  ///< preprocessing a branch-independent conditional
+  kSteal,             ///< decentralized dispatch: a worker takes an assignment
+                      ///< without a serial-executive round-trip (worker-side
+                      ///< charge; see sim::MachineConfig::steal)
   kCount_
 };
 
@@ -53,6 +56,7 @@ struct CostModel {
     set(MgmtOp::kPhaseInit, 10);
     set(MgmtOp::kSerialAction, 50);
     set(MgmtOp::kBranchPreprocess, 5);
+    set(MgmtOp::kSteal, 2);
   }
 
   constexpr void set(MgmtOp op, SimTime t) { ticks[static_cast<std::size_t>(op)] = t; }

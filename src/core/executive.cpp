@@ -84,7 +84,8 @@ ExecutiveCore::ExecutiveCore(const PhaseProgram& program, ExecConfig config,
       costs_(costs),
       serial_done_early_(program.size(), 0),
       branch_predecided_(program.size(), -1),
-      node_pending_run_(program.size(), kNoRun) {
+      node_pending_run_(program.size(), kNoRun),
+      grain_limit_(config.grain) {
   PAX_CHECK_MSG(config_.grain > 0, "grain must be positive");
 }
 
@@ -319,11 +320,11 @@ std::optional<Assignment> ExecutiveCore::request_work(WorkerId) {
   if (d->pending_split != nullptr) force_pending_split(*d);
 
   Descriptor* task;
-  if (d->range.size() <= config_.grain) {
+  if (d->range.size() <= grain_limit_) {
     waiting_.remove(*d);
     task = d;
   } else {
-    task = &carve(*d, {d->range.lo, d->range.lo + config_.grain});
+    task = &carve(*d, {d->range.lo, d->range.lo + grain_limit_});
   }
   task->state = DescState::kAssigned;
 

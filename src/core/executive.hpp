@@ -20,6 +20,7 @@
 //     std::jthread workers execute the assignments.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -122,6 +123,18 @@ class ExecutiveCore {
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] bool work_available() const { return !waiting_.empty(); }
   [[nodiscard]] std::size_t waiting_size() const { return waiting_.size(); }
+
+  /// Cap on the grain used when carving worker assignments, clamped to
+  /// [1, configured grain]. The dispatch layer's steal-rate signal lowers it
+  /// during rundown — the existing split machinery then carves finer pieces
+  /// at request time — and restores it in steady state. Passing 0 resets to
+  /// the configured grain.
+  void set_grain_limit(GranuleId g) {
+    grain_limit_ = g == 0 ? config_.grain
+                          : std::max<GranuleId>(1, std::min(g, config_.grain));
+  }
+  [[nodiscard]] GranuleId effective_grain() const { return grain_limit_; }
+  [[nodiscard]] GranuleId configured_grain() const { return config_.grain; }
 
   /// Idle-time work *may* be pending (presplitting is excluded: it only
   /// matters while the waiting queue is non-empty). May report stale `true`
@@ -252,6 +265,7 @@ class ExecutiveCore {
   std::vector<std::int32_t> branch_predecided_;  // -1 = not predecided
   std::vector<RunId> node_pending_run_;          // run created early for node
 
+  GranuleId grain_limit_ = 0;  ///< effective grain cap (init: config grain)
   std::uint32_t pc_ = 0;
   RunId waiting_run_ = kNoRun;   ///< run the program counter is blocked on
   RunId node_pc_run_ = kNoRun;   ///< run produced by the last dispatch node

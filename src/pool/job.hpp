@@ -23,6 +23,7 @@
 #include "core/executive.hpp"
 #include "pool/pool_stats.hpp"
 #include "runtime/body_table.hpp"
+#include "sched/dispatcher.hpp"
 
 namespace pax::pool {
 
@@ -52,16 +53,22 @@ namespace detail {
 /// the caller keeps them alive until the job reaches a terminal state.
 struct Job {
   Job(std::uint64_t id_in, int priority_in, const PhaseProgram& program,
-      const rt::BodyTable& bodies_in, ExecConfig config, CostModel costs)
+      const rt::BodyTable& bodies_in, ExecConfig config, CostModel costs,
+      const sched::DispatchConfig& dispatch)
       : id(id_in),
         priority(priority_in),
         bodies(bodies_in),
+        dispatcher(dispatch),
         core(program, config, costs),
         submitted_at(std::chrono::steady_clock::now()) {}
 
   const std::uint64_t id;
   const int priority;
   const rt::BodyTable& bodies;
+  /// Per-job dispatch layer: one local run-queue per pool worker, refilled
+  /// from this job's core. Steals stay within the job (tickets are
+  /// per-core); cross-job balance is the rotation pick's business.
+  sched::Dispatcher dispatcher;
 
   // --- guarded by mu -------------------------------------------------------
   std::mutex mu;
@@ -80,11 +87,24 @@ struct Job {
   std::atomic<bool> core_runnable{false};
   std::atomic<std::uint64_t> granules_done{0};
 
-  /// Refresh the pick probe from the core; true when it flipped from
-  /// not-runnable to runnable — only then can a sleeper be stuck, so only
-  /// then must the caller wake the pool. Caller holds mu.
+  /// Refresh the pick probe from the core and the local queues; true when it
+  /// flipped from not-runnable to runnable — only then can a sleeper be
+  /// stuck, so only then must the caller wake the pool. With stealing on,
+  /// local-queue work counts as runnable because a rotating worker can
+  /// adopt this job purely to steal from a loaded peer (rundown stealing at
+  /// pool scope) — the steal then drains that work, so the probe converges
+  /// false. With stealing off the term must stay out: an adopter could
+  /// neither steal nor refill and would busy-spin re-adopting the job until
+  /// the owner drained its queue. The occupancy a sleeper depends on seeing
+  /// grows inside refill — under mu — so the probe set here is fresh (steal
+  /// transfers between queues outside mu, but the thief drains its own loot,
+  /// so nobody depends on observing those); later owner pops can only make
+  /// the probe over-report, which the adopting worker resolves by rotating
+  /// on. Caller holds mu.
   [[nodiscard]] bool refresh_probes() {
-    const bool now = core.runnable();
+    const bool now =
+        core.runnable() ||
+        (dispatcher.config().steal && dispatcher.any_local_work());
     const bool before = core_runnable.exchange(now, std::memory_order_relaxed);
     return now && !before;
   }

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
-#include "runtime/worker_loop.hpp"
+#include "sched/dispatcher.hpp"
 
 namespace pax::pool {
 
@@ -17,6 +17,10 @@ PoolRuntime::PoolRuntime(PoolConfig config)
       worker_wall_(config.workers, std::chrono::nanoseconds{0}) {
   PAX_CHECK_MSG(config_.workers > 0, "pool needs at least one worker");
   PAX_CHECK_MSG(config_.batch > 0, "pool batch must be at least 1");
+  // Fail at construction, not inside the first submit()'s Dispatcher.
+  PAX_CHECK_MSG(config_.queue_capacity == 0 ||
+                    config_.queue_capacity >= config_.batch,
+                "local queue capacity below the retire batch");
   workers_.reserve(config_.workers);
   for (WorkerId w = 0; w < config_.workers; ++w)
     workers_.emplace_back([this, w] { worker_main(w); });
@@ -35,7 +39,7 @@ JobHandle PoolRuntime::submit(const PhaseProgram& program,
   }
   // Job construction (executive setup) happens outside the pool lock.
   auto job = std::make_shared<detail::Job>(id, priority, program, bodies,
-                                           config, costs);
+                                           config, costs, dispatch_config());
   {
     std::scoped_lock lock(mu_);
     PAX_CHECK_MSG(!stop_, "submit on a stopped pool");
@@ -73,6 +77,9 @@ PoolStats PoolRuntime::stats() const {
   s.granules_executed = granules_;
   s.exec_lock_acquisitions = lock_acquisitions_;
   s.rotations = rotations_;
+  s.steals = steals_;
+  s.steal_fail_spins = steal_fail_spins_;
+  s.peak_local_queue = peak_local_queue_;
   s.worker_busy = busy_;
   s.worker_wall = worker_wall_;
   return s;
@@ -133,15 +140,15 @@ bool PoolRuntime::cancel_job(const std::shared_ptr<detail::Job>& job) {
 
 void PoolRuntime::worker_main(WorkerId id) {
   const auto enter = std::chrono::steady_clock::now();
-  const std::size_t max_batch = config_.batch;
-  std::vector<Assignment> batch;
   std::vector<Ticket> done;
-  batch.reserve(max_batch);
-  done.reserve(max_batch);
-  rt::BodyLoopStats totals;  // everything this worker executed
-  rt::BodyLoopStats delta;   // executed since the last merge into the job
+  done.reserve(dispatch_config().effective_capacity());
+  sched::BodyLoopStats totals;  // everything this worker executed
+  sched::BodyLoopStats delta;   // executed since the last merge into the job
+  std::uint64_t steal_delta = 0;
   std::uint64_t locks = 0;
   std::uint64_t rotations = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_fails = 0;
   std::uint64_t last_resident = kNoJobId;
   std::shared_ptr<detail::Job> job;  // resident job
 
@@ -162,12 +169,13 @@ void PoolRuntime::worker_main(WorkerId id) {
     }
 
     // One critical section on the resident job's executive: merge body
-    // accounting, open on first adoption, retire the previous batch, refill.
+    // accounting, open on first adoption, retire the previous drain's
+    // tickets, refill this worker's local run-queue from the job's core.
     enum class Outcome : std::uint8_t {
-      kExecute,   ///< got assignments; run them unlocked
+      kExecute,   ///< local queue non-empty; drain it unlocked
       kRetry,     ///< did executive idle work; poll the queue again
       kFinished,  ///< program finished and we won the finalize
-      kDrained,   ///< rundown: queue empty, job not finished — rotate
+      kDrained,   ///< rundown: queue empty, job not finished — steal/rotate
       kGone,      ///< job cancelled or finalized by a peer — rotate
     };
     Outcome out;
@@ -176,12 +184,14 @@ void PoolRuntime::worker_main(WorkerId id) {
       std::unique_lock jlock(job->mu);
       ++locks;
       ++job->stats.exec_lock_acquisitions;
-      if (delta.granules != 0 || delta.tasks != 0) {
+      if (delta.granules != 0 || delta.tasks != 0 || steal_delta != 0) {
         job->stats.tasks += delta.tasks;
         job->stats.granules += delta.granules;
         job->stats.busy += delta.busy;
+        job->stats.steals += steal_delta;
         job->granules_done.fetch_add(delta.granules, std::memory_order_relaxed);
         delta = {};
+        steal_delta = 0;
       }
 
       JobState st = job->state.load(std::memory_order_relaxed);
@@ -201,17 +211,20 @@ void PoolRuntime::worker_main(WorkerId id) {
         PAX_DCHECK(done.empty());
         out = Outcome::kGone;
       } else {
-        rt::retire_and_refill(job->core, id, max_batch, done, batch);
-        if (!batch.empty()) {
+        job->dispatcher.refill(job->core, id, done);
+        if (job->dispatcher.occupancy(id) > 0) {
           out = Outcome::kExecute;
         } else if (job->core.finished() && !job->core.work_available()) {
-          // kRunning -> kComplete happens only here, under the job lock, by
-          // whoever retires the final ticket; the CAS cannot lose.
+          // A finished core has retired every ticket, so no peer queue can
+          // still hold assignments of this job. kRunning -> kComplete
+          // happens only here, under the job lock, by whoever retires the
+          // final ticket; the CAS cannot lose.
           JobState fin_expected = JobState::kRunning;
           const bool won = job->state.compare_exchange_strong(
               fin_expected, JobState::kComplete, std::memory_order_acq_rel);
           PAX_CHECK_MSG(won, "double finalize of a pool job");
           job->finished_at = std::chrono::steady_clock::now();
+          job->stats.peak_local_queue = job->dispatcher.peak_occupancy();
           out = Outcome::kFinished;
         } else if (job->core.idle_work()) {
           // Donate the rotation gap to this job's executive (map builds,
@@ -222,8 +235,8 @@ void PoolRuntime::worker_main(WorkerId id) {
         }
       }
       // Probe flips cover every enqueue source in this section (retire
-      // enablements, start(), idle work): wake only on not-runnable ->
-      // runnable, when a sleeper could actually be stuck.
+      // enablements, start(), idle work, local refill): wake only on
+      // not-runnable -> runnable, when a sleeper could actually be stuck.
       wake = job->refresh_probes();
     }
 
@@ -231,8 +244,8 @@ void PoolRuntime::worker_main(WorkerId id) {
 
     switch (out) {
       case Outcome::kExecute: {
-        rt::BodyLoopStats step;
-        rt::execute_assignments(job->bodies, batch, id, done, step);
+        sched::BodyLoopStats step;
+        job->dispatcher.drain_local(job->bodies, id, done, step);
         delta += step;
         totals += step;
         break;
@@ -245,16 +258,37 @@ void PoolRuntime::worker_main(WorkerId id) {
           std::scoped_lock lock(mu_);
           remove_job_locked(job);
           ++jobs_completed_;
+          peak_local_queue_ =
+              std::max(peak_local_queue_, job->stats.peak_local_queue);
         }
         cv_.notify_all();  // wake drain()ers and rotating workers
         job.reset();
         break;
       }
-      case Outcome::kDrained:
+      case Outcome::kDrained: {
+        // The job's executive is dry but peers may still hold fat local
+        // queues — its rundown. Steal a FIFO range from the most-loaded
+        // peer before giving up residency.
+        if (config_.steal) {
+          const std::size_t got = job->dispatcher.try_steal(id);
+          if (got > 0) {
+            steals += got;
+            steal_delta += got;
+            sched::BodyLoopStats step;
+            job->dispatcher.drain_local(job->bodies, id, done, step);
+            delta += step;
+            totals += step;
+            break;  // keep residency; the next critical section retires
+          }
+          ++steal_fails;
+        }
+        // Release residency and let the policy pick whose tail to fill
+        // next. refresh_probes() above keeps a drained job out of the pick
+        // until it has work again.
+        job.reset();
+        break;
+      }
       case Outcome::kGone:
-        // The rundown signal at program scope: release residency and let
-        // the policy pick whose tail to fill next. refresh_probes() above
-        // keeps a drained job out of the pick until it has work again.
         job.reset();
         break;
     }
@@ -271,6 +305,8 @@ void PoolRuntime::worker_main(WorkerId id) {
   granules_ += totals.granules;
   lock_acquisitions_ += locks;
   rotations_ += rotations;
+  steals_ += steals;
+  steal_fail_spins_ += steal_fails;
 }
 
 }  // namespace pax::pool

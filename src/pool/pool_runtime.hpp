@@ -10,7 +10,7 @@
 // the batched handoff into a two-level pick:
 //
 //   level 1 — prefer the resident job while its waiting queue is non-empty
-//             (the single-program loop, via the shared worker_loop helpers);
+//             (the single-program loop, via the shared sched::Dispatcher);
 //   level 2 — when it drains (the rundown signal), rotate to another
 //             runnable job chosen by SchedPolicy, so another program's
 //             granules fill this program's tail.
@@ -31,15 +31,24 @@
 #include "pool/job.hpp"
 #include "pool/pool_stats.hpp"
 #include "pool/scheduler_policy.hpp"
+#include "sched/dispatcher.hpp"
 
 namespace pax::pool {
 
 struct PoolConfig {
   std::uint32_t workers = 4;
-  /// Assignments pulled / tickets retired per job-executive critical
-  /// section (the batched handoff, per resident job).
+  /// Refill floor and the no-steal local-queue capacity, per resident job;
+  /// with stealing on, one job-executive critical section may retire/pull
+  /// up to the queue capacity (2x batch by default).
   std::uint32_t batch = 8;
   SchedPolicy policy = SchedPolicy::kFifo;
+  /// Per-worker local run-queue capacity per job; 0 = auto (2x batch with
+  /// stealing, exactly batch without — the PR 2 protocol).
+  std::uint32_t queue_capacity = 0;
+  /// Rundown work stealing between peer local queues of the resident job.
+  bool steal = true;
+  /// Steal-rate signal halves a job's effective grain during its rundown.
+  bool adaptive_grain = true;
 };
 
 class PoolRuntime {
@@ -74,6 +83,15 @@ class PoolRuntime {
  private:
   friend class JobHandle;
 
+  /// The per-job dispatch-layer configuration this pool submits with.
+  [[nodiscard]] sched::DispatchConfig dispatch_config() const {
+    return {.workers = config_.workers,
+            .batch = config_.batch,
+            .queue_capacity = config_.queue_capacity,
+            .steal = config_.steal,
+            .adaptive_grain = config_.adaptive_grain};
+  }
+
   void worker_main(WorkerId id);
   /// Policy pick over the runnable jobs' atomic probes. Caller holds mu_.
   std::shared_ptr<detail::Job> pick_job_locked();
@@ -100,6 +118,9 @@ class PoolRuntime {
   std::uint64_t granules_ = 0;
   std::uint64_t lock_acquisitions_ = 0;
   std::uint64_t rotations_ = 0;
+  std::uint64_t steals_ = 0;
+  std::uint64_t steal_fail_spins_ = 0;
+  std::uint64_t peak_local_queue_ = 0;
   std::vector<std::chrono::nanoseconds> busy_;
   std::vector<std::chrono::nanoseconds> worker_wall_;
 

@@ -27,6 +27,12 @@ struct JobStats {
   std::chrono::nanoseconds span{0};
   /// Critical sections taken on this job's executive mutex.
   std::uint64_t exec_lock_acquisitions = 0;
+  /// Assignments of this job obtained by local-queue stealing (no executive
+  /// round-trip; the thief is always resident on this job).
+  std::uint64_t steals = 0;
+  /// High-water mark of this job's per-worker local run-queues (recorded at
+  /// job completion).
+  std::uint64_t peak_local_queue = 0;
 };
 
 /// Pool-wide accounting. All worker-side totals (tasks, granules, lock
@@ -45,6 +51,14 @@ struct PoolStats {
   /// Cross-job moves: a worker released a drained resident and adopted a
   /// different job. The overlap mechanism working at program scope.
   std::uint64_t rotations = 0;
+  /// Assignments obtained by stealing from a peer's local queue (within the
+  /// resident job; tickets are per-core, so steals never cross jobs).
+  std::uint64_t steals = 0;
+  /// Steal attempts that found every peer queue of the resident job dry —
+  /// these precede a rotation.
+  std::uint64_t steal_fail_spins = 0;
+  /// High-water mark of local run-queue occupancy across completed jobs.
+  std::uint64_t peak_local_queue = 0;
   std::vector<std::chrono::nanoseconds> worker_busy;
   std::vector<std::chrono::nanoseconds> worker_wall;  ///< in-worker_main span
 

@@ -4,7 +4,6 @@
 #include <thread>
 
 #include "common/check.hpp"
-#include "runtime/worker_loop.hpp"
 
 namespace pax::rt {
 
@@ -31,6 +30,11 @@ ThreadedRuntime::ThreadedRuntime(const PhaseProgram& program, ExecConfig config,
       bodies_(bodies),
       rt_config_(rt_config),
       core_(program, config, costs),
+      dispatcher_(sched::DispatchConfig{.workers = rt_config.workers,
+                                        .batch = rt_config.batch,
+                                        .queue_capacity = rt_config.queue_capacity,
+                                        .steal = rt_config.steal,
+                                        .adaptive_grain = rt_config.adaptive_grain}),
       busy_(rt_config.workers, std::chrono::nanoseconds{0}),
       worker_wall_(rt_config.workers, std::chrono::nanoseconds{0}) {
   PAX_CHECK_MSG(rt_config_.workers > 0, "need at least one worker");
@@ -55,62 +59,97 @@ void ThreadedRuntime::submit_conflicting(RunId blocker, PhaseId phase,
 
 void ThreadedRuntime::worker_main(WorkerId id) {
   const auto enter = std::chrono::steady_clock::now();
-  const std::size_t max_batch = rt_config_.batch;
-  std::vector<Assignment> batch;
   std::vector<Ticket> done;
-  batch.reserve(max_batch);
-  done.reserve(max_batch);
-  BodyLoopStats stats;
-  std::uint64_t locks = 0;
+  done.reserve(dispatcher_.capacity());
+  sched::BodyLoopStats stats;
+  std::uint64_t refill_locks = 0;
+  std::uint64_t wait_locks = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_fail_spins = 0;
   bool pending_notify_all = false;
 
-  std::unique_lock lock(mu_);
-  ++locks;
-  while (true) {
-    // Retire the previous batch and pull the next one in the same critical
-    // section: one lock round-trip per `max_batch` tasks in steady state.
-    const CompletionResult res =
-        retire_and_refill(core_, id, max_batch, done, batch);
-    if (res.new_work || res.program_finished) pending_notify_all = true;
+  // Sleep predicate: computable work at the executive, program end, or a
+  // stealable peer queue. Liveness argument: occupancy growth a sleeper
+  // *depends on* seeing happens inside refill — under mu_ — so checking the
+  // predicate under mu_ cannot miss that wakeup. Steals also push into a
+  // queue (outside mu_), but the thief always drains its own loot, so no
+  // sleeper ever depends on observing a steal; missing one costs tail
+  // parallelism only, which the best-effort notify on the steal path
+  // recovers.
+  auto wake_pred = [&] {
+    return core_.work_available() || core_.finished() ||
+           (rt_config_.steal && dispatcher_.stealable_by(id));
+  };
 
-    if (batch.empty()) {
+  std::unique_lock lock(mu_);
+  ++refill_locks;
+  while (true) {
+    // One executive critical section: retire the previous drain's tickets
+    // and refill the local run-queue (the dispatcher applies the adaptive
+    // grain limit before pulling).
+    const sched::RefillOutcome rr = dispatcher_.refill(core_, id, done);
+    if (rr.completion.new_work || rr.completion.program_finished)
+      pending_notify_all = true;
+
+    if (rr.refilled == 0 && dispatcher_.occupancy(id) == 0) {
       if (core_.finished()) break;
       // Donate idle time to the executive (presplitting, deferred
-      // successor-splitting tasks, composite-map slices) before sleeping.
+      // successor-splitting tasks, composite-map slices) before stealing.
       if (core_.idle_work()) {
         // Idle work may have enabled work; peers must not sleep through it.
         if (core_.work_available()) pending_notify_all = true;
         continue;
       }
+      // Executive dry and local queue dry: the rundown signal. Steal from
+      // the most-loaded peer outside the executive lock.
+      lock.unlock();
       if (pending_notify_all) {
-        // Cold path: notify before sleeping (wait() releases the mutex, so
-        // notifying under it here cannot make peers spin against us).
         cv_.notify_all();
         pending_notify_all = false;
       }
-      cv_.wait(lock, [&] { return core_.work_available() || core_.finished(); });
-      ++locks;
+      if (rt_config_.steal) {
+        const std::size_t got = dispatcher_.try_steal(id);
+        if (got > 0) {
+          steals += got;
+          // Cascade: the loot may outlast this thief's drain, so wake a
+          // peer to steal the surplus — otherwise a fat tail is ground
+          // 2-wide (victim + one thief) while the rest sleep.
+          if (got > 1) cv_.notify_one();
+          dispatcher_.drain_local(bodies_, id, done, stats);
+          lock.lock();
+          ++refill_locks;
+          continue;
+        }
+        ++steal_fail_spins;
+      }
+      lock.lock();
+      if (wake_pred()) {
+        ++refill_locks;
+      } else {
+        cv_.wait(lock, wake_pred);
+        ++wait_locks;
+      }
       continue;
     }
 
     const bool more = core_.work_available();
+    // A refill that out-pulled the retire batch left steal-worthy slack in
+    // the local queue: wake one peer so the slack is taken, not slept past.
+    const bool steal_worthy = rt_config_.steal && dispatcher_.occupancy(id) > 1;
     lock.unlock();
     // Notifications go out after the unlock so a woken peer finds the
     // executive mutex free instead of immediately blocking on it.
     if (pending_notify_all) {
       cv_.notify_all();
       pending_notify_all = false;
-    } else if (more) {
-      // More work remains after this batch: wake a sleeping peer (work can
-      // become available through paths that do not notify, e.g. another
-      // worker's idle-time enablements).
+    } else if (more || steal_worthy) {
       cv_.notify_one();
     }
 
-    execute_assignments(bodies_, batch, id, done, stats);
+    dispatcher_.drain_local(bodies_, id, done, stats);
 
     lock.lock();
-    ++locks;
+    ++refill_locks;
   }
 
   // The loop exits holding the lock: publish per-worker accounting. The
@@ -121,7 +160,10 @@ void ThreadedRuntime::worker_main(WorkerId id) {
       std::chrono::steady_clock::now() - enter);
   tasks_ += stats.tasks;
   granules_ += stats.granules;
-  lock_acquisitions_ += locks;
+  refill_locks_ += refill_locks;
+  wait_locks_ += wait_locks;
+  steals_ += steals;
+  steal_fail_spins_ += steal_fail_spins;
   lock.unlock();
   if (pending_notify_all) cv_.notify_all();
 }
@@ -154,7 +196,12 @@ RtResult ThreadedRuntime::run() {
   res.worker_wall = worker_wall_;
   res.tasks_executed = tasks_;
   res.granules_executed = granules_;
-  res.exec_lock_acquisitions = lock_acquisitions_;
+  res.refill_lock_acquisitions = refill_locks_;
+  res.wait_lock_acquisitions = wait_locks_;
+  res.exec_lock_acquisitions = refill_locks_ + wait_locks_;
+  res.steals = steals_;
+  res.steal_fail_spins = steal_fail_spins_;
+  res.peak_local_queue = dispatcher_.peak_occupancy();
   res.ledger = core_.ledger();
   res.diagnostics = core_.diagnostics();
   return res;

@@ -6,14 +6,17 @@
 // the strict-barrier baseline on identical machinery, which is how the
 // speedup benches isolate the effect of phase overlap.
 //
-// The executive mutex is the runtime's serial bottleneck, so the worker loop
-// batches the handoff: each critical section retires up to RtConfig::batch
-// finished tickets (complete_batch) and pulls up to RtConfig::batch fresh
-// assignments (request_work_batch), and condition-variable notifications are
-// issued after the lock is released so woken peers do not immediately block
-// on the mutex the notifier still holds. batch = 1 reproduces the classic
-// one-assignment-per-round-trip protocol the speedup benches baseline on;
-// larger batches amortise the lock at a small cost in tail load balance.
+// Dispatch is decentralized through the shared sched::Dispatcher (DESIGN.md
+// §8): each worker owns a bounded local run-queue, one executive critical
+// section retires up to RtConfig::batch finished tickets and refills the
+// local queue, and when both the local queue and the executive run dry — the
+// rundown signal — the worker steals a FIFO range from the most-loaded peer
+// without touching the executive at all. A steal-rate signal adaptively
+// halves the effective grain so rundown tails stay fine-grained. batch = 1
+// with steal = false reproduces the classic one-assignment-per-round-trip
+// protocol the speedup benches baseline on. Condition-variable notifications
+// are issued after the lock is released so woken peers do not immediately
+// block on the mutex the notifier still holds.
 //
 // Concurrency follows the C++ Core Guidelines CP rules: jthread-only (no
 // detach), RAII locks, condition waits with predicates, data passed by
@@ -32,14 +35,25 @@
 
 #include "core/executive.hpp"
 #include "runtime/body_table.hpp"
+#include "sched/dispatcher.hpp"
 
 namespace pax::rt {
 
 struct RtConfig {
   std::uint32_t workers = 4;
-  /// Maximum assignments pulled / tickets retired per executive critical
-  /// section. 1 = the classic single-item handoff.
+  /// Refill floor and the no-steal queue capacity; with stealing on, one
+  /// critical section may retire/pull up to the queue capacity (2x batch by
+  /// default — over-refill absorbed by steals). batch 1 with steal off =
+  /// the classic single-item handoff.
   std::uint32_t batch = 1;
+  /// Per-worker local run-queue capacity; 0 = auto (2x batch with stealing —
+  /// over-refill absorbed by steals — or exactly batch without, which
+  /// reproduces the PR 1 batched protocol).
+  std::uint32_t queue_capacity = 0;
+  /// Rundown work stealing between workers' local queues.
+  bool steal = true;
+  /// Steal-rate signal halves the effective grain during rundown.
+  bool adaptive_grain = true;
 };
 
 /// Wall-clock results of a threaded run.
@@ -51,10 +65,22 @@ struct RtResult {
   std::vector<std::chrono::nanoseconds> worker_wall;
   std::uint64_t tasks_executed = 0;
   std::uint64_t granules_executed = 0;
-  /// Executive-mutex acquisitions by worker threads (initial acquisition,
-  /// re-acquisition after each body batch, and each condition-wait return).
-  /// The batched handoff exists to shrink this per granule executed.
+  /// Executive-mutex acquisitions by worker threads: the sum of the two
+  /// fields below (kept as a total because the t6/t8 gates compare it).
   std::uint64_t exec_lock_acquisitions = 0;
+  /// Acquisitions feeding the retire/refill path (initial acquisition and
+  /// re-acquisition after each body drain or steal).
+  std::uint64_t refill_lock_acquisitions = 0;
+  /// Condition-wait returns — counted separately so contention on the
+  /// handoff is not conflated with sleeping through genuine work droughts.
+  std::uint64_t wait_lock_acquisitions = 0;
+  /// Assignments obtained by stealing from a peer's local queue (no
+  /// executive round-trip involved).
+  std::uint64_t steals = 0;
+  /// Steal attempts that found every peer queue dry.
+  std::uint64_t steal_fail_spins = 0;
+  /// High-water mark of local run-queue occupancy across workers.
+  std::uint64_t peak_local_queue = 0;
   pax::MgmtLedger ledger;
   std::vector<std::string> diagnostics;
 
@@ -90,12 +116,16 @@ class ThreadedRuntime {
   std::mutex mu_;
   std::condition_variable cv_;
   ExecutiveCore core_;
+  sched::Dispatcher dispatcher_;
 
   std::vector<std::chrono::nanoseconds> busy_;
   std::vector<std::chrono::nanoseconds> worker_wall_;
   std::uint64_t tasks_ = 0;
   std::uint64_t granules_ = 0;
-  std::uint64_t lock_acquisitions_ = 0;
+  std::uint64_t refill_locks_ = 0;
+  std::uint64_t wait_locks_ = 0;
+  std::uint64_t steals_ = 0;
+  std::uint64_t steal_fail_spins_ = 0;
   bool ran_ = false;
 };
 

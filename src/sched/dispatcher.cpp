@@ -1,0 +1,139 @@
+#include "sched/dispatcher.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pax::sched {
+
+Dispatcher::Dispatcher(DispatchConfig config)
+    : config_(config),
+      capacity_(config.effective_capacity()),
+      scratch_(config.workers),
+      window_size_(std::max<std::uint64_t>(16, 4ull * config.workers)) {
+  PAX_CHECK_MSG(config_.workers > 0, "need at least one worker");
+  PAX_CHECK_MSG(config_.batch > 0, "batch must be at least 1");
+  PAX_CHECK_MSG(capacity_ >= config_.batch,
+                "local queue capacity below the retire batch");
+  queues_.reserve(config_.workers);
+  for (std::uint32_t w = 0; w < config_.workers; ++w) {
+    queues_.push_back(std::make_unique<LocalRunQueue>(capacity_));
+    scratch_[w].reserve(capacity_);
+  }
+}
+
+RefillOutcome Dispatcher::refill(ExecutiveCore& core, WorkerId w,
+                                 std::vector<Ticket>& done) {
+  RefillOutcome out;
+  if (!done.empty()) {
+    out.completion = core.complete_batch(done);
+    done.clear();
+  }
+
+  if (config_.adaptive_grain) {
+    const GranuleId base = core.configured_grain();
+    const auto shift = grain_shift_.load(std::memory_order_relaxed);
+    core.set_grain_limit(std::max<GranuleId>(1, base >> shift));
+  }
+
+  // Thieves only shrink the queue, so a room computed from a momentary size
+  // can never over-fill; only the owner pushes.
+  const std::size_t room = capacity_ - std::min(capacity_, queues_[w]->size());
+  if (room == 0) return out;
+  std::vector<Assignment>& buf = scratch_[w];
+  buf.clear();
+  core.request_work_batch(w, room, buf);
+  push_reversed(w, buf);
+  out.refilled = buf.size();
+  if (out.refilled > 0) note_event(/*was_steal=*/false);
+  return out;
+}
+
+void Dispatcher::push_reversed(WorkerId w, const std::vector<Assignment>& buf) {
+  // Push in reverse so the owner's LIFO pop order equals the order the
+  // assignments arrived in (the executive's elevated-first handout order on
+  // a refill; the victim's front-to-back order on a steal). One bulk lock
+  // acquisition: refill callers hold the executive mutex.
+  if (buf.empty()) return;
+  const bool ok = queues_[w]->push_reversed(buf);
+  PAX_CHECK_MSG(ok, "local run-queue overflow");
+}
+
+void Dispatcher::drain_local(const rt::BodyTable& bodies, WorkerId w,
+                             std::vector<Ticket>& done, BodyLoopStats& stats) {
+  Assignment a;
+  while (done.size() < capacity_ && queues_[w]->pop(a)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    bodies.of(a.phase)(a.range, w);
+    const auto t1 = std::chrono::steady_clock::now();
+    stats.busy += std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
+    stats.granules += a.range.size();
+    ++stats.tasks;
+    done.push_back(a.ticket);
+  }
+}
+
+std::size_t Dispatcher::try_steal(WorkerId w) {
+  if (!config_.steal || config_.workers < 2) return 0;
+  WorkerId victim = w;
+  std::size_t most = 0;
+  for (WorkerId peer = 0; peer < config_.workers; ++peer) {
+    if (peer == w) continue;
+    const std::size_t n = queues_[peer]->size();
+    if (n > most) {
+      most = n;
+      victim = peer;
+    }
+  }
+  if (most == 0) return 0;
+
+  const std::size_t room = capacity_ - std::min(capacity_, queues_[w]->size());
+  if (room == 0) return 0;
+  std::vector<Assignment>& buf = scratch_[w];
+  buf.clear();
+  const std::size_t got = queues_[victim]->steal(room, buf);
+  if (got == 0) return 0;  // victim raced dry
+  push_reversed(w, buf);
+  note_event(/*was_steal=*/true);
+  return got;
+}
+
+bool Dispatcher::any_local_work() const {
+  for (const auto& q : queues_)
+    if (q->size() > 0) return true;
+  return false;
+}
+
+bool Dispatcher::stealable_by(WorkerId w) const {
+  for (WorkerId peer = 0; peer < config_.workers; ++peer)
+    if (peer != w && queues_[peer]->size() > 0) return true;
+  return false;
+}
+
+std::size_t Dispatcher::peak_occupancy() const {
+  std::size_t peak = 0;
+  for (const auto& q : queues_) peak = std::max(peak, q->peak());
+  return peak;
+}
+
+void Dispatcher::note_event(bool was_steal) {
+  if (!config_.adaptive_grain) return;
+  if (was_steal) window_steals_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t ev = window_events_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (ev < window_size_) return;
+  window_events_.store(0, std::memory_order_relaxed);
+  const std::uint64_t steals = window_steals_.exchange(0, std::memory_order_relaxed);
+  std::uint32_t shift = grain_shift_.load(std::memory_order_relaxed);
+  if (steals * 4 >= window_size_) {
+    if (shift < kMaxGrainShift) ++shift;  // rundown: carve finer
+  } else if (shift > 0) {
+    // Below the raise threshold: restore coarseness. Decaying on any
+    // sub-threshold window (not only steal-free ones) keeps natural
+    // scheduling jitter — a trickle of steals — from latching a halved
+    // grain through a long steady-state phase.
+    --shift;
+  }
+  grain_shift_.store(shift, std::memory_order_relaxed);
+}
+
+}  // namespace pax::sched

@@ -1,0 +1,160 @@
+// dispatcher.hpp — the decentralized dispatch layer shared by both runtimes.
+//
+// PR 1 batched the executive handoff and PR 2 multiplexed jobs over it, but
+// dispatch itself stayed centralized: every assignment and retirement funnels
+// through one executive mutex, so during rundown the tail workers contend on
+// exactly the serial resource the paper warns about. This layer pushes
+// dispatch out of the executive into per-worker structures and demotes the
+// executive to an enablement oracle:
+//
+//   * each worker owns a bounded LocalRunQueue (run_queue.hpp);
+//   * the Dispatcher is the only component that touches the ExecutiveCore —
+//     refill() retires the worker's finished tickets and refills its local
+//     queue in one executive critical section (the caller holds whatever
+//     lock guards the core, exactly as with the old retire_and_refill);
+//   * when a worker's local queue and the executive's waiting queue are both
+//     dry — the rundown signal — try_steal() takes a FIFO range from the
+//     most-loaded peer queue without touching the executive at all;
+//   * a steal-rate signal adaptively halves the effective grain (via
+//     ExecutiveCore::set_grain_limit, i.e. the executive's existing split
+//     machinery carves finer pieces) so rundown tails stay fine-grained
+//     while steady state stays coarse.
+//
+// With stealing enabled the local queue lets a worker over-refill beyond the
+// retire batch (capacity defaults to 2x batch): fat refills are safe because
+// peers steal the excess back during the tail — the over-decomposition-
+// absorbed-by-local-scheduling move of the virtual-processors SPMD line.
+// With stealing disabled the capacity defaults to exactly `batch`, which
+// reproduces the PR 1 batched protocol on the same machinery (how bench_t8
+// baselines the layer).
+//
+// rt::ThreadedRuntime drives one dispatcher for its one core; each
+// pool::PoolRuntime job owns one dispatcher for its own core, so stealing
+// stays within a job (tickets are per-core) while the pool's cross-job
+// rotation handles the rest. The worker-side body-execution half of the old
+// runtime/worker_loop.hpp (BodyLoopStats, execute/drain) lives here too:
+// the dispatcher is its new home.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/executive.hpp"
+#include "runtime/body_table.hpp"
+#include "sched/run_queue.hpp"
+
+namespace pax::sched {
+
+struct DispatchConfig {
+  std::uint32_t workers = 4;
+  /// Finished tickets retired per executive critical section (and the refill
+  /// floor — see effective_capacity()).
+  std::uint32_t batch = 1;
+  /// Per-worker local run-queue slots. 0 = auto: 2x batch with stealing
+  /// (over-refill absorbed by steals), exactly batch without (the PR 1
+  /// batched protocol).
+  std::uint32_t queue_capacity = 0;
+  /// Rundown work stealing between peer local queues.
+  bool steal = true;
+  /// Steal-rate signal halves the effective grain during rundown.
+  bool adaptive_grain = true;
+
+  [[nodiscard]] std::size_t effective_capacity() const {
+    if (queue_capacity != 0) return queue_capacity;
+    return steal ? std::size_t{2} * batch : std::size_t{batch};
+  }
+};
+
+/// Per-worker (or per-job) execution accounting accumulated by drain_local.
+struct BodyLoopStats {
+  std::chrono::nanoseconds busy{0};  ///< wall time inside phase bodies
+  std::uint64_t tasks = 0;
+  std::uint64_t granules = 0;
+
+  BodyLoopStats& operator+=(const BodyLoopStats& o) {
+    busy += o.busy;
+    tasks += o.tasks;
+    granules += o.granules;
+    return *this;
+  }
+};
+
+/// What one refill() critical section did.
+struct RefillOutcome {
+  CompletionResult completion{};  ///< of the retire (ORed ticket outcomes)
+  std::size_t refilled = 0;       ///< assignments pulled into the local queue
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatchConfig config);
+
+  [[nodiscard]] std::uint32_t workers() const { return config_.workers; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const DispatchConfig& config() const { return config_; }
+
+  /// One executive critical section: retire `done` (cleared on return), then
+  /// refill worker `w`'s local queue up to capacity, applying the adaptive
+  /// grain limit first. The caller must hold whatever lock guards `core`.
+  RefillOutcome refill(ExecutiveCore& core, WorkerId w, std::vector<Ticket>& done);
+
+  /// Owner pop from `w`'s local queue (LIFO end; executive handout order).
+  bool pop_local(WorkerId w, Assignment& out) {
+    return queues_[w]->pop(out);
+  }
+
+  /// Execute everything currently in `w`'s local queue — outside any
+  /// executive lock — timing each body and queueing tickets on `done` for
+  /// the next refill's retire. Stops early once `done` reaches the queue
+  /// capacity so retirement (and the enablements it fires) is never deferred
+  /// past one queue's worth of work.
+  void drain_local(const rt::BodyTable& bodies, WorkerId w,
+                   std::vector<Ticket>& done, BodyLoopStats& stats);
+
+  /// Rundown stealing: move a FIFO range from the most-loaded peer queue
+  /// into `w`'s queue. Returns the number of assignments stolen (0 = every
+  /// peer was dry or raced dry). Never touches the executive.
+  std::size_t try_steal(WorkerId w);
+
+  [[nodiscard]] std::size_t occupancy(WorkerId w) const {
+    return queues_[w]->size();
+  }
+  /// Any queue non-empty (job-level probe for the pool's rotation pick).
+  [[nodiscard]] bool any_local_work() const;
+  /// Any queue other than `w`'s non-empty (sleep predicate for stealers).
+  [[nodiscard]] bool stealable_by(WorkerId w) const;
+
+  /// High-water mark of local-queue occupancy across all workers.
+  [[nodiscard]] std::size_t peak_occupancy() const;
+
+  /// Current adaptive-grain halvings (0 = full configured grain).
+  [[nodiscard]] std::uint32_t grain_shift() const {
+    return grain_shift_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void note_event(bool was_steal);
+
+  DispatchConfig config_;
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<LocalRunQueue>> queues_;
+  /// Worker-private refill/steal staging buffers (owner-thread only).
+  std::vector<std::vector<Assignment>> scratch_;
+
+  // Steal-rate signal: over a window of productive acquisitions (refills
+  // that returned work, successful steals), a steal share >= 1/4 halves the
+  // effective grain (up to kMaxGrainShift times); a window below that
+  // threshold doubles it back. Relaxed atomics — the signal is a heuristic,
+  // racy resets only blur the window edges.
+  static constexpr std::uint32_t kMaxGrainShift = 6;
+  void push_reversed(WorkerId w, const std::vector<Assignment>& buf);
+  std::uint64_t window_size_;
+  std::atomic<std::uint64_t> window_events_{0};
+  std::atomic<std::uint64_t> window_steals_{0};
+  std::atomic<std::uint32_t> grain_shift_{0};
+};
+
+}  // namespace pax::sched

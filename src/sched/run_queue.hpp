@@ -1,0 +1,110 @@
+// run_queue.hpp — per-worker bounded local run-queue of Assignments.
+//
+// The decentralized half of the dispatch layer (DESIGN.md §8): every worker
+// owns one fixed-capacity ring. The owner pushes refilled assignments at the
+// back and pops from the back (LIFO — it executes the most recently refilled
+// work, which is also the work the refill ordered last; the dispatcher
+// pushes each refill batch in reverse so the owner's pop order equals the
+// executive's handout order). Thieves take FIFO ranges from the front — the
+// assignments the owner would reach last — under the same light per-queue
+// mutex. Occupancy is mirrored into an atomic so the steal picker can size
+// up victims without touching any lock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/granule.hpp"
+
+namespace pax::sched {
+
+class LocalRunQueue {
+ public:
+  explicit LocalRunQueue(std::size_t capacity) : ring_(capacity) {
+    PAX_CHECK_MSG(capacity > 0, "local run-queue needs capacity >= 1");
+  }
+
+  LocalRunQueue(const LocalRunQueue&) = delete;
+  LocalRunQueue& operator=(const LocalRunQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  /// Peer-visible occupancy. May be momentarily stale; exact size is only
+  /// observable under the queue lock and nobody needs it.
+  [[nodiscard]] std::size_t size() const {
+    return occupancy_.load(std::memory_order_relaxed);
+  }
+
+  /// Owner: append at the back. False when the ring is full (the dispatcher
+  /// never over-refills, so a failed push is a caller bug in practice).
+  bool push(const Assignment& a) {
+    std::scoped_lock lock(mu_);
+    if (count_ == ring_.size()) return false;
+    ring_[(head_ + count_) % ring_.size()] = a;
+    ++count_;
+    if (count_ > peak_) peak_ = count_;
+    occupancy_.store(count_, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Owner: append `buf` back-to-front under ONE lock acquisition (the
+  /// dispatcher's refill runs inside the executive critical section, so
+  /// per-assignment lock round-trips there would lengthen exactly the
+  /// serial section the dispatch layer exists to shrink). All-or-nothing:
+  /// false when the ring lacks room for the whole buffer.
+  bool push_reversed(const std::vector<Assignment>& buf) {
+    std::scoped_lock lock(mu_);
+    if (buf.size() > ring_.size() - count_) return false;
+    for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+      ring_[(head_ + count_) % ring_.size()] = *it;
+      ++count_;
+    }
+    if (count_ > peak_) peak_ = count_;
+    occupancy_.store(count_, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Owner: pop the most recent assignment (LIFO end).
+  bool pop(Assignment& out) {
+    std::scoped_lock lock(mu_);
+    if (count_ == 0) return false;
+    --count_;
+    out = ring_[(head_ + count_) % ring_.size()];
+    occupancy_.store(count_, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Thief: take up to `max_n` assignments from the front (FIFO end), capped
+  /// at half the current occupancy rounded up, appended to `out`. Returns
+  /// how many were taken (0 when the queue raced empty).
+  std::size_t steal(std::size_t max_n, std::vector<Assignment>& out) {
+    std::scoped_lock lock(mu_);
+    const std::size_t take = std::min(max_n, (count_ + 1) / 2);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(ring_[head_]);
+      head_ = (head_ + 1) % ring_.size();
+      --count_;
+    }
+    occupancy_.store(count_, std::memory_order_relaxed);
+    return take;
+  }
+
+  /// High-water mark of the occupancy (for RtResult / PoolStats reporting).
+  [[nodiscard]] std::size_t peak() const {
+    std::scoped_lock lock(mu_);
+    return peak_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Assignment> ring_;
+  std::size_t head_ = 0;   ///< index of the front (FIFO / steal) element
+  std::size_t count_ = 0;
+  std::size_t peak_ = 0;
+  std::atomic<std::size_t> occupancy_{0};
+};
+
+}  // namespace pax::sched

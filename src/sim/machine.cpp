@@ -10,6 +10,7 @@ Machine::Machine(const PhaseProgram& program, ExecConfig exec_config,
                  CostModel costs, Workload workload, MachineConfig config)
     : program_(program),
       core_(program, exec_config, costs),
+      costs_(costs),
       workload_(std::move(workload)),
       config_(config),
       placement_(exec_config.placement),
@@ -148,6 +149,45 @@ void Machine::unpark_all() {
   }
 }
 
+void Machine::begin_assignment(WorkerId w, const Assignment& a, SimTime delay) {
+  const SimTime start = now_ + delay;
+  const SimTime dur =
+      workload_.task_duration(a.phase, a.range) + config_.task_overhead;
+  ++result_.tasks_executed;
+  result_.granules_executed += a.range.size();
+  result_.compute_ticks += dur;
+  if (config_.record_intervals)
+    result_.compute_intervals.push_back({start, start + dur, w});
+  if (a.run < result_.runs.size() && result_.runs[a.run].first_task == kTimeNever)
+    result_.runs[a.run].first_task = start;
+  Event done;
+  done.kind = Event::Kind::kTaskDone;
+  done.worker = w;
+  done.ticket = a.ticket;
+  done.t = start + dur;
+  push_event(std::move(done));
+}
+
+bool Machine::try_steal(WorkerId w) {
+  if (!config_.steal || core_.finished() || !core_.work_available()) return false;
+  // Uncontended executive: the normal request path costs nothing extra, and
+  // keeping it preserves the donated-idle-time machinery.
+  if (!exec_busy_ && exec_queue_.empty()) return false;
+  std::optional<Assignment> a = core_.request_work(w);
+  // The guard above saw a non-empty waiting queue and the sim is
+  // single-threaded, so the pop cannot come back empty.
+  PAX_CHECK_MSG(a.has_value(), "steal pop raced empty in a serial simulation");
+  core_.ledger().charge(MgmtOp::kSteal, costs_);
+  // The pop's management charges are paid by the stealing worker itself —
+  // decentralized dispatch never occupies the serial executive.
+  const SimTime delta = core_.ledger().drain_pending();
+  ++result_.steals;
+  result_.steal_ticks += delta;
+  result_.request_latency.add(static_cast<double>(delta));
+  begin_assignment(w, *a, delta);
+  return true;
+}
+
 void Machine::handle_exec_done(const Event& e) {
   exec_busy_ = false;
   switch (e.job.kind) {
@@ -156,24 +196,8 @@ void Machine::handle_exec_done(const Event& e) {
     case JobKind::kRequest: {
       const WorkerId w = e.worker;
       if (e.assignment.has_value()) {
-        const Assignment& a = *e.assignment;
         result_.request_latency.add(static_cast<double>(now_ - e.job.enqueued_at));
-        const SimTime dur =
-            workload_.task_duration(a.phase, a.range) + config_.task_overhead;
-        ++result_.tasks_executed;
-        result_.granules_executed += a.range.size();
-        result_.compute_ticks += dur;
-        if (config_.record_intervals)
-          result_.compute_intervals.push_back({now_, now_ + dur, w});
-        if (a.run < result_.runs.size() &&
-            result_.runs[a.run].first_task == kTimeNever)
-          result_.runs[a.run].first_task = now_;
-        Event done;
-        done.kind = Event::Kind::kTaskDone;
-        done.worker = w;
-        done.ticket = a.ticket;
-        done.t = now_ + dur;
-        push_event(std::move(done));
+        begin_assignment(w, *e.assignment, 0);
       } else if (!core_.finished()) {
         park(w);
       } else {
@@ -183,9 +207,11 @@ void Machine::handle_exec_done(const Event& e) {
     }
     case JobKind::kCompletion:
       if (placement_ == ExecPlacement::kWorkerStealing) {
-        // The completing worker regains control only now; it immediately
-        // presents itself for more work.
-        enqueue_job({JobKind::kRequest, e.worker, kNoTicket});
+        // The completing worker regains control only now; it presents
+        // itself for more work — directly (steal) when the executive is
+        // backed up, through the serial request lane otherwise.
+        if (!try_steal(e.worker))
+          enqueue_job({JobKind::kRequest, e.worker, kNoTicket});
       }
       break;
     case JobKind::kIdleWork:
@@ -198,8 +224,9 @@ void Machine::handle_task_done(const Event& e) {
   enqueue_job({JobKind::kCompletion, e.worker, e.ticket});
   if (placement_ == ExecPlacement::kDedicated) {
     // Completion is processed asynchronously; the worker asks for new work
-    // right away (its request is serviced in the priority lane).
-    enqueue_job({JobKind::kRequest, e.worker, kNoTicket});
+    // right away (its request is serviced in the priority lane, or taken
+    // directly when the executive is contended and stealing is on).
+    if (!try_steal(e.worker)) enqueue_job({JobKind::kRequest, e.worker, kNoTicket});
   }
 }
 

@@ -40,6 +40,13 @@ struct MachineConfig {
   bool record_intervals = true;
   /// Fixed worker-side dispatch overhead added to every task.
   SimTime task_overhead = 0;
+  /// Decentralized dispatch: when a worker needs new work while the serial
+  /// executive is busy (or backed up), it takes the assignment itself,
+  /// paying the pop plus a CostModel::kSteal charge as *worker-side* time
+  /// instead of queueing an executive request job. Models the dispatch
+  /// layer's rundown work stealing (DESIGN.md §8); off by default so the
+  /// centralized baselines stay bit-identical.
+  bool steal = false;
   /// Safety cap; simulation aborts past this point.
   SimTime max_time = kTimeNever;
 };
@@ -82,6 +89,12 @@ class Machine {
   void enqueue_job(Job j, bool front = false);
   void pump_executive();
   void start_job(Job j);
+  /// Schedule `a`'s compute on worker `w`, starting `delay` ticks from now.
+  void begin_assignment(WorkerId w, const Assignment& a, SimTime delay);
+  /// Decentralized-dispatch bypass: pop an assignment for `w` directly when
+  /// the executive is contended, billing the pop + kSteal as worker time.
+  /// Returns false when disabled, uncontended, or no work is computable.
+  bool try_steal(WorkerId w);
   void handle_exec_done(const Event& e);
   void handle_task_done(const Event& e);
   void unpark_all();
@@ -90,6 +103,7 @@ class Machine {
 
   const PhaseProgram& program_;
   ExecutiveCore core_;
+  CostModel costs_;
   Workload workload_;
   MachineConfig config_;
   ExecPlacement placement_;

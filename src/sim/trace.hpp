@@ -48,6 +48,13 @@ class SimResult {
   /// Worker-ticks spent blocked on the executive (worker-stealing mode).
   std::uint64_t mgmt_wait_ticks = 0;
 
+  /// Decentralized-dispatch bypasses (MachineConfig::steal): assignments a
+  /// worker took itself while the serial executive was contended, and the
+  /// worker-side ticks those pops cost (billed per CostModel::kSteal plus
+  /// the pop's management charges; never executive busy-time).
+  std::uint64_t steals = 0;
+  std::uint64_t steal_ticks = 0;
+
   /// Latency from a worker presenting itself to receiving an assignment
   /// (queueing on the serial executive included) — the delay the paper
   /// worries about when successor splitting sits on the request path.
