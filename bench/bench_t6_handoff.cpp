@@ -69,6 +69,7 @@ rt::RtResult run_once(const PhaseProgram& prog, std::uint32_t workers,
   rc.batch = batch;
   rc.steal = false;
   rc.adaptive_grain = false;
+  rc.shards = 1;  // single-lock protocol: this bench isolates batching alone
   rt::ThreadedRuntime runtime(prog, cfg, CostModel::free_of_charge(), bodies, rc);
   return runtime.run();
 }

@@ -175,6 +175,7 @@ int main(int argc, char** argv) {
     solo_rc.batch = 4;
     solo_rc.steal = false;
     solo_rc.adaptive_grain = false;
+    solo_rc.shards = 1;  // this bench isolates cross-job rotation
     std::chrono::nanoseconds seq_busy{0}, seq_wall{0};
     for (const BuiltJob& j : jobs) {
       rt::ThreadedRuntime runtime(j.prog, cfg, CostModel::free_of_charge(),
@@ -191,6 +192,7 @@ int main(int argc, char** argv) {
     pool::PoolRuntime pool({.workers = kWorkers,
                             .batch = 4,
                             .policy = pool::SchedPolicy::kFairShare,
+                            .shards = 1,  // isolate rotation, not sharding
                             .steal = false,
                             .adaptive_grain = false});
     std::vector<pool::JobHandle> handles;

@@ -40,59 +40,8 @@ constexpr std::uint64_t kTotal = 2ull * kN;
 constexpr std::uint32_t kGrain = 32;
 constexpr std::uint32_t kBatch = 16;
 
-std::atomic<std::uint64_t> g_sink{0};
-
-/// Per-run rundown instrumentation: bodies count retired granules; whoever
-/// crosses the 90% threshold stamps t90, and every body ending after t90
-/// adds its overlap with [t90, end] to the window busy time.
-struct RundownProbe {
-  std::atomic<std::uint64_t> done{0};
-  std::atomic<std::int64_t> t90_ns{0};   // 0 = not crossed yet
-  std::atomic<std::uint64_t> window_busy_ns{0};
-  std::atomic<std::int64_t> last_end_ns{0};
-
-  static std::int64_t ns_of(std::chrono::steady_clock::time_point t) {
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               t.time_since_epoch())
-        .count();
-  }
-
-  void on_body(std::chrono::steady_clock::time_point t0,
-               std::chrono::steady_clock::time_point t1, std::uint64_t granules) {
-    const std::int64_t end = ns_of(t1);
-    const std::uint64_t before = done.fetch_add(granules, std::memory_order_acq_rel);
-    constexpr std::uint64_t kThreshold = kTotal - kTotal / 10;
-    if (before < kThreshold && before + granules >= kThreshold) {
-      std::int64_t expected = 0;
-      t90_ns.compare_exchange_strong(expected, end, std::memory_order_acq_rel);
-    }
-    const std::int64_t t90 = t90_ns.load(std::memory_order_acquire);
-    if (t90 != 0 && end > t90) {
-      const std::int64_t begin = std::max(ns_of(t0), t90);
-      window_busy_ns.fetch_add(static_cast<std::uint64_t>(end - begin),
-                               std::memory_order_relaxed);
-    }
-    std::int64_t prev = last_end_ns.load(std::memory_order_relaxed);
-    while (prev < end &&
-           !last_end_ns.compare_exchange_weak(prev, end, std::memory_order_relaxed)) {
-    }
-  }
-
-  [[nodiscard]] double window_utilization(std::uint32_t workers) const {
-    const std::int64_t t90 = t90_ns.load(std::memory_order_relaxed);
-    const std::int64_t end = last_end_ns.load(std::memory_order_relaxed);
-    if (t90 == 0 || end <= t90) return 0.0;
-    return static_cast<double>(window_busy_ns.load(std::memory_order_relaxed)) /
-           (static_cast<double>(workers) * static_cast<double>(end - t90));
-  }
-};
-
-void spin(std::uint32_t iters) {
-  std::uint64_t acc = 0;
-  for (std::uint32_t i = 0; i < iters; ++i)
-    acc += (static_cast<std::uint64_t>(i) * 2654435761u) ^ (acc >> 7);
-  g_sink.fetch_add(acc, std::memory_order_relaxed);
-}
+using pax::bench::RundownProbe;
+using pax::bench::spin;
 
 struct RunOut {
   rt::RtResult res;
@@ -107,7 +56,7 @@ RunOut run_once(std::uint32_t workers, bool steal) {
   prog.dispatch(b);
   prog.halt();
 
-  RundownProbe probe;
+  RundownProbe probe(kTotal);
   rt::BodyTable bodies;
   auto body = [&probe](GranuleRange r, WorkerId) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -125,6 +74,7 @@ RunOut run_once(std::uint32_t workers, bool steal) {
   rc.batch = kBatch;
   rc.steal = steal;
   rc.adaptive_grain = steal;
+  rc.shards = 1;  // single-lock protocol: this bench isolates the steal layer
   // steal off keeps queue_capacity = batch: the PR 1 batch-16 protocol.
   rt::ThreadedRuntime runtime(prog, cfg, CostModel::free_of_charge(), bodies, rc);
   RunOut out;

@@ -5,6 +5,9 @@
 // two-phase programs for every mapping kind and run them on the simulator.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -16,6 +19,68 @@
 #include "sim/machine.hpp"
 
 namespace pax::bench {
+
+/// Per-run rundown instrumentation shared by the T8/T9 gates (one metric
+/// definition, so the two gates can never silently diverge): bodies count
+/// retired granules; whoever crosses the 90% threshold stamps t90, and
+/// every body ending after t90 adds its overlap with [t90, end] to the
+/// window busy time.
+class RundownProbe {
+ public:
+  explicit RundownProbe(std::uint64_t total_granules)
+      : threshold_(total_granules - total_granules / 10) {}
+
+  void on_body(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1, std::uint64_t granules) {
+    const std::int64_t end = ns_of(t1);
+    const std::uint64_t before = done_.fetch_add(granules, std::memory_order_acq_rel);
+    if (before < threshold_ && before + granules >= threshold_) {
+      std::int64_t expected = 0;
+      t90_ns_.compare_exchange_strong(expected, end, std::memory_order_acq_rel);
+    }
+    const std::int64_t t90 = t90_ns_.load(std::memory_order_acquire);
+    if (t90 != 0 && end > t90) {
+      const std::int64_t begin = std::max(ns_of(t0), t90);
+      window_busy_ns_.fetch_add(static_cast<std::uint64_t>(end - begin),
+                                std::memory_order_relaxed);
+    }
+    std::int64_t prev = last_end_ns_.load(std::memory_order_relaxed);
+    while (prev < end && !last_end_ns_.compare_exchange_weak(
+                             prev, end, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Mean busy fraction of `workers` over [t90, last body end].
+  [[nodiscard]] double window_utilization(std::uint32_t workers) const {
+    const std::int64_t t90 = t90_ns_.load(std::memory_order_relaxed);
+    const std::int64_t end = last_end_ns_.load(std::memory_order_relaxed);
+    if (t90 == 0 || end <= t90) return 0.0;
+    return static_cast<double>(window_busy_ns_.load(std::memory_order_relaxed)) /
+           (static_cast<double>(workers) * static_cast<double>(end - t90));
+  }
+
+ private:
+  static std::int64_t ns_of(std::chrono::steady_clock::time_point t) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               t.time_since_epoch())
+        .count();
+  }
+
+  const std::uint64_t threshold_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::int64_t> t90_ns_{0};  // 0 = not crossed yet
+  std::atomic<std::uint64_t> window_busy_ns_{0};
+  std::atomic<std::int64_t> last_end_ns_{0};
+};
+
+/// Busy-spin of `iters` hash rounds; the global sink defeats the optimizer.
+inline std::atomic<std::uint64_t> g_spin_sink{0};
+inline void spin(std::uint32_t iters) {
+  std::uint64_t acc = 0;
+  for (std::uint32_t i = 0; i < iters; ++i)
+    acc += (static_cast<std::uint64_t>(i) * 2654435761u) ^ (acc >> 7);
+  g_spin_sink.fetch_add(acc, std::memory_order_relaxed);
+}
 
 /// Machine-readable bench output: pass `--json <path>` to any T-series gate
 /// bench and it appends one record per reported metric, so the BENCH_*.json

@@ -80,10 +80,19 @@ int main() {
               static_cast<unsigned long long>(result.steals),
               static_cast<unsigned long long>(result.steal_fail_spins),
               static_cast<unsigned long long>(result.peak_local_queue));
-  std::printf("exec lock acq.    : %llu (refill %llu + wait %llu)\n",
+  std::printf("exec lock acq.    : %llu (control %llu + wait %llu)\n",
               static_cast<unsigned long long>(result.exec_lock_acquisitions),
               static_cast<unsigned long long>(result.refill_lock_acquisitions),
               static_cast<unsigned long long>(result.wait_lock_acquisitions));
+  // Sharded executive traffic: refills served lock-locally by a shard
+  // buffer never touch the control mutex at all.
+  std::printf("shards            : %u (buffer hits %llu + sibling %llu, "
+              "scattered %llu, hold %.1f us)\n",
+              result.shards_used,
+              static_cast<unsigned long long>(result.shard_hits),
+              static_cast<unsigned long long>(result.shard_sibling_hits),
+              static_cast<unsigned long long>(result.shard_scattered),
+              static_cast<double>(result.exec_lock_hold_ns) / 1e3);
   std::printf("result check      : %s\n", wrong == 0 ? "OK" : "CORRUPT");
   for (const auto& d : result.diagnostics)
     std::printf("diagnostic: %s\n", d.c_str());

@@ -16,6 +16,7 @@ const char* to_string(MgmtOp op) {
     case MgmtOp::kSerialAction: return "serial-action";
     case MgmtOp::kBranchPreprocess: return "branch-preprocess";
     case MgmtOp::kSteal: return "steal";
+    case MgmtOp::kShardFlush: return "shard-flush";
     case MgmtOp::kCount_: break;
   }
   return "?";

@@ -31,6 +31,10 @@ enum class MgmtOp : std::uint8_t {
   kSteal,             ///< decentralized dispatch: a worker takes an assignment
                       ///< without a serial-executive round-trip (worker-side
                       ///< charge; see sim::MachineConfig::steal)
+  kShardFlush,        ///< sharded executive: publishing one shard's slice of a
+                      ///< coalesced cross-shard enablement flush (per shard
+                      ///< touched; see core/sharded_executive.hpp and
+                      ///< sim::MachineConfig::shards)
   kCount_
 };
 
@@ -57,6 +61,7 @@ struct CostModel {
     set(MgmtOp::kSerialAction, 50);
     set(MgmtOp::kBranchPreprocess, 5);
     set(MgmtOp::kSteal, 2);
+    set(MgmtOp::kShardFlush, 2);
   }
 
   constexpr void set(MgmtOp op, SimTime t) { ticks[static_cast<std::size_t>(op)] = t; }

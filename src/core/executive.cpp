@@ -319,12 +319,16 @@ std::optional<Assignment> ExecutiveCore::request_work(WorkerId) {
   if (d == nullptr) return std::nullopt;
   if (d->pending_split != nullptr) force_pending_split(*d);
 
+  // One relaxed load per request: the steal-rate signal may update the limit
+  // concurrently (it is the only unlocked writer); a torn view across two
+  // loads could carve a piece wider than the cap.
+  const GranuleId limit = grain_limit_.load(std::memory_order_relaxed);
   Descriptor* task;
-  if (d->range.size() <= grain_limit_) {
+  if (d->range.size() <= limit) {
     waiting_.remove(*d);
     task = d;
   } else {
-    task = &carve(*d, {d->range.lo, d->range.lo + grain_limit_});
+    task = &carve(*d, {d->range.lo, d->range.lo + limit});
   }
   task->state = DescState::kAssigned;
 
@@ -902,7 +906,12 @@ void ExecutiveCore::extract_elevated(Run& r, const std::vector<GranuleId>& order
     return nullptr;
   };
 
-  // Group requested granules by host, ascending within each host.
+  // Group requested granules by host, ascending within each host. Hosts are
+  // ordered by their (disjoint) range starts, NOT by pointer: descriptor
+  // addresses vary run to run, and a pointer-ordered sort here made the
+  // rebuild order — and with it the whole downstream schedule — depend on
+  // heap layout (caught by the seeded stress harness as a sim run that was
+  // not bit-reproducible).
   std::vector<std::pair<Descriptor*, GranuleId>> grouped;
   grouped.reserve(order.size());
   for (GranuleId g : order) {
@@ -911,7 +920,13 @@ void ExecutiveCore::extract_elevated(Run& r, const std::vector<GranuleId>& order
     if (host == nullptr) continue;  // assigned, elevated, or already carved
     grouped.emplace_back(host, g);
   }
-  std::sort(grouped.begin(), grouped.end());
+  std::sort(grouped.begin(), grouped.end(),
+            [](const std::pair<Descriptor*, GranuleId>& a,
+               const std::pair<Descriptor*, GranuleId>& b) {
+              if (a.first->range.lo != b.first->range.lo)
+                return a.first->range.lo < b.first->range.lo;
+              return a.second < b.second;
+            });
   grouped.erase(std::unique(grouped.begin(), grouped.end()), grouped.end());
 
   // Rebuild each host: normal segments stay in the waiting queue, requested

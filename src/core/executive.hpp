@@ -21,6 +21,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -123,17 +124,31 @@ class ExecutiveCore {
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] bool work_available() const { return !waiting_.empty(); }
   [[nodiscard]] std::size_t waiting_size() const { return waiting_.size(); }
+  /// Elevated-class entries in the waiting queue (conflict releases and
+  /// enabling splits). The sharded front-end snapshots this after every
+  /// control section so buffered normal work never starves an elevated
+  /// release behind a stale shard buffer.
+  [[nodiscard]] std::size_t waiting_elevated_size() const {
+    return waiting_.elevated_size();
+  }
 
   /// Cap on the grain used when carving worker assignments, clamped to
   /// [1, configured grain]. The dispatch layer's steal-rate signal lowers it
   /// during rundown — the existing split machinery then carves finer pieces
   /// at request time — and restores it in steady state. Passing 0 resets to
-  /// the configured grain.
+  /// the configured grain. Atomic: the steal-rate signal publishes the limit
+  /// from whichever worker trips it, without holding the lock that guards
+  /// the rest of the core, while a peer inside the request path reads it.
+  /// Relaxed suffices — the limit is a heuristic and a stale read only means
+  /// one assignment carved at the previous grain.
   void set_grain_limit(GranuleId g) {
-    grain_limit_ = g == 0 ? config_.grain
-                          : std::max<GranuleId>(1, std::min(g, config_.grain));
+    grain_limit_.store(g == 0 ? config_.grain
+                              : std::max<GranuleId>(1, std::min(g, config_.grain)),
+                       std::memory_order_relaxed);
   }
-  [[nodiscard]] GranuleId effective_grain() const { return grain_limit_; }
+  [[nodiscard]] GranuleId effective_grain() const {
+    return grain_limit_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] GranuleId configured_grain() const { return config_.grain; }
 
   /// Idle-time work *may* be pending (presplitting is excluded: it only
@@ -265,7 +280,7 @@ class ExecutiveCore {
   std::vector<std::int32_t> branch_predecided_;  // -1 = not predecided
   std::vector<RunId> node_pending_run_;          // run created early for node
 
-  GranuleId grain_limit_ = 0;  ///< effective grain cap (init: config grain)
+  std::atomic<GranuleId> grain_limit_;  ///< effective grain cap (init: config grain)
   std::uint32_t pc_ = 0;
   RunId waiting_run_ = kNoRun;   ///< run the program counter is blocked on
   RunId node_pc_run_ = kNoRun;   ///< run produced by the last dispatch node

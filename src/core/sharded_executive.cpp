@@ -1,0 +1,320 @@
+#include "core/sharded_executive.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.hpp"
+
+namespace pax {
+
+namespace {
+
+GranuleId max_phase_granules(const PhaseProgram& program) {
+  GranuleId m = 0;
+  for (std::size_t i = 0; i < program.phase_count(); ++i)
+    m = std::max(m, program.phase(static_cast<PhaseId>(i)).granules);
+  return m;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Times one control-plane visit into the stats counters (relaxed: the
+/// counters are read by unlocked snapshots, never used for synchronization).
+/// Constructed BEFORE the mutex is taken: the span covers acquisition wait
+/// plus hold, i.e. the serialization a worker actually experiences at the
+/// control plane — the quantity sharding exists to remove (a pure-hold
+/// measure would credit neither queueing nor cache bouncing).
+class ControlTimer {
+ public:
+  explicit ControlTimer(ShardStats& stats) : stats_(stats), t0_(now_ns()) {
+    stats_.control_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ControlTimer() {
+    stats_.control_hold_ns.fetch_add(now_ns() - t0_, std::memory_order_relaxed);
+  }
+  ControlTimer(const ControlTimer&) = delete;
+  ControlTimer& operator=(const ControlTimer&) = delete;
+
+ private:
+  ShardStats& stats_;
+  std::uint64_t t0_;
+};
+
+}  // namespace
+
+std::uint32_t ShardConfig::resolve(GranuleId max_granules) const {
+  PAX_CHECK_MSG(workers > 0, "shard config needs at least one worker");
+  const GranuleId cap = std::max<GranuleId>(1, max_granules);
+  if (shards == kAutoShards) {
+    // One worker has nothing to decontend; give it the exact single-lock
+    // protocol (strict FIFO handout) instead of a pointless shard hop.
+    if (workers == 1) return 1;
+    const std::uint64_t want = 2ull * workers;
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(want, static_cast<std::uint64_t>(cap)));
+  }
+  PAX_CHECK_MSG(shards >= 1, "shard count must be at least 1 (0 is invalid)");
+  PAX_CHECK_MSG(static_cast<std::uint64_t>(shards) <=
+                    static_cast<std::uint64_t>(cap),
+                "more shards than granules in the largest phase");
+  return shards;
+}
+
+ShardedExecutive::ShardedExecutive(const PhaseProgram& program,
+                                   ExecConfig exec_config, CostModel costs,
+                                   ShardConfig config)
+    : core_(program, exec_config, costs),
+      costs_(costs),
+      nshards_(config.resolve(max_phase_granules(program))),
+      depth_(config.effective_depth()),
+      flush_(config.effective_flush()) {
+  shards_.reserve(nshards_);
+  for (std::uint32_t s = 0; s < nshards_; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->ready.reserve(depth_);
+    shard->deposits.reserve(flush_);
+    shards_.push_back(std::move(shard));
+  }
+  sweep_tickets_.reserve(static_cast<std::size_t>(flush_) * nshards_);
+}
+
+void ShardedExecutive::publish_core_census() {
+  core_waiting_.store(core_.waiting_size(), std::memory_order_relaxed);
+  core_elevated_.store(core_.waiting_elevated_size(), std::memory_order_relaxed);
+  core_idle_.store(core_.has_idle_work(), std::memory_order_relaxed);
+  if (core_.finished()) finished_.store(true, std::memory_order_release);
+}
+
+void ShardedExecutive::start() {
+  {
+    ControlTimer timer(stats_);
+    std::scoped_lock lock(control_mu_);
+    core_.start();
+    publish_core_census();
+  }
+  started_.store(true, std::memory_order_release);
+}
+
+std::size_t ShardedExecutive::take_from(Shard& s, std::size_t max_n,
+                                        std::vector<Assignment>& out) {
+  const std::size_t n = std::min(max_n, s.ready.size());
+  if (n == 0) return 0;
+  // Front first: the buffer holds assignments in the executive's handout
+  // order, and partial takes must keep the remainder's order intact.
+  out.insert(out.end(), s.ready.begin(),
+             s.ready.begin() + static_cast<std::ptrdiff_t>(n));
+  s.ready.erase(s.ready.begin(), s.ready.begin() + static_cast<std::ptrdiff_t>(n));
+  s.ready_n.store(static_cast<std::uint32_t>(s.ready.size()),
+                  std::memory_order_relaxed);
+  ready_.fetch_sub(static_cast<std::int64_t>(n), std::memory_order_relaxed);
+  return n;
+}
+
+void ShardedExecutive::sweep_locked(ShardAcquire& res, WorkerId w,
+                                    std::size_t max_n,
+                                    std::vector<Assignment>& out) {
+  // Collect the deposit boxes (shard locks nest inside the control mutex;
+  // the reverse order never happens, so no deadlock). The occupancy hint
+  // skips empty shards without locking them — a deposit racing past the
+  // hint read is simply retired by the next sweep.
+  sweep_tickets_.clear();
+  for (auto& shard : shards_) {
+    if (shard->deposit_n.load(std::memory_order_relaxed) == 0) continue;
+    std::scoped_lock sl(shard->mu);
+    sweep_tickets_.insert(sweep_tickets_.end(), shard->deposits.begin(),
+                          shard->deposits.end());
+    shard->deposits.clear();
+    shard->deposit_n.store(0, std::memory_order_relaxed);
+  }
+  if (!sweep_tickets_.empty()) {
+    deposited_.fetch_sub(static_cast<std::int64_t>(sweep_tickets_.size()),
+                         std::memory_order_relaxed);
+    stats_.sweeps.fetch_add(1, std::memory_order_relaxed);
+    // One coalesced retire: indirect enablements fired by tickets deposited
+    // on *different* shards merge into maximal ranges and are flushed once.
+    const CompletionResult cr = core_.complete_batch(sweep_tickets_);
+    res.new_work |= cr.new_work;
+    sweep_tickets_.clear();
+  }
+
+  // Serve the caller first so a pending elevated release goes to the worker
+  // that is about to execute, not into a buffer.
+  if (max_n > 0) res.taken += core_.request_work_batch(w, max_n, out);
+
+  // Re-scatter: top up every shard buffer to `depth_` while the core still
+  // has waiting work, starting after the caller's home so siblings fill
+  // evenly. Bill one kShardFlush per shard touched — publishing a slice of
+  // the coalesced flush is a real management cost the sim charges per shard.
+  std::uint64_t touched = 0;
+  for (std::uint32_t i = 0; core_.work_available() && i < nshards_; ++i) {
+    Shard& s = *shards_[(home_of(w) + 1 + i) % nshards_];
+    std::scoped_lock sl(s.mu);
+    const std::size_t room = depth_ - std::min<std::size_t>(depth_, s.ready.size());
+    if (room == 0) continue;
+    // Carve straight into the buffer: appended entries extend the handout
+    // order the front-first take preserves.
+    const std::size_t got = core_.request_work_batch(w, room, s.ready);
+    if (got == 0) break;
+    s.ready_n.store(static_cast<std::uint32_t>(s.ready.size()),
+                    std::memory_order_relaxed);
+    ready_.fetch_add(static_cast<std::int64_t>(got), std::memory_order_relaxed);
+    stats_.scattered.fetch_add(got, std::memory_order_relaxed);
+    ++touched;
+    res.new_work = true;
+  }
+  if (touched > 0) core_.ledger().charge(MgmtOp::kShardFlush, costs_, touched);
+
+  publish_core_census();
+  res.program_finished = core_.finished();
+  res.swept = true;
+}
+
+ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
+                                       std::vector<Ticket>& done,
+                                       std::vector<Assignment>& out) {
+  ShardAcquire res;
+  if (!started_.load(std::memory_order_acquire)) {
+    PAX_CHECK_MSG(done.empty(), "finished tickets before start");
+    return res;
+  }
+
+  if (nshards_ == 1) {
+    // Single shard: the PR 3 protocol verbatim — one control section that
+    // retires the worker's batch and refills it.
+    ControlTimer timer(stats_);
+    std::scoped_lock lock(control_mu_);
+    if (!done.empty()) {
+      const CompletionResult cr = core_.complete_batch(done);
+      done.clear();
+      res.new_work |= cr.new_work;
+    }
+    if (max_n > 0) res.taken = core_.request_work_batch(w, max_n, out);
+    publish_core_census();
+    res.program_finished = core_.finished();
+    res.swept = true;
+    return res;
+  }
+
+  Shard& home = *shards_[home_of(w)];
+  if (!done.empty()) {
+    std::scoped_lock sl(home.mu);
+    home.deposits.insert(home.deposits.end(), done.begin(), done.end());
+    home.deposit_n.store(static_cast<std::uint32_t>(home.deposits.size()),
+                         std::memory_order_relaxed);
+    deposited_.fetch_add(static_cast<std::int64_t>(done.size()),
+                         std::memory_order_relaxed);
+    stats_.deposits.fetch_add(done.size(), std::memory_order_relaxed);
+    done.clear();
+  }
+
+  // Straight to a sweep when deposits crossed the flush threshold (bounds
+  // enablement latency) or an elevated release is pending in the core
+  // (buffered normal work must not outrank it).
+  const bool flush_due =
+      deposited_.load(std::memory_order_relaxed) >=
+      static_cast<std::int64_t>(flush_);
+  const bool elevated_pending =
+      core_elevated_.load(std::memory_order_relaxed) > 0;
+
+  if (max_n > 0 && !flush_due && !elevated_pending) {
+    if (home.ready_n.load(std::memory_order_relaxed) > 0) {
+      std::scoped_lock sl(home.mu);
+      res.taken = take_from(home, max_n, out);
+    }
+    if (res.taken > 0) {
+      stats_.shard_hits.fetch_add(1, std::memory_order_relaxed);
+      return res;
+    }
+    for (std::uint32_t i = 1; i < nshards_; ++i) {
+      Shard& sib = *shards_[(home_of(w) + i) % nshards_];
+      if (sib.ready_n.load(std::memory_order_relaxed) == 0) continue;
+      std::scoped_lock sl(sib.mu);
+      // Steal-style bite: at most half the sibling's buffer (rounded up).
+      // Draining a whole sibling in one take would concentrate the tail in
+      // one worker's local queue — the fat-tail pattern rundown stealing
+      // exists to break up — and measurably costs rundown utilization.
+      const std::size_t bite =
+          std::min(max_n, (sib.ready.size() + 1) / 2);
+      res.taken = take_from(sib, bite, out);
+      if (res.taken > 0) {
+        stats_.sibling_hits.fetch_add(1, std::memory_order_relaxed);
+        return res;
+      }
+    }
+  }
+
+  // Every buffer dry (or a flush/elevation forces it): the control plane.
+  // Skip when it has nothing for us — no deposits to retire and an empty
+  // waiting queue — so rundown probing stays off the control mutex.
+  if (deposited_.load(std::memory_order_relaxed) > 0 ||
+      core_waiting_.load(std::memory_order_relaxed) > 0) {
+    ControlTimer timer(stats_);
+    std::scoped_lock lock(control_mu_);
+    sweep_locked(res, w, max_n, out);
+  }
+  return res;
+}
+
+bool ShardedExecutive::idle_work() {
+  ControlTimer timer(stats_);
+  std::scoped_lock lock(control_mu_);
+  const bool did = core_.idle_work();
+  publish_core_census();
+  return did;
+}
+
+void ShardedExecutive::submit_conflicting(RunId blocker, PhaseId phase,
+                                          GranuleRange range) {
+  ControlTimer timer(stats_);
+  std::scoped_lock lock(control_mu_);
+  core_.submit_conflicting(blocker, phase, range);
+  publish_core_census();
+}
+
+ShardStatsView ShardedExecutive::stats() const {
+  ShardStatsView v;
+  v.control_acquisitions = stats_.control_acquisitions.load(std::memory_order_relaxed);
+  v.control_hold_ns = stats_.control_hold_ns.load(std::memory_order_relaxed);
+  v.sweeps = stats_.sweeps.load(std::memory_order_relaxed);
+  v.shard_hits = stats_.shard_hits.load(std::memory_order_relaxed);
+  v.sibling_hits = stats_.sibling_hits.load(std::memory_order_relaxed);
+  v.scattered = stats_.scattered.load(std::memory_order_relaxed);
+  v.deposits = stats_.deposits.load(std::memory_order_relaxed);
+  return v;
+}
+
+void ShardedExecutive::check_census() const {
+  std::scoped_lock lock(control_mu_);
+  // Freeze the whole structure: every shard lock is held at once (ascending
+  // order; workers only ever hold one shard lock, so this cannot deadlock).
+  // Summing shard-by-shard under one lock at a time would race a concurrent
+  // take — the sum would include a buffer the census already debited.
+  std::vector<std::unique_lock<std::mutex>> frozen;
+  frozen.reserve(shards_.size());
+  for (const auto& shard : shards_) frozen.emplace_back(shard->mu);
+  std::int64_t ready = 0, deposits = 0;
+  for (const auto& shard : shards_) {
+    ready += static_cast<std::int64_t>(shard->ready.size());
+    deposits += static_cast<std::int64_t>(shard->deposits.size());
+    PAX_CHECK_MSG(shard->ready_n.load(std::memory_order_relaxed) ==
+                      shard->ready.size(),
+                  "shard occupancy hint drifted from its buffer");
+    PAX_CHECK_MSG(shard->deposit_n.load(std::memory_order_relaxed) ==
+                      shard->deposits.size(),
+                  "shard deposit hint drifted from its box");
+  }
+  PAX_CHECK_MSG(ready == ready_.load(std::memory_order_relaxed),
+                "ready census drifted from the shard buffers");
+  PAX_CHECK_MSG(deposits == deposited_.load(std::memory_order_relaxed),
+                "deposit census drifted from the shard deposit boxes");
+  PAX_CHECK_MSG(core_waiting_.load(std::memory_order_relaxed) ==
+                    core_.waiting_size(),
+                "waiting-queue census drifted from the core");
+}
+
+}  // namespace pax

@@ -1,0 +1,240 @@
+// sharded_executive.hpp — the sharded front-end over ExecutiveCore.
+//
+// PR 3 decentralized *dispatch* (per-worker run-queues, rundown stealing),
+// but every refill still funneled through one executive mutex per program:
+// retirement, enablement and carving re-serialized on exactly the management
+// resource the paper's rundown analysis warns about, and — per the
+// work-inflation findings of Acar et al. — contended shared scheduler state
+// inflates per-granule cost as worker counts grow. This layer shards the
+// executive's *worker-facing* state so that two workers refilling different
+// shards never contend:
+//
+//   * the granule handout is partitioned across `shards` independently-
+//     locked Shard buffers, each owning a slice of pre-carved assignments
+//     (its slice of the split/grain state) and a deposit box of finished
+//     tickets (its slice of the enablement-count updates to apply);
+//   * a worker's acquire() first serves itself from its *home shard*
+//     (worker % shards) under that shard's lock alone, then probes sibling
+//     shards, and only falls back to the control plane when every shard is
+//     dry or the deposit census crosses the flush threshold;
+//   * the control plane — the unchanged single-threaded ExecutiveCore — is
+//     entered by one worker at a time (control mutex) in *sweeps*: one sweep
+//     collects every shard's deposited tickets, retires them in a single
+//     complete_batch (so indirect enablements produced by tickets from
+//     different shards coalesce into maximal ranges and are flushed ONCE),
+//     then re-scatters carved assignments across the shard buffers;
+//   * a small atomic census (ready / deposited / core-waiting / elevated /
+//     idle-work / finished) keeps runnable() / work_available() probes
+//     lock-free for the pool's cross-job pick and the runtimes' sleep
+//     predicates.
+//
+// With shards == 1 the layer short-circuits to the PR 3 protocol — every
+// acquire is one control section doing complete_batch + request_work_batch —
+// which is how bench_t9_shard baselines it and why `shards = 1` reproduces
+// the prior behavior exactly.
+//
+// Elevated priority: the core pops elevated work first, but shard buffers
+// could hide an elevated release behind already-carved normal work. The
+// census therefore tracks the core's elevated count, and acquire() prefers a
+// control sweep over buffered normal work while an elevated release is
+// pending — with one worker this preserves the strict release-outranks-
+// queued-work ordering of the unsharded executive.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/executive.hpp"
+
+namespace pax {
+
+/// Sentinel: resolve the shard count from the worker count (≈ 2x workers,
+/// clamped to the program's largest phase). 0 is *invalid* — constructors
+/// PAX_CHECK it — so a config bug can never silently mean "auto".
+inline constexpr std::uint32_t kAutoShards = 0xFFFFFFFFu;
+
+struct ShardConfig {
+  /// Number of independently-locked shards; kAutoShards = 2x workers
+  /// (1 for a single worker, where there is nothing to decontend), clamped
+  /// to [1, largest phase granule count]. Explicit values must be >= 1 and
+  /// <= the largest phase granule count.
+  std::uint32_t shards = kAutoShards;
+  std::uint32_t workers = 4;
+  /// Scatter/flush scaling unit (the driver's retire batch).
+  std::uint32_t batch = 1;
+  /// Per-shard ready-buffer cap; 0 = auto (= batch). Bounds how much work is
+  /// pre-carved ahead of execution, so rundown tails are not locked into
+  /// coarse pieces carved before the adaptive grain kicked in.
+  std::uint32_t depth = 0;
+  /// Deposited-ticket count that triggers a control sweep even while shard
+  /// buffers still hold work; 0 = auto (= 2x batch). Bounds enablement
+  /// latency: a ticket waits at most one flush interval before its
+  /// completions are processed.
+  std::uint32_t flush = 0;
+
+  [[nodiscard]] std::uint32_t effective_depth() const {
+    return depth != 0 ? depth : std::max(1u, batch);
+  }
+  [[nodiscard]] std::uint32_t effective_flush() const {
+    return flush != 0 ? flush : std::max(2u, 2u * batch);
+  }
+
+  /// Resolve `shards` against a program's largest phase (`max_granules`).
+  /// PAX_CHECKs the validity rules above.
+  [[nodiscard]] std::uint32_t resolve(GranuleId max_granules) const;
+};
+
+/// What one acquire() call did.
+struct ShardAcquire {
+  std::size_t taken = 0;        ///< assignments appended to `out`
+  /// Work became visible to peers (an enablement enqueued, or a sweep
+  /// scattered assignments into shard buffers): drivers wake sleepers.
+  bool new_work = false;
+  bool program_finished = false;
+  bool swept = false;           ///< this call entered the control plane
+};
+
+/// Lock/traffic counters. Written under the control or shard locks with
+/// relaxed atomics so stats()/JobHandle snapshots may read them any time.
+struct ShardStats {
+  std::atomic<std::uint64_t> control_acquisitions{0};  ///< control-mutex sections
+  std::atomic<std::uint64_t> control_hold_ns{0};       ///< time inside them
+  std::atomic<std::uint64_t> sweeps{0};          ///< sections that swept deposits
+  std::atomic<std::uint64_t> shard_hits{0};      ///< acquires served by home shard
+  std::atomic<std::uint64_t> sibling_hits{0};    ///< ... by a sibling shard
+  std::atomic<std::uint64_t> scattered{0};       ///< assignments pushed to shards
+  std::atomic<std::uint64_t> deposits{0};        ///< tickets parked in shards
+};
+
+/// Plain-value snapshot of ShardStats (copyable into results structs).
+struct ShardStatsView {
+  std::uint64_t control_acquisitions = 0;
+  std::uint64_t control_hold_ns = 0;
+  std::uint64_t sweeps = 0;
+  std::uint64_t shard_hits = 0;
+  std::uint64_t sibling_hits = 0;
+  std::uint64_t scattered = 0;
+  std::uint64_t deposits = 0;
+};
+
+class ShardedExecutive {
+ public:
+  /// Validates and resolves `config` (see ShardConfig) against `program`.
+  ShardedExecutive(const PhaseProgram& program, ExecConfig exec_config,
+                   CostModel costs, ShardConfig config);
+
+  ShardedExecutive(const ShardedExecutive&) = delete;
+  ShardedExecutive& operator=(const ShardedExecutive&) = delete;
+
+  [[nodiscard]] std::uint32_t shards() const { return nshards_; }
+
+  /// Begin program execution (control section). Until start() returns,
+  /// acquire() yields nothing and runnable() is false.
+  void start();
+
+  /// The worker protocol, all locking internal:
+  ///   1. deposit `done` (cleared on return) into the home shard;
+  ///   2. serve up to `max_n` assignments from the home shard buffer, else a
+  ///      sibling buffer — no control mutex involved;
+  ///   3. when every buffer is dry, deposits crossed the flush threshold, or
+  ///      an elevated release is pending: one control sweep — retire ALL
+  ///      shards' deposits in one coalesced complete_batch, pull for the
+  ///      caller, re-scatter the shard buffers.
+  /// Returns what happened; `out` is appended in handout order.
+  ShardAcquire acquire(WorkerId w, std::size_t max_n, std::vector<Ticket>& done,
+                       std::vector<Assignment>& out);
+
+  /// Executive idle-time work (control section). True if something was done.
+  bool idle_work();
+
+  /// Thread-safe conflicting-computation submission (control section).
+  void submit_conflicting(RunId blocker, PhaseId phase, GranuleRange range);
+
+  /// Forwarded to the core's atomic grain limit — no lock required (that is
+  /// the point of the grain-limit fix: the steal-rate signal publishes it
+  /// from outside every control section).
+  void set_grain_limit(GranuleId g) { core_.set_grain_limit(g); }
+
+  // --- lock-free census probes ---------------------------------------------
+  [[nodiscard]] bool finished() const {
+    return finished_.load(std::memory_order_acquire);
+  }
+  /// Computable work is reachable *right now*: buffered in a shard, waiting
+  /// in the core, or unlockable by sweeping deposited tickets.
+  [[nodiscard]] bool work_available() const {
+    return ready_.load(std::memory_order_relaxed) > 0 ||
+           core_waiting_.load(std::memory_order_relaxed) > 0 ||
+           deposited_.load(std::memory_order_relaxed) > 0;
+  }
+  [[nodiscard]] bool has_idle_work() const {
+    return core_idle_.load(std::memory_order_relaxed);
+  }
+  /// Cross-job probe (pool rotation pick): can a worker make progress here?
+  [[nodiscard]] bool runnable() const {
+    return !finished() && (work_available() || has_idle_work());
+  }
+
+  [[nodiscard]] ShardStatsView stats() const;
+
+  /// The wrapped core, for driver setup (observer, ledger) and post-run
+  /// reads. NOT synchronized: callers touch it only while the executive is
+  /// quiescent (before start / after the program finished and every worker
+  /// joined), exactly like the pre-shard runtimes' direct member access.
+  [[nodiscard]] ExecutiveCore& core_unsynchronized() { return core_; }
+  [[nodiscard]] const ExecutiveCore& core_unsynchronized() const { return core_; }
+
+  /// Test hook: lock everything and check the census against the actual
+  /// buffer/deposit contents. Aborts (PAX_CHECK) on drift. Quiescence not
+  /// required — the locks make the comparison exact at one instant.
+  void check_census() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Assignment> ready;   ///< pre-carved, in handout order
+    std::vector<Ticket> deposits;    ///< finished tickets awaiting a sweep
+    /// Lock-free occupancy hints so probes and sweeps skip empty shards
+    /// without locking them (a miss is retried by the next sweep).
+    std::atomic<std::uint32_t> ready_n{0};
+    std::atomic<std::uint32_t> deposit_n{0};
+  };
+
+  [[nodiscard]] std::uint32_t home_of(WorkerId w) const { return w % nshards_; }
+  /// Take up to max_n from one shard's buffer (front first: handout order).
+  std::size_t take_from(Shard& s, std::size_t max_n, std::vector<Assignment>& out);
+  /// Control sweep body; caller holds control_mu_.
+  void sweep_locked(ShardAcquire& res, WorkerId w, std::size_t max_n,
+                    std::vector<Assignment>& out);
+  /// Refresh the core-side census after a control section (caller holds
+  /// control_mu_).
+  void publish_core_census();
+
+  ExecutiveCore core_;
+  CostModel costs_;
+  std::uint32_t nshards_;
+  std::uint32_t depth_;
+  std::uint32_t flush_;
+
+  mutable std::mutex control_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Census. ready_/deposited_ change under shard locks, the rest under the
+  // control mutex; all reads are lock-free probes.
+  std::atomic<std::int64_t> ready_{0};       ///< assignments across shard buffers
+  std::atomic<std::int64_t> deposited_{0};   ///< unretired deposited tickets
+  std::atomic<std::uint64_t> core_waiting_{0};   ///< core waiting-queue size
+  std::atomic<std::uint64_t> core_elevated_{0};  ///< ... elevated entries
+  std::atomic<bool> core_idle_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+
+  ShardStats stats_;
+  /// Sweep staging (guarded by control_mu_): collected tickets.
+  std::vector<Ticket> sweep_tickets_;
+};
+
+}  // namespace pax

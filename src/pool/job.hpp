@@ -1,15 +1,21 @@
 // job.hpp — one submitted PhaseProgram inside the pool runtime.
 //
-// Each job wraps its own ExecutiveCore behind its own mutex, so concurrent
-// jobs never contend on a shared executive: the serial resource the paper
-// worries about stays per-program, and the pool's cross-job scheduling works
-// entirely on cheap atomic probes refreshed whenever the job lock is held.
+// Each job wraps its own executive, sharded (core/sharded_executive.hpp): the
+// granule handout is partitioned across independently-locked shard buffers,
+// so resident workers of the *same* job no longer contend on one job mutex —
+// the serial resource the paper worries about is now per-shard — while
+// concurrent jobs stay fully independent as before. The job's own mutex
+// shrinks to bookkeeping (stats merge, open/finalize timestamps); the pool's
+// cross-job scheduling works entirely on cheap atomic probes backed by the
+// sharded executive's census.
 //
 // Lock discipline (pool-wide): a thread never holds a job mutex and the pool
-// mutex at the same time. Probes flip while only the job mutex is held, so
-// every path that can turn a sleeper's predicate true re-acquires the
-// relevant mutex (empty critical section) before notifying — see
-// PoolRuntime::wake_pool() and cancellation in pool_runtime.cpp.
+// mutex at the same time, and never holds the job mutex across executive
+// calls (the sharded executive locks internally). Probes flip while only
+// shard/control locks are held, so every path that can turn a sleeper's
+// predicate true passes through the relevant mutex (empty critical section)
+// before notifying — see PoolRuntime::wake_pool() and cancellation in
+// pool_runtime.cpp.
 #pragma once
 
 #include <atomic>
@@ -21,6 +27,7 @@
 
 #include "common/check.hpp"
 #include "core/executive.hpp"
+#include "core/sharded_executive.hpp"
 #include "pool/pool_stats.hpp"
 #include "runtime/body_table.hpp"
 #include "sched/dispatcher.hpp"
@@ -54,25 +61,27 @@ namespace detail {
 struct Job {
   Job(std::uint64_t id_in, int priority_in, const PhaseProgram& program,
       const rt::BodyTable& bodies_in, ExecConfig config, CostModel costs,
-      const sched::DispatchConfig& dispatch)
+      const sched::DispatchConfig& dispatch, const ShardConfig& shard_config)
       : id(id_in),
         priority(priority_in),
         bodies(bodies_in),
         dispatcher(dispatch),
-        core(program, config, costs),
+        exec(program, config, costs, shard_config),
         submitted_at(std::chrono::steady_clock::now()) {}
 
   const std::uint64_t id;
   const int priority;
   const rt::BodyTable& bodies;
   /// Per-job dispatch layer: one local run-queue per pool worker, refilled
-  /// from this job's core. Steals stay within the job (tickets are
-  /// per-core); cross-job balance is the rotation pick's business.
+  /// from this job's sharded executive. Steals stay within the job (tickets
+  /// are per-core); cross-job balance is the rotation pick's business.
   sched::Dispatcher dispatcher;
+  /// This job's executive; all executive locking is internal (shard locks +
+  /// control mutex), so workers call it without holding `mu`.
+  ShardedExecutive exec;
 
-  // --- guarded by mu -------------------------------------------------------
+  // --- guarded by mu (job bookkeeping only) --------------------------------
   std::mutex mu;
-  ExecutiveCore core;
   JobStats stats;
   std::chrono::steady_clock::time_point submitted_at;
   std::chrono::steady_clock::time_point opened_at{};
@@ -83,27 +92,28 @@ struct Job {
 
   // --- atomic probes for the lock-free cross-job pick ----------------------
   std::atomic<JobState> state{JobState::kQueued};
-  /// Cached ExecutiveCore::runnable() (queue depth or pending idle work).
+  /// Cached ShardedExecutive::runnable() (shard/core work, sweepable
+  /// deposits, or pending idle work).
   std::atomic<bool> core_runnable{false};
   std::atomic<std::uint64_t> granules_done{0};
 
-  /// Refresh the pick probe from the core and the local queues; true when it
-  /// flipped from not-runnable to runnable — only then can a sleeper be
-  /// stuck, so only then must the caller wake the pool. With stealing on,
-  /// local-queue work counts as runnable because a rotating worker can
-  /// adopt this job purely to steal from a loaded peer (rundown stealing at
-  /// pool scope) — the steal then drains that work, so the probe converges
-  /// false. With stealing off the term must stay out: an adopter could
-  /// neither steal nor refill and would busy-spin re-adopting the job until
-  /// the owner drained its queue. The occupancy a sleeper depends on seeing
-  /// grows inside refill — under mu — so the probe set here is fresh (steal
-  /// transfers between queues outside mu, but the thief drains its own loot,
-  /// so nobody depends on observing those); later owner pops can only make
-  /// the probe over-report, which the adopting worker resolves by rotating
-  /// on. Caller holds mu.
+  /// Refresh the pick probe from the executive census and the local queues;
+  /// true when it flipped from not-runnable to runnable — only then can a
+  /// sleeper be stuck, so only then must the caller wake the pool. With
+  /// stealing on, local-queue work counts as runnable because a rotating
+  /// worker can adopt this job purely to steal from a loaded peer (rundown
+  /// stealing at pool scope) — the steal then drains that work, so the probe
+  /// converges false. With stealing off the term must stay out: an adopter
+  /// could neither steal nor refill and would busy-spin re-adopting the job
+  /// until the owner drained its queue. The census a sleeper depends on
+  /// seeing flips inside the executive's shard/control sections, and every
+  /// refill refreshes this probe afterwards, so the wake path (through the
+  /// pool mutex) still closes the lost-wakeup window; later owner pops can
+  /// only make the probe over-report, which the adopting worker resolves by
+  /// rotating on.
   [[nodiscard]] bool refresh_probes() {
     const bool now =
-        core.runnable() ||
+        exec.runnable() ||
         (dispatcher.config().steal && dispatcher.any_local_work());
     const bool before = core_runnable.exchange(now, std::memory_order_relaxed);
     return now && !before;
@@ -111,7 +121,7 @@ struct Job {
 
   /// Probe: could a rotating worker make progress here? Queued jobs count
   /// (adoption start()s them). May be stale — the adopting worker verifies
-  /// under mu and simply rotates on if the work evaporated.
+  /// and simply rotates on if the work evaporated.
   [[nodiscard]] bool runnable_probe() const {
     const JobState s = state.load(std::memory_order_relaxed);
     if (s == JobState::kQueued) return true;
@@ -119,9 +129,15 @@ struct Job {
     return core_runnable.load(std::memory_order_relaxed);
   }
 
-  /// Snapshot of the stats. Caller holds mu.
+  /// Snapshot of the stats. Caller holds mu (the executive-side counters are
+  /// atomics and read lock-free).
   [[nodiscard]] JobStats stats_snapshot() const {
     JobStats out = stats;
+    const ShardStatsView ss = exec.stats();
+    out.exec_control_acquisitions = ss.control_acquisitions;
+    out.exec_lock_hold_ns = ss.control_hold_ns;
+    out.shard_hits = ss.shard_hits + ss.sibling_hits;
+    out.shards = exec.shards();
     const auto now = std::chrono::steady_clock::now();
     const auto end =
         finished_at.time_since_epoch().count() != 0 ? finished_at : now;

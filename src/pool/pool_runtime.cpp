@@ -21,6 +21,8 @@ PoolRuntime::PoolRuntime(PoolConfig config)
   PAX_CHECK_MSG(config_.queue_capacity == 0 ||
                     config_.queue_capacity >= config_.batch,
                 "local queue capacity below the retire batch");
+  PAX_CHECK_MSG(config_.shards != 0,
+                "shards must be at least 1 (pass kAutoShards for the default)");
   workers_.reserve(config_.workers);
   for (WorkerId w = 0; w < config_.workers; ++w)
     workers_.emplace_back([this, w] { worker_main(w); });
@@ -30,7 +32,17 @@ PoolRuntime::~PoolRuntime() { shutdown(); }
 
 JobHandle PoolRuntime::submit(const PhaseProgram& program,
                               const rt::BodyTable& bodies, ExecConfig config,
-                              int priority, CostModel costs) {
+                              int priority, CostModel costs,
+                              std::uint32_t shards) {
+  // A per-job shard override must agree with an explicit pool-level count:
+  // the pool's home-shard geometry is shared machinery, not a per-job knob.
+  PAX_CHECK_MSG(shards == kAutoShards || config_.shards == kAutoShards ||
+                    shards == config_.shards,
+                "job shard count mismatches the pool's shard configuration");
+  const ShardConfig shard_config{
+      .shards = shards != kAutoShards ? shards : config_.shards,
+      .workers = config_.workers,
+      .batch = config_.batch};
   std::uint64_t id = 0;
   {
     std::scoped_lock lock(mu_);
@@ -38,8 +50,8 @@ JobHandle PoolRuntime::submit(const PhaseProgram& program,
     id = next_id_++;
   }
   // Job construction (executive setup) happens outside the pool lock.
-  auto job = std::make_shared<detail::Job>(id, priority, program, bodies,
-                                           config, costs, dispatch_config());
+  auto job = std::make_shared<detail::Job>(id, priority, program, bodies, config,
+                                           costs, dispatch_config(), shard_config);
   {
     std::scoped_lock lock(mu_);
     PAX_CHECK_MSG(!stop_, "submit on a stopped pool");
@@ -76,6 +88,9 @@ PoolStats PoolRuntime::stats() const {
   s.tasks_executed = tasks_;
   s.granules_executed = granules_;
   s.exec_lock_acquisitions = lock_acquisitions_;
+  s.exec_control_acquisitions = exec_control_acquisitions_;
+  s.exec_lock_hold_ns = exec_lock_hold_ns_;
+  s.shard_hits = shard_hits_;
   s.rotations = rotations_;
   s.steals = steals_;
   s.steal_fail_spins = steal_fail_spins_;
@@ -168,9 +183,10 @@ void PoolRuntime::worker_main(WorkerId id) {
       }
     }
 
-    // One critical section on the resident job's executive: merge body
-    // accounting, open on first adoption, retire the previous drain's
-    // tickets, refill this worker's local run-queue from the job's core.
+    // One adoption round on the resident job: a short bookkeeping section
+    // (merge body accounting, open on first adoption), then — with no job
+    // lock held — retire the previous drain's tickets and refill this
+    // worker's local run-queue through the job's sharded executive.
     enum class Outcome : std::uint8_t {
       kExecute,   ///< local queue non-empty; drain it unlocked
       kRetry,     ///< did executive idle work; poll the queue again
@@ -179,7 +195,8 @@ void PoolRuntime::worker_main(WorkerId id) {
       kGone,      ///< job cancelled or finalized by a peer — rotate
     };
     Outcome out;
-    bool wake = false;
+    JobState st;
+    bool must_start = false;
     {
       std::unique_lock jlock(job->mu);
       ++locks;
@@ -194,53 +211,60 @@ void PoolRuntime::worker_main(WorkerId id) {
         steal_delta = 0;
       }
 
-      JobState st = job->state.load(std::memory_order_relaxed);
+      st = job->state.load(std::memory_order_relaxed);
       if (st == JobState::kQueued) {
         JobState open_expected = JobState::kQueued;
         if (job->state.compare_exchange_strong(open_expected, JobState::kRunning,
                                                std::memory_order_acq_rel)) {
-          job->core.start();
           job->opened_at = std::chrono::steady_clock::now();
           st = JobState::kRunning;
+          must_start = true;
         } else {
           st = open_expected;  // lost the open race to cancel()
         }
       }
+    }
+    // start() outside the job mutex (the lock discipline: never hold it
+    // across executive calls). The open-CAS winner is the only caller, and
+    // a peer that adopts before start() returns just sees an un-started
+    // executive (acquire yields nothing) and rotates on.
+    if (must_start) job->exec.start();
 
-      if (st != JobState::kRunning) {
-        PAX_DCHECK(done.empty());
-        out = Outcome::kGone;
-      } else {
-        job->dispatcher.refill(job->core, id, done);
-        if (job->dispatcher.occupancy(id) > 0) {
-          out = Outcome::kExecute;
-        } else if (job->core.finished() && !job->core.work_available()) {
-          // A finished core has retired every ticket, so no peer queue can
-          // still hold assignments of this job. kRunning -> kComplete
-          // happens only here, under the job lock, by whoever retires the
-          // final ticket; the CAS cannot lose.
-          JobState fin_expected = JobState::kRunning;
-          const bool won = job->state.compare_exchange_strong(
-              fin_expected, JobState::kComplete, std::memory_order_acq_rel);
-          PAX_CHECK_MSG(won, "double finalize of a pool job");
+    if (st != JobState::kRunning) {
+      PAX_DCHECK(done.empty());
+      out = Outcome::kGone;
+    } else {
+      job->dispatcher.refill(job->exec, id, done);
+      if (job->dispatcher.occupancy(id) > 0) {
+        out = Outcome::kExecute;
+      } else if (job->exec.finished()) {
+        // A finished executive has retired every ticket, so no shard buffer
+        // or peer queue can still hold assignments of this job. Several
+        // workers can observe the finished census concurrently — the CAS
+        // elects the finalizer, the losers rotate on.
+        PAX_DCHECK(!job->exec.work_available());
+        JobState fin_expected = JobState::kRunning;
+        if (job->state.compare_exchange_strong(fin_expected, JobState::kComplete,
+                                               std::memory_order_acq_rel)) {
+          std::scoped_lock jlock(job->mu);
           job->finished_at = std::chrono::steady_clock::now();
           job->stats.peak_local_queue = job->dispatcher.peak_occupancy();
           out = Outcome::kFinished;
-        } else if (job->core.idle_work()) {
-          // Donate the rotation gap to this job's executive (map builds,
-          // deferred splits) before declaring its rundown.
-          out = Outcome::kRetry;
         } else {
-          out = Outcome::kDrained;
+          out = Outcome::kGone;  // a peer won the finalize
         }
+      } else if (job->exec.has_idle_work() && job->exec.idle_work()) {
+        // Donate the rotation gap to this job's executive (map builds,
+        // deferred splits) before declaring its rundown.
+        out = Outcome::kRetry;
+      } else {
+        out = Outcome::kDrained;
       }
-      // Probe flips cover every enqueue source in this section (retire
-      // enablements, start(), idle work, local refill): wake only on
-      // not-runnable -> runnable, when a sleeper could actually be stuck.
-      wake = job->refresh_probes();
     }
-
-    if (wake) wake_pool();
+    // Probe flips cover every enqueue source of this round (retire
+    // enablements, start(), idle work, shard refill): wake only on
+    // not-runnable -> runnable, when a sleeper could actually be stuck.
+    if (job->refresh_probes()) wake_pool();
 
     switch (out) {
       case Outcome::kExecute: {
@@ -255,9 +279,13 @@ void PoolRuntime::worker_main(WorkerId id) {
       case Outcome::kFinished: {
         job->done_cv.notify_all();
         {
+          const ShardStatsView ss = job->exec.stats();
           std::scoped_lock lock(mu_);
           remove_job_locked(job);
           ++jobs_completed_;
+          exec_control_acquisitions_ += ss.control_acquisitions;
+          exec_lock_hold_ns_ += ss.control_hold_ns;
+          shard_hits_ += ss.shard_hits + ss.sibling_hits;
           peak_local_queue_ =
               std::max(peak_local_queue_, job->stats.peak_local_queue);
         }

@@ -45,6 +45,12 @@ struct PoolConfig {
   /// Per-worker local run-queue capacity per job; 0 = auto (2x batch with
   /// stealing, exactly batch without — the PR 2 protocol).
   std::uint32_t queue_capacity = 0;
+  /// Executive shards per job (independently-locked granule-handout
+  /// partitions; see core/sharded_executive.hpp). kAutoShards = 2x workers
+  /// clamped per job; 1 = the PR 3 per-job single-mutex protocol; 0 is
+  /// invalid and fails at pool construction. A per-job override passed to
+  /// submit() must agree with an explicit pool-level value.
+  std::uint32_t shards = kAutoShards;
   /// Rundown work stealing between peer local queues of the resident job.
   bool steal = true;
   /// Steal-rate signal halves a job's effective grain during its rundown.
@@ -65,9 +71,13 @@ class PoolRuntime {
   /// Submit a program for execution. `program` and `bodies` are borrowed
   /// until the returned handle reports done(). Thread-safe; callable from
   /// inside phase bodies (they run with no executive lock held). Higher
-  /// `priority` schedules earlier under SchedPolicy::kPriority.
+  /// `priority` schedules earlier under SchedPolicy::kPriority. `shards`
+  /// overrides the pool-level executive shard count for this job
+  /// (kAutoShards = inherit); an override that disagrees with an explicit
+  /// pool-level count fails at submit time.
   JobHandle submit(const PhaseProgram& program, const rt::BodyTable& bodies,
-                   ExecConfig config, int priority = 0, CostModel costs = {});
+                   ExecConfig config, int priority = 0, CostModel costs = {},
+                   std::uint32_t shards = kAutoShards);
 
   /// Block until every submitted job has completed or been cancelled.
   void drain();
@@ -117,6 +127,9 @@ class PoolRuntime {
   std::uint64_t tasks_ = 0;
   std::uint64_t granules_ = 0;
   std::uint64_t lock_acquisitions_ = 0;
+  std::uint64_t exec_control_acquisitions_ = 0;  ///< summed at job completion
+  std::uint64_t exec_lock_hold_ns_ = 0;          ///< summed at job completion
+  std::uint64_t shard_hits_ = 0;                 ///< summed at job completion
   std::uint64_t rotations_ = 0;
   std::uint64_t steals_ = 0;
   std::uint64_t steal_fail_spins_ = 0;

@@ -25,8 +25,19 @@ struct JobStats {
   std::chrono::nanoseconds queued{0};
   /// submit() → terminal state (still running: submit() → now).
   std::chrono::nanoseconds span{0};
-  /// Critical sections taken on this job's executive mutex.
+  /// Job-bookkeeping critical sections (adoption rounds): stats merges and
+  /// open/finalize transitions under the job mutex. Executive traffic is
+  /// counted separately below, per shard plane.
   std::uint64_t exec_lock_acquisitions = 0;
+  /// Control-mutex sections on this job's sharded executive (sweeps,
+  /// single-shard refills, idle work) and the time they held it.
+  std::uint64_t exec_control_acquisitions = 0;
+  std::uint64_t exec_lock_hold_ns = 0;
+  /// Refills served lock-locally from a shard buffer (home or sibling) —
+  /// no control-mutex section involved.
+  std::uint64_t shard_hits = 0;
+  /// Resolved shard count of this job's executive.
+  std::uint32_t shards = 0;
   /// Assignments of this job obtained by local-queue stealing (no executive
   /// round-trip; the thief is always resident on this job).
   std::uint64_t steals = 0;
@@ -47,7 +58,14 @@ struct PoolStats {
   std::uint64_t jobs_cancelled = 0;
   std::uint64_t tasks_executed = 0;     ///< worker-side totals
   std::uint64_t granules_executed = 0;  ///< worker-side totals
+  /// Job-bookkeeping critical sections across workers (adoption rounds).
   std::uint64_t exec_lock_acquisitions = 0;
+  /// Executive control-mutex sections and hold time summed over *finished*
+  /// jobs (accumulated when each job completes).
+  std::uint64_t exec_control_acquisitions = 0;
+  std::uint64_t exec_lock_hold_ns = 0;
+  /// Shard-buffer refills (no control section) summed over finished jobs.
+  std::uint64_t shard_hits = 0;
   /// Cross-job moves: a worker released a drained resident and adopted a
   /// different job. The overlap mechanism working at program scope.
   std::uint64_t rotations = 0;

@@ -7,6 +7,20 @@
 
 namespace pax::rt {
 
+namespace {
+
+/// Constructor-time config validation, run before the sharded executive is
+/// built so the death messages name the runtime knob, not the shard plumbing.
+RtConfig validated(RtConfig c) {
+  PAX_CHECK_MSG(c.workers > 0, "need at least one worker");
+  PAX_CHECK_MSG(c.batch > 0, "batch must be at least 1");
+  PAX_CHECK_MSG(c.shards != 0,
+                "shards must be at least 1 (pass kAutoShards for the default)");
+  return c;
+}
+
+}  // namespace
+
 double RtResult::utilization() const {
   std::chrono::nanoseconds total_busy{0};
   for (auto b : worker_busy) total_busy += b;
@@ -28,33 +42,37 @@ ThreadedRuntime::ThreadedRuntime(const PhaseProgram& program, ExecConfig config,
                                  RtConfig rt_config)
     : program_(program),
       bodies_(bodies),
-      rt_config_(rt_config),
-      core_(program, config, costs),
-      dispatcher_(sched::DispatchConfig{.workers = rt_config.workers,
-                                        .batch = rt_config.batch,
-                                        .queue_capacity = rt_config.queue_capacity,
-                                        .steal = rt_config.steal,
-                                        .adaptive_grain = rt_config.adaptive_grain}),
-      busy_(rt_config.workers, std::chrono::nanoseconds{0}),
-      worker_wall_(rt_config.workers, std::chrono::nanoseconds{0}) {
-  PAX_CHECK_MSG(rt_config_.workers > 0, "need at least one worker");
-  PAX_CHECK_MSG(rt_config_.batch > 0, "batch must be at least 1");
-}
+      rt_config_(validated(rt_config)),
+      exec_(program, config, costs,
+            ShardConfig{.shards = rt_config_.shards,
+                        .workers = rt_config_.workers,
+                        .batch = rt_config_.batch}),
+      dispatcher_(sched::DispatchConfig{.workers = rt_config_.workers,
+                                        .batch = rt_config_.batch,
+                                        .queue_capacity = rt_config_.queue_capacity,
+                                        .steal = rt_config_.steal,
+                                        .adaptive_grain = rt_config_.adaptive_grain}),
+      busy_(rt_config_.workers, std::chrono::nanoseconds{0}),
+      worker_wall_(rt_config_.workers, std::chrono::nanoseconds{0}) {}
 
 void ThreadedRuntime::set_observer(std::function<void(const ExecEvent&)> obs) {
-  core_.observer = std::move(obs);
+  exec_.core_unsynchronized().observer = std::move(obs);
+}
+
+void ThreadedRuntime::wake_all() {
+  // The census flip that turns a sleeper's predicate true happens under a
+  // shard or control lock, not mu_. Passing through mu_ orders the flip
+  // against any sleeper's predicate evaluation, closing the lost-wakeup
+  // window (same discipline as pool::PoolRuntime::wake_pool).
+  { std::scoped_lock lock(mu_); }
+  cv_.notify_all();
 }
 
 void ThreadedRuntime::submit_conflicting(RunId blocker, PhaseId phase,
                                          GranuleRange range) {
-  bool notify;
-  {
-    std::scoped_lock lock(mu_);
-    core_.submit_conflicting(blocker, phase, range);
-    // Work enqueues immediately when the blocker already completed.
-    notify = core_.work_available();
-  }
-  if (notify) cv_.notify_all();
+  exec_.submit_conflicting(blocker, phase, range);
+  // Work enqueues immediately when the blocker already completed.
+  if (exec_.work_available()) wake_all();
 }
 
 void ThreadedRuntime::worker_main(WorkerId id) {
@@ -62,51 +80,38 @@ void ThreadedRuntime::worker_main(WorkerId id) {
   std::vector<Ticket> done;
   done.reserve(dispatcher_.capacity());
   sched::BodyLoopStats stats;
-  std::uint64_t refill_locks = 0;
   std::uint64_t wait_locks = 0;
   std::uint64_t steals = 0;
   std::uint64_t steal_fail_spins = 0;
-  bool pending_notify_all = false;
 
-  // Sleep predicate: computable work at the executive, program end, or a
-  // stealable peer queue. Liveness argument: occupancy growth a sleeper
-  // *depends on* seeing happens inside refill — under mu_ — so checking the
-  // predicate under mu_ cannot miss that wakeup. Steals also push into a
-  // queue (outside mu_), but the thief always drains its own loot, so no
-  // sleeper ever depends on observing a steal; missing one costs tail
-  // parallelism only, which the best-effort notify on the steal path
-  // recovers.
+  // Sleep predicate over the lock-free census: computable work somewhere
+  // (shard buffer, core queue, or sweepable deposits), program end, or a
+  // stealable peer queue. Every path that can flip it true calls wake_all(),
+  // which passes through mu_ — so checking under mu_ cannot miss the flip.
   auto wake_pred = [&] {
-    return core_.work_available() || core_.finished() ||
+    return exec_.work_available() || exec_.finished() ||
            (rt_config_.steal && dispatcher_.stealable_by(id));
   };
 
-  std::unique_lock lock(mu_);
-  ++refill_locks;
   while (true) {
-    // One executive critical section: retire the previous drain's tickets
-    // and refill the local run-queue (the dispatcher applies the adaptive
-    // grain limit before pulling).
-    const sched::RefillOutcome rr = dispatcher_.refill(core_, id, done);
-    if (rr.completion.new_work || rr.completion.program_finished)
-      pending_notify_all = true;
+    // Deposit the previous drain's tickets and refill the local run-queue:
+    // home shard first, sibling shards next, control sweep as the fallback.
+    const sched::RefillOutcome rr = dispatcher_.refill(exec_, id, done);
+    const bool announce =
+        rr.completion.new_work || rr.completion.program_finished;
 
     if (rr.refilled == 0 && dispatcher_.occupancy(id) == 0) {
-      if (core_.finished()) break;
+      if (announce) wake_all();
+      if (exec_.finished()) break;
       // Donate idle time to the executive (presplitting, deferred
       // successor-splitting tasks, composite-map slices) before stealing.
-      if (core_.idle_work()) {
+      if (exec_.has_idle_work() && exec_.idle_work()) {
         // Idle work may have enabled work; peers must not sleep through it.
-        if (core_.work_available()) pending_notify_all = true;
+        if (exec_.work_available()) wake_all();
         continue;
       }
-      // Executive dry and local queue dry: the rundown signal. Steal from
-      // the most-loaded peer outside the executive lock.
-      lock.unlock();
-      if (pending_notify_all) {
-        cv_.notify_all();
-        pending_notify_all = false;
-      }
+      // Shards, executive and local queue all dry: the rundown signal.
+      // Steal from the most-loaded peer without touching the executive.
       if (rt_config_.steal) {
         const std::size_t got = dispatcher_.try_steal(id);
         if (got > 0) {
@@ -116,56 +121,45 @@ void ThreadedRuntime::worker_main(WorkerId id) {
           // 2-wide (victim + one thief) while the rest sleep.
           if (got > 1) cv_.notify_one();
           dispatcher_.drain_local(bodies_, id, done, stats);
-          lock.lock();
-          ++refill_locks;
           continue;
         }
         ++steal_fail_spins;
       }
-      lock.lock();
-      if (wake_pred()) {
-        ++refill_locks;
-      } else {
+      std::unique_lock lock(mu_);
+      if (!wake_pred()) {
         cv_.wait(lock, wake_pred);
         ++wait_locks;
       }
       continue;
     }
 
-    const bool more = core_.work_available();
-    // A refill that out-pulled the retire batch left steal-worthy slack in
-    // the local queue: wake one peer so the slack is taken, not slept past.
-    const bool steal_worthy = rt_config_.steal && dispatcher_.occupancy(id) > 1;
-    lock.unlock();
-    // Notifications go out after the unlock so a woken peer finds the
-    // executive mutex free instead of immediately blocking on it.
-    if (pending_notify_all) {
-      cv_.notify_all();
-      pending_notify_all = false;
-    } else if (more || steal_worthy) {
+    if (announce) {
+      wake_all();
+    } else if (exec_.work_available() ||
+               (rt_config_.steal && dispatcher_.occupancy(id) > 1)) {
+      // Leftover work at the executive, or a refill that out-pulled the
+      // retire batch left steal-worthy slack in the local queue: wake one
+      // peer. Best-effort (no mu_ pass-through): a miss costs parallelism
+      // until this worker's next refill, never progress — this worker keeps
+      // running and re-announces.
       cv_.notify_one();
     }
 
     dispatcher_.drain_local(bodies_, id, done, stats);
-
-    lock.lock();
-    ++refill_locks;
   }
 
-  // The loop exits holding the lock: publish per-worker accounting. The
-  // worker wall clock closes here, inside worker_main, so thread spawn/join
-  // overhead never counts as worker idle time.
-  busy_[id] += stats.busy;
-  worker_wall_[id] = std::chrono::duration_cast<std::chrono::nanoseconds>(
+  // Publish per-worker accounting. The worker wall clock closes here, inside
+  // worker_main, so thread spawn/join overhead never counts as idle time.
+  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - enter);
+  std::scoped_lock lock(mu_);
+  busy_[id] += stats.busy;
+  worker_wall_[id] = wall;
   tasks_ += stats.tasks;
   granules_ += stats.granules;
-  refill_locks_ += refill_locks;
   wait_locks_ += wait_locks;
   steals_ += steals;
   steal_fail_spins_ += steal_fail_spins;
-  lock.unlock();
-  if (pending_notify_all) cv_.notify_all();
 }
 
 RtResult ThreadedRuntime::run() {
@@ -173,10 +167,7 @@ RtResult ThreadedRuntime::run() {
   ran_ = true;
 
   const auto wall0 = std::chrono::steady_clock::now();
-  {
-    std::scoped_lock lock(mu_);
-    core_.start();
-  }
+  exec_.start();
   {
     std::vector<std::jthread> workers;
     workers.reserve(rt_config_.workers);
@@ -186,9 +177,9 @@ RtResult ThreadedRuntime::run() {
   }
   const auto wall1 = std::chrono::steady_clock::now();
 
-  std::scoped_lock lock(mu_);
-  PAX_CHECK_MSG(core_.finished(), "threaded run ended before program finish");
-  PAX_CHECK_MSG(!core_.work_available(), "work left in queue at program end");
+  PAX_CHECK_MSG(exec_.finished(), "threaded run ended before program finish");
+  PAX_CHECK_MSG(!exec_.work_available(), "work left in queue at program end");
+  exec_.check_census();
 
   RtResult res;
   res.wall = std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 - wall0);
@@ -196,14 +187,20 @@ RtResult ThreadedRuntime::run() {
   res.worker_wall = worker_wall_;
   res.tasks_executed = tasks_;
   res.granules_executed = granules_;
-  res.refill_lock_acquisitions = refill_locks_;
+  const ShardStatsView ss = exec_.stats();
+  res.refill_lock_acquisitions = ss.control_acquisitions;
   res.wait_lock_acquisitions = wait_locks_;
-  res.exec_lock_acquisitions = refill_locks_ + wait_locks_;
+  res.exec_lock_acquisitions = ss.control_acquisitions + wait_locks_;
+  res.exec_lock_hold_ns = ss.control_hold_ns;
+  res.shard_hits = ss.shard_hits;
+  res.shard_sibling_hits = ss.sibling_hits;
+  res.shard_scattered = ss.scattered;
+  res.shards_used = exec_.shards();
   res.steals = steals_;
   res.steal_fail_spins = steal_fail_spins_;
   res.peak_local_queue = dispatcher_.peak_occupancy();
-  res.ledger = core_.ledger();
-  res.diagnostics = core_.diagnostics();
+  res.ledger = exec_.core_unsynchronized().ledger();
+  res.diagnostics = exec_.core_unsynchronized().diagnostics();
   return res;
 }
 

@@ -1,28 +1,31 @@
 // threaded_runtime.hpp — execute a PhaseProgram on real std::jthread workers.
 //
-// The ExecutiveCore is shared state guarded by one mutex (the executive is a
-// serial resource, exactly as in PAX); workers block on a condition variable
-// while no work is computable. Setting ExecConfig::overlap = false yields
-// the strict-barrier baseline on identical machinery, which is how the
-// speedup benches isolate the effect of phase overlap.
+// The executive is wrapped in a core::ShardedExecutive (DESIGN.md §9): the
+// granule handout is partitioned across RtConfig::shards independently-
+// locked shard buffers, so two workers refilling different shards never
+// contend, and the single-threaded ExecutiveCore is entered only for control
+// sweeps (coalesced retire + re-scatter). With shards = 1 the layer
+// short-circuits to the PR 3 protocol — one mutex section per refill — which
+// is the baseline bench_t9_shard gates against. Setting
+// ExecConfig::overlap = false yields the strict-barrier baseline on
+// identical machinery, which is how the speedup benches isolate the effect
+// of phase overlap.
 //
-// Dispatch is decentralized through the shared sched::Dispatcher (DESIGN.md
-// §8): each worker owns a bounded local run-queue, one executive critical
-// section retires up to RtConfig::batch finished tickets and refills the
-// local queue, and when both the local queue and the executive run dry — the
-// rundown signal — the worker steals a FIFO range from the most-loaded peer
-// without touching the executive at all. A steal-rate signal adaptively
-// halves the effective grain so rundown tails stay fine-grained. batch = 1
-// with steal = false reproduces the classic one-assignment-per-round-trip
-// protocol the speedup benches baseline on. Condition-variable notifications
-// are issued after the lock is released so woken peers do not immediately
-// block on the mutex the notifier still holds.
+// Dispatch stays decentralized through the shared sched::Dispatcher
+// (DESIGN.md §8): each worker owns a bounded local run-queue refilled from
+// its home shard, and when shards, executive and local queue all run dry —
+// the rundown signal — the worker steals a FIFO range from the most-loaded
+// peer. A steal-rate signal adaptively halves the effective grain (published
+// through the core's *atomic* grain limit, since the publisher holds no
+// executive lock). Condition-variable notifications pass through the sleep
+// mutex after work is made visible, closing the lost-wakeup window the
+// census atomics would otherwise open.
 //
 // Concurrency follows the C++ Core Guidelines CP rules: jthread-only (no
 // detach), RAII locks, condition waits with predicates, data passed by
 // value across threads. Note one documented exception to CP.22: inter-phase
 // serial actions registered in the program run on the completing worker's
-// thread while the executive lock is held — keep them short.
+// thread while the executive control mutex is held — keep them short.
 #pragma once
 
 #include <chrono>
@@ -34,6 +37,7 @@
 #include <vector>
 
 #include "core/executive.hpp"
+#include "core/sharded_executive.hpp"
 #include "runtime/body_table.hpp"
 #include "sched/dispatcher.hpp"
 
@@ -50,6 +54,11 @@ struct RtConfig {
   /// over-refill absorbed by steals — or exactly batch without, which
   /// reproduces the PR 1 batched protocol).
   std::uint32_t queue_capacity = 0;
+  /// Executive shards (independently-locked granule-handout partitions).
+  /// kAutoShards = 2x workers clamped to the largest phase (1 for a single
+  /// worker); 1 = the PR 3 single-mutex protocol; 0 is invalid and fails at
+  /// construction.
+  std::uint32_t shards = kAutoShards;
   /// Rundown work stealing between workers' local queues.
   bool steal = true;
   /// Steal-rate signal halves the effective grain during rundown.
@@ -65,15 +74,30 @@ struct RtResult {
   std::vector<std::chrono::nanoseconds> worker_wall;
   std::uint64_t tasks_executed = 0;
   std::uint64_t granules_executed = 0;
-  /// Executive-mutex acquisitions by worker threads: the sum of the two
-  /// fields below (kept as a total because the t6/t8 gates compare it).
+  /// Executive contention metric: control-mutex sections plus condition-wait
+  /// returns — the sum of the two fields below (kept as a total because the
+  /// t6/t8/t9 gates compare it).
   std::uint64_t exec_lock_acquisitions = 0;
-  /// Acquisitions feeding the retire/refill path (initial acquisition and
-  /// re-acquisition after each body drain or steal).
+  /// Control-plane mutex sections on the sharded executive (start, sweeps,
+  /// single-shard refills, idle work, conflicting submissions). Shard-buffer
+  /// hits never appear here — that is the decontention t9 measures.
   std::uint64_t refill_lock_acquisitions = 0;
   /// Condition-wait returns — counted separately so contention on the
   /// handoff is not conflated with sleeping through genuine work droughts.
   std::uint64_t wait_lock_acquisitions = 0;
+  /// Total nanoseconds workers spent at the control plane, acquire-to-
+  /// release (mutex acquisition wait + hold, sweep bodies included) — the
+  /// serialization a worker actually experiences there. Divided by granules
+  /// it is the t9 lock-hold gate metric.
+  std::uint64_t exec_lock_hold_ns = 0;
+  /// Shard traffic: acquires served lock-locally by the worker's home shard
+  /// buffer / by a sibling shard's buffer, and assignments scattered into
+  /// shard buffers by control sweeps.
+  std::uint64_t shard_hits = 0;
+  std::uint64_t shard_sibling_hits = 0;
+  std::uint64_t shard_scattered = 0;
+  /// Resolved shard count of the run (after kAutoShards resolution).
+  std::uint32_t shards_used = 0;
   /// Assignments obtained by stealing from a peer's local queue (no
   /// executive round-trip involved).
   std::uint64_t steals = 0;
@@ -99,30 +123,35 @@ class ThreadedRuntime {
   /// Dynamically submit a computation conflicting with `blocker`'s run; it
   /// is released at elevated priority when that run completes (immediately
   /// when it already has). Thread-safe; callable from inside a phase body
-  /// (bodies execute with the executive lock released).
+  /// (bodies execute with no executive lock held).
   void submit_conflicting(RunId blocker, PhaseId phase, GranuleRange range);
 
   /// Optional: forwarded to the core's observer (called under the executive
-  /// lock; keep it cheap).
+  /// control mutex; keep it cheap). Must be set before run().
   void set_observer(std::function<void(const ExecEvent&)> obs);
 
  private:
   void worker_main(WorkerId id);
+  /// Pass through the sleep mutex, then notify: orders census flips (done
+  /// under shard/control locks only) against sleepers' predicate checks.
+  void wake_all();
 
   const PhaseProgram& program_;
   const BodyTable& bodies_;
   RtConfig rt_config_;
 
+  ShardedExecutive exec_;
+  sched::Dispatcher dispatcher_;
+
+  /// Sleep/accounting mutex: guards nothing in the executive — only the
+  /// condition variable hand-shake and the per-worker result publication.
   std::mutex mu_;
   std::condition_variable cv_;
-  ExecutiveCore core_;
-  sched::Dispatcher dispatcher_;
 
   std::vector<std::chrono::nanoseconds> busy_;
   std::vector<std::chrono::nanoseconds> worker_wall_;
   std::uint64_t tasks_ = 0;
   std::uint64_t granules_ = 0;
-  std::uint64_t refill_locks_ = 0;
   std::uint64_t wait_locks_ = 0;
   std::uint64_t steals_ = 0;
   std::uint64_t steal_fail_spins_ = 0;

@@ -49,6 +49,28 @@ RefillOutcome Dispatcher::refill(ExecutiveCore& core, WorkerId w,
   return out;
 }
 
+RefillOutcome Dispatcher::refill(ShardedExecutive& ex, WorkerId w,
+                                 std::vector<Ticket>& done) {
+  RefillOutcome out;
+  if (config_.adaptive_grain) {
+    const GranuleId base = ex.core_unsynchronized().configured_grain();
+    const auto shift = grain_shift_.load(std::memory_order_relaxed);
+    ex.set_grain_limit(std::max<GranuleId>(1, base >> shift));
+  }
+
+  const std::size_t room = capacity_ - std::min(capacity_, queues_[w]->size());
+  if (room == 0 && done.empty()) return out;
+  std::vector<Assignment>& buf = scratch_[w];
+  buf.clear();
+  const ShardAcquire ar = ex.acquire(w, room, done, buf);
+  push_reversed(w, buf);
+  out.refilled = ar.taken;
+  out.completion.new_work = ar.new_work;
+  out.completion.program_finished = ar.program_finished;
+  if (out.refilled > 0) note_event(/*was_steal=*/false);
+  return out;
+}
+
 void Dispatcher::push_reversed(WorkerId w, const std::vector<Assignment>& buf) {
   // Push in reverse so the owner's LIFO pop order equals the order the
   // assignments arrived in (the executive's elevated-first handout order on

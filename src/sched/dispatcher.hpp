@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/executive.hpp"
+#include "core/sharded_executive.hpp"
 #include "runtime/body_table.hpp"
 #include "sched/run_queue.hpp"
 
@@ -100,6 +101,15 @@ class Dispatcher {
   /// refill worker `w`'s local queue up to capacity, applying the adaptive
   /// grain limit first. The caller must hold whatever lock guards `core`.
   RefillOutcome refill(ExecutiveCore& core, WorkerId w, std::vector<Ticket>& done);
+
+  /// Sharded refill: deposit `done` and pull from the sharded executive's
+  /// home/sibling shard buffers (control-plane sweep only as a fallback —
+  /// see ShardedExecutive::acquire). All locking is internal to `ex`; the
+  /// caller holds nothing. The adaptive grain limit is published through the
+  /// core's atomic before the pull, which is exactly why the limit had to
+  /// stop being a plain field: this store races with a sweeping peer's
+  /// request path.
+  RefillOutcome refill(ShardedExecutive& ex, WorkerId w, std::vector<Ticket>& done);
 
   /// Owner pop from `w`'s local queue (LIFO end; executive handout order).
   bool pop_local(WorkerId w, Assignment& out) {

@@ -14,9 +14,16 @@ Machine::Machine(const PhaseProgram& program, ExecConfig exec_config,
       workload_(std::move(workload)),
       config_(config),
       placement_(exec_config.placement),
+      lane_sync_(std::max(1u, config.shards)),
+      lane_async_(std::max(1u, config.shards)),
+      lane_busy_(std::max(1u, config.shards), 0),
       parked_(config.workers, 0) {
   PAX_CHECK_MSG(config_.workers > 0, "need at least one worker");
+  PAX_CHECK_MSG(config_.shards >= 1,
+                "shards must be at least 1 (0 is invalid)");
   result_.workers = config_.workers;
+  result_.shards = config_.shards;
+  result_.shard_exec_ticks.assign(config_.shards, 0);
 
   core_.observer = [this](const ExecEvent& ev) {
     switch (ev.kind) {
@@ -48,11 +55,23 @@ void Machine::push_event(Event e) {
   events_.push(std::move(e));
 }
 
+bool Machine::all_lanes_idle() const {
+  for (std::uint32_t l = 0; l < config_.shards; ++l)
+    if (lane_busy_[l] || !lane_sync_[l].empty() || !lane_async_[l].empty())
+      return false;
+  return true;
+}
+
 void Machine::enqueue_job(Job j, bool front) {
   if (j.kind == JobKind::kRequest) j.enqueued_at = now_;
+  // Worker-initiated jobs are laned by their home shard; program start and
+  // idle work stay on lane 0 (the control plane).
+  j.lane = (j.kind == JobKind::kRequest || j.kind == JobKind::kCompletion)
+               ? lane_of(j.worker)
+               : 0;
   const bool async =
       placement_ == ExecPlacement::kDedicated && j.kind == JobKind::kCompletion;
-  auto& q = async ? async_queue_ : exec_queue_;
+  auto& q = async ? lane_async_[j.lane] : lane_sync_[j.lane];
   if (front) {
     q.push_front(j);
   } else {
@@ -61,8 +80,8 @@ void Machine::enqueue_job(Job j, bool front) {
 }
 
 void Machine::start_job(Job j) {
-  PAX_CHECK(!exec_busy_);
-  exec_busy_ = true;
+  PAX_CHECK(!lane_busy_[j.lane]);
+  lane_busy_[j.lane] = 1;
 
   Event done;
   done.kind = Event::Kind::kExecDone;
@@ -80,6 +99,10 @@ void Machine::start_job(Job j) {
     case JobKind::kCompletion: {
       const CompletionResult res = core_.complete(j.ticket);
       done.new_work = res.new_work;
+      // Sharded executive: an enablement-producing completion pays the
+      // cross-shard publish step (the coalesced flush's per-shard slice).
+      if (config_.shards > 1 && res.new_work)
+        core_.ledger().charge(MgmtOp::kShardFlush, costs_);
       break;
     }
     case JobKind::kIdleWork:
@@ -89,6 +112,7 @@ void Machine::start_job(Job j) {
 
   const SimTime delta = core_.ledger().drain_pending();
   result_.exec_ticks += delta;
+  result_.shard_exec_ticks[j.lane] += delta;
   if (placement_ == ExecPlacement::kWorkerStealing &&
       (j.kind == JobKind::kRequest || j.kind == JobKind::kCompletion)) {
     result_.mgmt_wait_ticks += delta;
@@ -98,32 +122,41 @@ void Machine::start_job(Job j) {
 }
 
 void Machine::pump_executive() {
-  if (exec_busy_) return;
-  if (!exec_queue_.empty()) {
-    Job j = exec_queue_.front();
-    exec_queue_.pop_front();
-    start_job(j);
-    return;
+  // Start one job on every free lane: jobs on different lanes (different
+  // home shards) proceed concurrently; jobs on the same lane serialize —
+  // the per-shard lock of the sharded front-end. With one shard this is the
+  // classic serial executive.
+  for (std::uint32_t l = 0; l < config_.shards; ++l) {
+    if (lane_busy_[l]) continue;
+    if (!lane_sync_[l].empty()) {
+      Job j = lane_sync_[l].front();
+      lane_sync_[l].pop_front();
+      start_job(j);
+      continue;
+    }
+    if (!lane_async_[l].empty()) {
+      Job j = lane_async_[l].front();
+      lane_async_[l].pop_front();
+      start_job(j);
+      continue;
+    }
   }
-  if (!async_queue_.empty()) {
-    Job j = async_queue_.front();
-    async_queue_.pop_front();
-    start_job(j);
-    return;
-  }
-  // Executive idle time: presplitting / deferred successor-splitting tasks.
-  // On the worker-stealing testbed this time is donated by a parked worker;
-  // with a dedicated management processor it is always available.
+  // Executive idle time: presplitting / deferred successor-splitting tasks,
+  // on the control plane (lane 0) once every lane is quiet. On the worker-
+  // stealing testbed this time is donated by a parked worker; with a
+  // dedicated management processor it is always available.
+  if (!all_lanes_idle()) return;
   const bool may_work_ahead =
       placement_ == ExecPlacement::kDedicated || parked_count_ > 0;
   if (!may_work_ahead) return;
   if (!core_.idle_work()) return;
-  exec_busy_ = true;
+  lane_busy_[0] = 1;
   const SimTime delta = core_.ledger().drain_pending();
   result_.exec_ticks += delta;
+  result_.shard_exec_ticks[0] += delta;
   Event done;
   done.kind = Event::Kind::kExecDone;
-  done.job = Job{JobKind::kIdleWork, 0, kNoTicket};
+  done.job = Job{JobKind::kIdleWork, 0, kNoTicket, 0, 0};
   done.t = now_ + delta;
   push_event(std::move(done));
 }
@@ -170,9 +203,10 @@ void Machine::begin_assignment(WorkerId w, const Assignment& a, SimTime delay) {
 
 bool Machine::try_steal(WorkerId w) {
   if (!config_.steal || core_.finished() || !core_.work_available()) return false;
-  // Uncontended executive: the normal request path costs nothing extra, and
+  // Uncontended home lane: the normal request path costs nothing extra, and
   // keeping it preserves the donated-idle-time machinery.
-  if (!exec_busy_ && exec_queue_.empty()) return false;
+  const std::uint32_t l = lane_of(w);
+  if (!lane_busy_[l] && lane_sync_[l].empty()) return false;
   std::optional<Assignment> a = core_.request_work(w);
   // The guard above saw a non-empty waiting queue and the sim is
   // single-threaded, so the pop cannot come back empty.
@@ -189,7 +223,7 @@ bool Machine::try_steal(WorkerId w) {
 }
 
 void Machine::handle_exec_done(const Event& e) {
-  exec_busy_ = false;
+  lane_busy_[e.job.lane] = 0;
   switch (e.job.kind) {
     case JobKind::kStart:
       break;

@@ -47,6 +47,16 @@ struct MachineConfig {
   /// layer's rundown work stealing (DESIGN.md §8); off by default so the
   /// centralized baselines stay bit-identical.
   bool steal = false;
+  /// Executive shards: management *lanes* that service management jobs
+  /// concurrently — the sim's rendering of the sharded executive front-end
+  /// (DESIGN.md §9). A worker's request/completion jobs are laned by
+  /// worker % shards, so two workers on different lanes never queue behind
+  /// each other; per-lane busy time is billed into
+  /// SimResult::shard_exec_ticks, and with shards > 1 every enablement-
+  /// producing completion is additionally charged one kShardFlush (the
+  /// cross-shard publish step). 1 = the serial executive, bit-identical to
+  /// the pre-shard model; 0 is invalid.
+  std::uint32_t shards = 1;
   /// Safety cap; simulation aborts past this point.
   SimTime max_time = kTimeNever;
 };
@@ -67,6 +77,7 @@ class Machine {
     WorkerId worker = 0;
     Ticket ticket = kNoTicket;
     SimTime enqueued_at = 0;  // request jobs: when the worker presented itself
+    std::uint32_t lane = 0;   // management lane (worker % shards; 0 for start/idle)
   };
 
   struct Event {
@@ -112,10 +123,17 @@ class Machine {
   std::uint64_t seq_ = 0;
   SimTime now_ = 0;
 
-  // Serial executive resource.
-  std::deque<Job> exec_queue_;   // sync lane (requests; everything in WS mode)
-  std::deque<Job> async_queue_;  // async lane (dedicated-mode completions)
-  bool exec_busy_ = false;
+  [[nodiscard]] std::uint32_t lane_of(WorkerId w) const {
+    return w % config_.shards;
+  }
+  [[nodiscard]] bool all_lanes_idle() const;
+
+  // Management lanes (one per executive shard; one lane = the classic serial
+  // executive). Each lane has a sync queue (requests; everything in WS mode),
+  // an async queue (dedicated-mode completions) and a busy flag.
+  std::vector<std::deque<Job>> lane_sync_;
+  std::vector<std::deque<Job>> lane_async_;
+  std::vector<std::uint8_t> lane_busy_;
 
   std::vector<std::uint8_t> parked_;  // 1 = worker waiting for work
   std::uint32_t parked_count_ = 0;

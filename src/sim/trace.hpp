@@ -37,14 +37,20 @@ class SimResult {
  public:
   SimTime makespan = 0;
   std::uint32_t workers = 0;
+  /// Executive shards (management lanes) the run modeled; 1 = serial.
+  std::uint32_t shards = 1;
 
   std::uint64_t tasks_executed = 0;
   std::uint64_t granules_executed = 0;
 
   /// Worker-ticks spent computing granules.
   std::uint64_t compute_ticks = 0;
-  /// Executive busy ticks (management).
+  /// Executive busy ticks (management), summed over all lanes.
   std::uint64_t exec_ticks = 0;
+  /// Per-lane executive busy ticks (size = shards). The spread shows how
+  /// much management serialization the sharding removed: one hot lane is
+  /// the serial executive, an even spread is the sharded front-end.
+  std::vector<std::uint64_t> shard_exec_ticks;
   /// Worker-ticks spent blocked on the executive (worker-stealing mode).
   std::uint64_t mgmt_wait_ticks = 0;
 

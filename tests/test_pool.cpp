@@ -121,6 +121,59 @@ TEST(PoolConfigDeathTest, RejectsZeroBatch) {
                "pool batch must be at least 1");
 }
 
+TEST(PoolConfigDeathTest, RejectsZeroShards) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(PoolRuntime({.workers = 2, .batch = 4, .shards = 0}),
+               "shards must be at least 1");
+}
+
+TEST(PoolConfigDeathTest, RejectsMismatchedJobShards) {
+  // A per-job shard override that disagrees with an explicit pool-level
+  // count fails at submit: the home-shard geometry is pool machinery.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SinglePhase s = make_single_phase(32);
+  rt::BodyTable bodies;
+  bodies.set(s.p, [](GranuleRange, WorkerId) {});
+  EXPECT_DEATH(
+      {
+        PoolRuntime pool({.workers = 2, .batch = 4, .shards = 2});
+        pool.submit(s.prog, bodies, ExecConfig{}, 0, CostModel{}, /*shards=*/3);
+      },
+      "mismatches the pool's shard configuration");
+}
+
+TEST(PoolConfigDeathTest, RejectsJobWithMoreShardsThanGranules) {
+  // The per-job executive validates its own geometry: an explicit count
+  // beyond the job's largest phase dies in the job constructor.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SinglePhase s = make_single_phase(8);
+  rt::BodyTable bodies;
+  bodies.set(s.p, [](GranuleRange, WorkerId) {});
+  EXPECT_DEATH(
+      {
+        PoolRuntime pool({.workers = 2, .batch = 4});
+        pool.submit(s.prog, bodies, ExecConfig{}, 0, CostModel{}, /*shards=*/64);
+      },
+      "more shards than granules");
+}
+
+TEST(PoolConfig, JobOverrideAgreesWithAutoPool) {
+  // With the pool left at kAutoShards, a per-job explicit count is honored.
+  SinglePhase s = make_single_phase(32);
+  std::atomic<std::uint64_t> n{0};
+  rt::BodyTable bodies;
+  bodies.set(s.p, [&](GranuleRange r, WorkerId) {
+    n.fetch_add(r.size(), std::memory_order_relaxed);
+  });
+  PoolRuntime pool({.workers = 2, .batch = 4});
+  JobHandle h = pool.submit(s.prog, bodies, ExecConfig{}, 0, CostModel{},
+                            /*shards=*/3);
+  EXPECT_EQ(h.wait(), JobState::kComplete);
+  pool.shutdown();
+  EXPECT_EQ(h.stats().shards, 3u);
+  EXPECT_EQ(n.load(), 32u);
+}
+
 // --- completion and accounting ----------------------------------------------
 
 TEST(PoolCompletion, ManyConcurrentJobsAllCompleteWithExactAccounting) {

@@ -505,6 +505,62 @@ TEST(RtConfigDeathTest, RejectsZeroBatch) {
                "batch must be at least 1");
 }
 
+TEST(RtConfigDeathTest, RejectsZeroShards) {
+  // 0 is invalid by design: "auto" is the explicit kAutoShards sentinel, so
+  // a config bug can never silently mean "pick for me".
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TwoPhaseSetup s = make_two_phase(8, MappingKind::kIdentity);
+  BodyTable bodies;
+  auto noop = [](GranuleRange, WorkerId) {};
+  bodies.set(s.a, noop);
+  bodies.set(s.b, noop);
+  RtConfig rc;
+  rc.workers = 2;
+  rc.shards = 0;
+  EXPECT_DEATH(ThreadedRuntime(s.prog, ExecConfig{}, CostModel::free_of_charge(),
+                               bodies, rc),
+               "shards must be at least 1");
+}
+
+TEST(RtConfigDeathTest, RejectsMoreShardsThanGranules) {
+  // An explicit shard count beyond the largest phase cannot partition the
+  // granule space; only kAutoShards clamps silently.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TwoPhaseSetup s = make_two_phase(8, MappingKind::kIdentity);
+  BodyTable bodies;
+  auto noop = [](GranuleRange, WorkerId) {};
+  bodies.set(s.a, noop);
+  bodies.set(s.b, noop);
+  RtConfig rc;
+  rc.workers = 2;
+  rc.shards = 64;
+  EXPECT_DEATH(ThreadedRuntime(s.prog, ExecConfig{}, CostModel::free_of_charge(),
+                               bodies, rc),
+               "more shards than granules");
+}
+
+TEST(RtConfig, AutoShardsClampToWorkersAndProgram) {
+  // kAutoShards = 2x workers clamped to the largest phase; a single worker
+  // keeps the exact single-lock protocol (nothing to decontend).
+  TwoPhaseSetup s = make_two_phase(8, MappingKind::kIdentity);
+  BodyTable bodies;
+  auto noop = [](GranuleRange, WorkerId) {};
+  bodies.set(s.a, noop);
+  bodies.set(s.b, noop);
+  auto shards_used = [&](std::uint32_t workers) {
+    RtConfig rc;
+    rc.workers = workers;
+    ExecConfig cfg;
+    cfg.grain = 2;
+    return ThreadedRuntime(s.prog, cfg, CostModel::free_of_charge(), bodies, rc)
+        .run()
+        .shards_used;
+  };
+  EXPECT_EQ(shards_used(1), 1u);
+  EXPECT_EQ(shards_used(3), 6u);
+  EXPECT_EQ(shards_used(16), 8u);  // clamped to the 8-granule phases
+}
+
 TEST(HappensBefore, RecorderPrimitives) {
   HappensBeforeRecorder rec(1, 4);
   EXPECT_FALSE(rec.executed(0, 0));

@@ -214,6 +214,38 @@ TEST(Dispatcher, StealRateSignalHalvesEffectiveGrain) {
   EXPECT_GE(core.effective_grain(), 1u);
 }
 
+TEST(ExecutiveGrainLimit, ConcurrentPublishIsRaceFree) {
+  // Regression for the grain-limit data race: the steal-rate signal
+  // publishes the limit with NO executive lock held (the sharded refill
+  // path), while the request path reads it inside a control section. Before
+  // the limit became an atomic this was a plain load/store race — TSAN
+  // (which runs this suite in CI) flagged it; now it must be clean, and
+  // every carve must respect *some* published clamp [1, grain].
+  SinglePhase s = make_single_phase(4096);
+  ExecConfig cfg;
+  cfg.grain = 8;
+  ExecutiveCore core(s.prog, cfg);
+  core.start();
+
+  std::atomic<bool> stop{false};
+  std::jthread publisher([&] {
+    GranuleId g = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      core.set_grain_limit(g);
+      g = g % 8 + 1;
+      (void)core.effective_grain();
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = core.request_work(0);
+    if (!a.has_value()) break;
+    ASSERT_GE(a->range.size(), 1u);
+    ASSERT_LE(a->range.size(), 8u);  // never exceeds the configured grain
+    core.complete(a->ticket);
+  }
+  stop.store(true, std::memory_order_relaxed);
+}
+
 TEST(ExecutiveGrainLimit, ClampsAndResets) {
   SinglePhase s = make_single_phase(32);
   ExecConfig cfg;
@@ -234,6 +266,171 @@ TEST(ExecutiveGrainLimit, ClampsAndResets) {
   const auto a = core.request_work(0);
   ASSERT_TRUE(a.has_value());
   EXPECT_EQ(a->range.size(), 2u);  // carved at the limit, not the grain
+}
+
+// --- sharded executive front-end (deterministic, single-threaded) ------------
+
+TEST(ShardedExecutive, SweepScattersAndSiblingsServeWithoutControl) {
+  SinglePhase s = make_single_phase(32);
+  ExecConfig cfg;
+  cfg.grain = 1;
+  ShardedExecutive ex(s.prog, cfg, CostModel::free_of_charge(),
+                      {.shards = 2, .workers = 2, .batch = 4});
+  EXPECT_EQ(ex.shards(), 2u);
+  ex.start();
+  EXPECT_TRUE(ex.work_available());
+
+  // Worker 0's first acquire falls through to a control sweep: it pulls its
+  // own batch and re-scatters the shard buffers (depth = batch = 4 each).
+  std::vector<Ticket> done;
+  std::vector<Assignment> out0;
+  const ShardAcquire a0 = ex.acquire(0, 4, done, out0);
+  EXPECT_TRUE(a0.swept);
+  EXPECT_EQ(a0.taken, 4u);
+  EXPECT_TRUE(a0.new_work);  // the scatter made work visible to peers
+  const ShardStatsView after_sweep = ex.stats();
+  EXPECT_EQ(after_sweep.scattered, 8u);  // both shards topped to depth
+
+  // Worker 1's home shard was filled by that sweep: a pure shard-buffer hit,
+  // no control-mutex section.
+  std::vector<Assignment> out1;
+  const ShardAcquire a1 = ex.acquire(1, 2, done, out1);
+  EXPECT_FALSE(a1.swept);
+  EXPECT_EQ(a1.taken, 2u);
+  const ShardStatsView after_hit = ex.stats();
+  EXPECT_EQ(after_hit.control_acquisitions, after_sweep.control_acquisitions);
+  EXPECT_EQ(after_hit.shard_hits, 1u);
+
+  // Worker 0 drains its home buffer, then its sibling's remainder before the
+  // next sweep (sibling hit).
+  std::vector<Assignment> out2;
+  (void)ex.acquire(0, 32, done, out2);
+  std::vector<Assignment> out3;
+  const ShardAcquire a3 = ex.acquire(0, 32, done, out3);
+  EXPECT_FALSE(a3.swept);
+  EXPECT_GT(a3.taken, 0u);
+  EXPECT_EQ(ex.stats().sibling_hits, 1u);
+  ex.check_census();
+}
+
+TEST(ShardedExecutive, DepositsRetireInOneCoalescedSweep) {
+  SinglePhase s = make_single_phase(16);
+  ExecConfig cfg;
+  cfg.grain = 1;
+  ShardedExecutive ex(s.prog, cfg, CostModel::free_of_charge(),
+                      {.shards = 2, .workers = 2, .batch = 2, .flush = 64});
+  ex.start();
+
+  // Hand out everything across both "workers".
+  std::vector<Ticket> done0, done1;
+  std::vector<Assignment> all;
+  while (true) {
+    std::vector<Assignment> buf;
+    const ShardAcquire a = ex.acquire(0, 4, done0, buf);
+    const ShardAcquire b = ex.acquire(1, 4, done1, buf);
+    all.insert(all.end(), buf.begin(), buf.end());
+    if (a.taken + b.taken == 0) break;
+  }
+  EXPECT_EQ(all.size(), 16u);
+
+  // Both workers deposit half the tickets each; the flush threshold (64) is
+  // never crossed, so retirement waits for the dry-probe sweep.
+  for (std::size_t i = 0; i < all.size(); ++i)
+    (i % 2 == 0 ? done0 : done1).push_back(all[i].ticket);
+  std::vector<Assignment> unused;
+  ShardAcquire d0 = ex.acquire(0, 0, done0, unused);  // deposit only
+  EXPECT_TRUE(done0.empty());
+  EXPECT_FALSE(ex.finished());
+  // Worker 1 deposits and its dry acquire sweeps BOTH shards' boxes in one
+  // control section — the last retire finishes the program.
+  ShardAcquire d1 = ex.acquire(1, 4, done1, unused);
+  EXPECT_TRUE(ex.finished());
+  EXPECT_TRUE(d0.swept || d1.swept);
+  EXPECT_EQ(ex.stats().deposits, 16u);
+  ex.check_census();
+}
+
+TEST(ShardedExecutive, ElevatedReleaseOutranksBufferedNormalWork) {
+  // A conflicting computation released at elevated priority must not wait
+  // behind pre-carved normal work sitting in a shard buffer: the census
+  // flags the elevated entry and the next acquire sweeps instead of taking
+  // the buffer.
+  PhaseProgram prog;
+  const PhaseId p = prog.define_phase(make_phase("p", 24).writes("X"));
+  const PhaseId q = prog.define_phase(make_phase("q", 4).reads("X").writes("Z"));
+  prog.dispatch(p);
+  prog.halt();
+
+  ExecConfig cfg;
+  cfg.grain = 1;
+  ShardedExecutive ex(prog, cfg, CostModel::free_of_charge(),
+                      {.shards = 2, .workers = 2, .batch = 4});
+  ex.start();
+  std::vector<Ticket> done;
+  std::vector<Assignment> out;
+  (void)ex.acquire(0, 2, done, out);  // sweep: buffers now hold normal work
+
+  // Retire the first two assignments, completing... not the run; then submit
+  // conflicting work against run 0 — released immediately *iff* complete.
+  // Run 0 is still open, so the work parks on its barrier; finish the run.
+  ex.submit_conflicting(0, q, {0, 4});
+  while (!ex.finished()) {
+    for (const Assignment& a : out) done.push_back(a.ticket);
+    out.clear();
+    const ShardAcquire a = ex.acquire(0, 4, done, out);
+    if (a.taken == 0 && out.empty() && ex.finished()) break;
+    // Once the elevated release fires, it must be handed out ahead of any
+    // still-buffered normal work.
+    for (const Assignment& got : out)
+      if (got.priority == Priority::kElevated) {
+        EXPECT_EQ(got.phase, q);
+      }
+    if (out.empty() && a.taken == 0) break;
+  }
+  EXPECT_TRUE(ex.finished());
+  ex.check_census();
+}
+
+TEST(Dispatcher, SingleShardRefillMatchesDirectCoreProtocol) {
+  // shards = 1 must reproduce the PR 3 protocol exactly: same handout
+  // ranges in the same order, one control section per refill.
+  SinglePhase s1 = make_single_phase(24);
+  SinglePhase s2 = make_single_phase(24);
+  ExecConfig cfg;
+  cfg.grain = 4;
+
+  ExecutiveCore core(s1.prog, cfg);
+  core.start();
+  sched::Dispatcher d_direct({1, 4, 0, false, false});
+  ShardedExecutive ex(s2.prog, cfg, CostModel::free_of_charge(),
+                      {.shards = 1, .workers = 1, .batch = 4});
+  ex.start();
+  sched::Dispatcher d_shard({1, 4, 0, false, false});
+
+  rt::BodyTable bodies;
+  bodies.set(s1.p, [](GranuleRange, WorkerId) {});
+
+  std::vector<Ticket> done_a, done_b;
+  sched::BodyLoopStats stats;
+  for (int round = 0; round < 16 && !(core.finished() && ex.finished());
+       ++round) {
+    const sched::RefillOutcome ra = d_direct.refill(core, 0, done_a);
+    const sched::RefillOutcome rb = d_shard.refill(ex, 0, done_b);
+    EXPECT_EQ(ra.refilled, rb.refilled);
+    Assignment a, b;
+    std::vector<std::pair<GranuleId, GranuleId>> seq_a, seq_b;
+    while (d_direct.pop_local(0, a)) {
+      seq_a.emplace_back(a.range.lo, a.range.hi);
+      done_a.push_back(a.ticket);
+    }
+    while (d_shard.pop_local(0, b)) {
+      seq_b.emplace_back(b.range.lo, b.range.hi);
+      done_b.push_back(b.ticket);
+    }
+    EXPECT_EQ(seq_a, seq_b) << "handout diverged in round " << round;
+  }
+  EXPECT_TRUE(core.finished());
+  EXPECT_TRUE(ex.finished());
 }
 
 // --- threaded runtime with stealing on ---------------------------------------

@@ -1,0 +1,350 @@
+// testing_util.hpp — seeded randomized program generation and cross-runtime
+// invariant checks, shared by tests/test_stress.cpp and the nightly seed
+// sweep.
+//
+// One seed deterministically generates a linear phase program (random
+// granule counts, enablement mappings with random fan-in/fan-out, serial
+// actions, executive knobs) plus driver configs (workers, batch, shards,
+// steal), and the harness runs the *same* program through all three
+// runtimes — rt::ThreadedRuntime, pool::PoolRuntime and sim::Machine —
+// cross-checking the invariants the scheduler stack promises:
+//
+//   * every granule of every phase retired exactly once (per-granule atomic
+//     execution counts),
+//   * stats sums consistent: worker-side granule/task totals match the
+//     recorder, the lock-split identity holds, pool-side job stats equal
+//     pool totals,
+//   * no shard census drift (ShardedExecutive::check_census aborts inside
+//     run()/the pool on drift; the recorder re-checks totals end-to-end),
+//   * the simulator is deterministic for the (seed, config) pair.
+//
+// On any failure the seed is printed via SCOPED_TRACE, so a red run is
+// replayed with `PAX_STRESS_SEED=<seed> ctest -R stress`.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/sharded_executive.hpp"
+#include "pool/pool_runtime.hpp"
+#include "runtime/threaded_runtime.hpp"
+#include "sim/machine.hpp"
+
+namespace pax::testing {
+
+struct GeneratedProgram {
+  std::uint64_t seed = 0;
+  PhaseProgram program;
+  std::vector<PhaseId> phases;
+  std::vector<GranuleId> granules;  // per phase
+  std::uint64_t total = 0;          // granules across phases
+
+  ExecConfig exec;
+  std::uint32_t workers = 2;
+  std::uint32_t batch = 1;
+  std::uint32_t shards = kAutoShards;
+  bool steal = true;
+  bool adaptive_grain = true;
+  /// Pool cancel point: also submit a throwaway job and cancel it.
+  bool cancel_second_job = false;
+  std::uint32_t sim_workers = 4;
+  std::uint32_t sim_shards = 1;
+};
+
+/// Deterministic program + config from one seed.
+inline GeneratedProgram generate_program(std::uint64_t seed) {
+  GeneratedProgram g;
+  g.seed = seed;
+  Rng rng(seed ^ 0xC0FFEEULL);
+  auto pick = [&](std::uint64_t lo, std::uint64_t hi) {  // inclusive
+    return lo + rng() % (hi - lo + 1);
+  };
+
+  const std::size_t n_phases = pick(2, 4);
+  for (std::size_t i = 0; i < n_phases; ++i) {
+    const GranuleId n = static_cast<GranuleId>(pick(4, 96));
+    const std::string name = "p" + std::to_string(i);
+    g.phases.push_back(g.program.define_phase(
+        make_phase(name, n).reads("D" + std::to_string(i)).writes(
+            "D" + std::to_string(i + 1))));
+    g.granules.push_back(n);
+    g.total += n;
+  }
+
+  for (std::size_t i = 0; i < n_phases; ++i) {
+    std::vector<EnableClause> enables;
+    if (i + 1 < n_phases) {
+      const std::uint64_t kind = pick(0, 4);
+      EnableClause clause;
+      clause.successor_name = "p" + std::to_string(i + 1);
+      const GranuleId cur_n = g.granules[i];
+      const GranuleId succ_n = g.granules[i + 1];
+      switch (kind) {
+        case 0:
+          clause.kind = MappingKind::kNull;  // no overlap edge
+          break;
+        case 1:
+          clause.kind = MappingKind::kUniversal;
+          break;
+        case 2:
+          // Identity requires equal counts; fall back to universal.
+          clause.kind = cur_n == succ_n ? MappingKind::kIdentity
+                                        : MappingKind::kUniversal;
+          break;
+        case 3: {
+          clause.kind = MappingKind::kReverseIndirect;
+          const std::uint32_t fan = static_cast<std::uint32_t>(pick(1, 5));
+          clause.indirection.stable = pick(0, 1) == 1;
+          clause.indirection.requires_of = [cur_n, fan, seed](GranuleId r) {
+            std::vector<GranuleId> need;
+            need.reserve(fan);
+            std::uint64_t s = seed ^ (0x51ED2701ULL + (std::uint64_t{r} << 17));
+            for (std::uint32_t j = 0; j < fan; ++j)
+              need.push_back(static_cast<GranuleId>(splitmix64(s) % cur_n));
+            return need;
+          };
+          break;
+        }
+        default: {
+          clause.kind = MappingKind::kForwardIndirect;
+          const std::uint32_t fan = static_cast<std::uint32_t>(pick(1, 4));
+          clause.indirection.stable = pick(0, 1) == 1;
+          clause.indirection.enables_of = [succ_n, fan, seed](GranuleId p) {
+            std::vector<GranuleId> en;
+            en.reserve(fan);
+            std::uint64_t s = seed ^ (0x2F0A1993ULL + (std::uint64_t{p} << 13));
+            for (std::uint32_t j = 0; j < fan; ++j)
+              en.push_back(static_cast<GranuleId>(splitmix64(s) % succ_n));
+            return en;
+          };
+          break;
+        }
+      }
+      if (clause.kind != MappingKind::kNull) enables.push_back(clause);
+    }
+    g.program.dispatch(g.phases[i], std::move(enables));
+    if (i + 1 < n_phases && pick(0, 3) == 0) {
+      g.program.serial("s" + std::to_string(i), {}, /*sim_duration=*/pick(0, 40),
+                       /*conflicts=*/pick(0, 1) == 1);
+    }
+  }
+  g.program.halt();
+
+  g.exec.grain = static_cast<GranuleId>(pick(1, 8));
+  g.exec.overlap = pick(0, 7) != 0;  // mostly on
+  g.exec.split_policy = static_cast<SplitPolicy>(pick(0, 2));
+  g.exec.elevate_enabling = pick(0, 1) == 1;
+  g.exec.elevate_released = pick(0, 3) == 0;
+  g.exec.early_serial = pick(0, 1) == 1;
+  g.exec.defer_map_build = pick(0, 1) == 1;
+  if (pick(0, 2) == 0)
+    g.exec.indirect_subset = static_cast<GranuleId>(pick(1, 16));
+
+  g.workers = static_cast<std::uint32_t>(pick(1, 4));
+  g.batch = static_cast<std::uint32_t>(pick(1, 8));
+  // Shards: auto, explicit 1 (PR 3 protocol), or an explicit small count
+  // clamped to the smallest legal bound (the largest phase).
+  const std::uint64_t shard_mode = pick(0, 3);
+  if (shard_mode == 0) {
+    g.shards = 1;
+  } else if (shard_mode == 1) {
+    GranuleId max_n = 1;
+    for (GranuleId n : g.granules) max_n = std::max(max_n, n);
+    g.shards = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(pick(2, 6), max_n));
+  }  // else: kAutoShards
+  g.steal = pick(0, 3) != 0;
+  g.adaptive_grain = pick(0, 1) == 1;
+  g.cancel_second_job = pick(0, 2) == 0;
+  g.sim_workers = static_cast<std::uint32_t>(pick(2, 12));
+  g.sim_shards = static_cast<std::uint32_t>(pick(1, 4));
+  return g;
+}
+
+/// Per-(phase, granule) atomic execution counts.
+class ExecutionRecorder {
+ public:
+  explicit ExecutionRecorder(const std::vector<GranuleId>& granules) {
+    counts_.reserve(granules.size());
+    for (GranuleId n : granules)
+      counts_.push_back(std::make_unique<std::vector<std::atomic<std::uint32_t>>>(n));
+  }
+
+  void record(std::size_t phase, GranuleRange r) {
+    auto& row = *counts_[phase];
+    for (GranuleId gr = r.lo; gr < r.hi; ++gr)
+      row[gr].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Every granule executed exactly once?
+  void expect_exactly_once() const {
+    for (std::size_t p = 0; p < counts_.size(); ++p) {
+      const auto& row = *counts_[p];
+      for (std::size_t gr = 0; gr < row.size(); ++gr) {
+        const std::uint32_t c = row[gr].load(std::memory_order_relaxed);
+        ASSERT_EQ(c, 1u) << "phase " << p << " granule " << gr << " executed "
+                         << c << " times";
+      }
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<std::vector<std::atomic<std::uint32_t>>>> counts_;
+};
+
+/// Bodies that record executions and burn a seed-hashed number of cycles
+/// (so schedules differ across seeds without wall-clock dependence).
+inline rt::BodyTable make_recording_bodies(const GeneratedProgram& g,
+                                           ExecutionRecorder& rec,
+                                           std::atomic<std::uint64_t>& sink) {
+  rt::BodyTable bodies;
+  for (std::size_t p = 0; p < g.phases.size(); ++p) {
+    const std::uint64_t seed = g.seed;
+    bodies.set(g.phases[p], [p, seed, &rec, &sink](GranuleRange r, WorkerId) {
+      std::uint64_t acc = 0;
+      for (GranuleId gr = r.lo; gr < r.hi; ++gr) {
+        std::uint64_t s = seed ^ (p * 0x9E37ULL) ^ gr;
+        const std::uint64_t iters = splitmix64(s) % 256;
+        for (std::uint64_t i = 0; i < iters; ++i) acc += (i ^ s) * 0x9E3779B9ULL;
+      }
+      sink.fetch_add(acc, std::memory_order_relaxed);
+      rec.record(p, r);
+    });
+  }
+  return bodies;
+}
+
+/// Run one generated program through the threaded runtime and check the
+/// invariants. Returns the result for further inspection.
+inline rt::RtResult run_threaded_checked(const GeneratedProgram& g) {
+  ExecutionRecorder rec(g.granules);
+  std::atomic<std::uint64_t> sink{0};
+  rt::BodyTable bodies = make_recording_bodies(g, rec, sink);
+  rt::RtConfig rc;
+  rc.workers = g.workers;
+  rc.batch = g.batch;
+  rc.shards = g.shards;
+  rc.steal = g.steal;
+  rc.adaptive_grain = g.adaptive_grain;
+  // run() PAX_CHECKs program completion and the shard census internally.
+  rt::RtResult res =
+      rt::ThreadedRuntime(g.program, g.exec, CostModel::free_of_charge(), bodies, rc)
+          .run();
+  rec.expect_exactly_once();
+  EXPECT_EQ(res.granules_executed, g.total);
+  EXPECT_EQ(res.exec_lock_acquisitions,
+            res.refill_lock_acquisitions + res.wait_lock_acquisitions)
+      << "lock-split identity broken";
+  EXPECT_GE(res.tasks_executed, g.phases.size());
+  EXPECT_LE(res.utilization(), 1.0 + 1e-9);
+  if (!g.steal) {
+    EXPECT_EQ(res.steals, 0u);
+  }
+  return res;
+}
+
+/// Run the same program through the pool runtime (with an optional
+/// cancelled second job — the cancel point) and check the invariants.
+inline void run_pool_checked(const GeneratedProgram& g) {
+  ExecutionRecorder rec(g.granules);
+  std::atomic<std::uint64_t> sink{0};
+  rt::BodyTable bodies = make_recording_bodies(g, rec, sink);
+
+  pool::PoolConfig pc;
+  pc.workers = g.workers;
+  pc.batch = g.batch;
+  pc.shards = g.shards;
+  pc.steal = g.steal;
+  pc.adaptive_grain = g.adaptive_grain;
+
+  // The throwaway job's program must outlive the pool. Its phase is as
+  // large as the generator's biggest so any explicit pool shard count fits.
+  PhaseProgram throwaway;
+  const PhaseId tp = throwaway.define_phase(make_phase("t", 96).writes("T"));
+  throwaway.dispatch(tp);
+  throwaway.halt();
+  std::atomic<std::uint64_t> throwaway_granules{0};
+  rt::BodyTable tbodies;
+  tbodies.set(tp, [&](GranuleRange r, WorkerId) {
+    throwaway_granules.fetch_add(r.size(), std::memory_order_relaxed);
+  });
+
+  std::uint64_t cancelled_granules = 0;
+  bool cancelled = false;
+  {
+    pool::PoolRuntime pool(pc);
+    pool::JobHandle main_job = pool.submit(g.program, bodies, g.exec);
+    pool::JobHandle extra;
+    if (g.cancel_second_job) {
+      extra = pool.submit(throwaway, tbodies, ExecConfig{});
+      cancelled = extra.cancel();  // may lose the race to adoption
+    }
+    EXPECT_EQ(main_job.wait(), pool::JobState::kComplete);
+    if (extra.valid()) {
+      const pool::JobState st = extra.wait();
+      if (cancelled) {
+        EXPECT_EQ(st, pool::JobState::kCancelled);
+        EXPECT_EQ(extra.stats().granules, 0u);
+      } else {
+        EXPECT_EQ(st, pool::JobState::kComplete);
+        EXPECT_EQ(extra.stats().granules, 96u);
+      }
+      cancelled_granules = extra.stats().granules;
+    }
+    pool.shutdown();
+
+    rec.expect_exactly_once();
+    const pool::PoolStats ps = pool.stats();
+    const pool::JobStats js = main_job.stats();
+    EXPECT_EQ(js.granules, g.total);
+    EXPECT_EQ(ps.granules_executed, g.total + cancelled_granules)
+        << "pool totals disagree with per-job sums";
+    EXPECT_EQ(ps.jobs_cancelled, cancelled ? 1u : 0u);
+    if (!g.steal) {
+      EXPECT_EQ(ps.steals, 0u);
+    }
+  }
+  if (cancelled) {
+    EXPECT_EQ(throwaway_granules.load(), 0u);
+  }
+}
+
+/// Run the same program on the simulator twice and check work totals and
+/// determinism.
+inline void run_sim_checked(const GeneratedProgram& g) {
+  sim::Workload wl(g.seed);
+  sim::MachineConfig mc;
+  mc.workers = g.sim_workers;
+  mc.shards = g.sim_shards;
+  mc.record_intervals = false;
+  const sim::SimResult r1 = sim::simulate(g.program, g.exec, CostModel{}, wl, mc);
+  EXPECT_EQ(r1.granules_executed, g.total);
+  EXPECT_LE(r1.utilization(), 1.0 + 1e-9);
+  EXPECT_EQ(r1.shard_exec_ticks.size(), g.sim_shards);
+  std::uint64_t lanes = 0;
+  for (std::uint64_t t : r1.shard_exec_ticks) lanes += t;
+  EXPECT_EQ(lanes, r1.exec_ticks) << "per-lane billing does not sum to total";
+  const sim::SimResult r2 = sim::simulate(g.program, g.exec, CostModel{}, wl, mc);
+  EXPECT_EQ(r1.makespan, r2.makespan) << "simulation not deterministic";
+  EXPECT_EQ(r1.exec_ticks, r2.exec_ticks);
+  EXPECT_EQ(r1.tasks_executed, r2.tasks_executed);
+}
+
+/// The full cross-runtime check for one seed.
+inline void run_seed(std::uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " (replay: PAX_STRESS_SEED=" + std::to_string(seed) +
+               " ctest -R stress)");
+  const GeneratedProgram g = generate_program(seed);
+  run_threaded_checked(g);
+  run_pool_checked(g);
+  run_sim_checked(g);
+}
+
+}  // namespace pax::testing
