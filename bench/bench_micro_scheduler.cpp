@@ -71,12 +71,10 @@ BENCHMARK(BM_RangeSetInsertFragmented)->Arg(64)->Arg(512);
 
 void BM_CompositeMapBuildReverse(benchmark::State& state) {
   const auto n = static_cast<GranuleId>(state.range(0));
-  auto requires_of = [n](GranuleId r) {
-    std::vector<GranuleId> need;
+  auto requires_of = [n](GranuleId r, std::vector<GranuleId>& need) {
     std::uint64_t s = 0x1234 ^ (static_cast<std::uint64_t>(r) << 7);
     for (int j = 0; j < 10; ++j)
       need.push_back(static_cast<GranuleId>(splitmix64(s) % n));
-    return need;
   };
   for (auto _ : state) {
     auto built = CompositeGranuleMap::build_reverse(n, n, requires_of);
@@ -88,12 +86,10 @@ BENCHMARK(BM_CompositeMapBuildReverse)->Arg(256)->Arg(4096);
 
 void BM_CompositeMapOnComplete(benchmark::State& state) {
   const GranuleId n = 4096;
-  auto requires_of = [](GranuleId r) {
-    std::vector<GranuleId> need;
+  auto requires_of = [](GranuleId r, std::vector<GranuleId>& need) {
     std::uint64_t s = 0x9876 ^ (static_cast<std::uint64_t>(r) << 9);
     for (int j = 0; j < 10; ++j)
       need.push_back(static_cast<GranuleId>(splitmix64(s) % n));
-    return need;
   };
   auto built = CompositeGranuleMap::build_reverse(n, n, requires_of);
   std::vector<GranuleId> newly;

@@ -43,12 +43,14 @@ namespace {
 
 using namespace pax;
 
-constexpr GranuleId kN = 4096;  // granules per phase
-constexpr std::uint64_t kTotal = 2ull * kN;
-constexpr std::uint32_t kGrain = 32;
-constexpr std::uint32_t kBatch = 16;
+// Workload/knobs shared with bench_t10_alloc via bench_util.hpp (the t10
+// allocation gate re-runs this exact protocol).
+constexpr GranuleId kN = pax::bench::kT9Granules;
+constexpr std::uint64_t kTotal = pax::bench::kT9Total;
+constexpr std::uint32_t kBatch = pax::bench::kT9Batch;
 
 using pax::bench::RundownProbe;
+using pax::bench::run_t9_protocol;
 using pax::bench::spin;
 
 struct RunOut {
@@ -57,33 +59,9 @@ struct RunOut {
 };
 
 RunOut run_once(std::uint32_t workers, std::uint32_t shards) {
-  PhaseProgram prog;
-  const PhaseId a = prog.define_phase(make_phase("a", kN).writes("A"));
-  const PhaseId b = prog.define_phase(make_phase("b", kN).reads("A").writes("B"));
-  prog.dispatch(a, {EnableClause{"b", MappingKind::kIdentity, {}}});
-  prog.dispatch(b);
-  prog.halt();
-
   RundownProbe probe(kTotal);
-  rt::BodyTable bodies;
-  auto body = [&probe](GranuleRange r, WorkerId) {
-    const auto t0 = std::chrono::steady_clock::now();
-    for (GranuleId g = r.lo; g < r.hi; ++g)
-      spin(1500 + static_cast<std::uint32_t>(g) * 2);  // cost ramps ~6x
-    probe.on_body(t0, std::chrono::steady_clock::now(), r.size());
-  };
-  bodies.set(a, body);
-  bodies.set(b, body);
-
-  ExecConfig cfg;
-  cfg.grain = kGrain;
-  rt::RtConfig rc;
-  rc.workers = workers;
-  rc.batch = kBatch;
-  rc.shards = shards;
-  rt::ThreadedRuntime runtime(prog, cfg, CostModel::free_of_charge(), bodies, rc);
   RunOut out;
-  out.res = runtime.run();
+  out.res = run_t9_protocol(workers, shards, &probe);
   out.rundown_util = probe.window_utilization(workers);
   return out;
 }

@@ -16,6 +16,7 @@
 
 #include "common/table.hpp"
 #include "core/executive.hpp"
+#include "runtime/threaded_runtime.hpp"
 #include "sim/machine.hpp"
 
 namespace pax::bench {
@@ -184,23 +185,19 @@ inline TwoPhase two_phase(GranuleId n_a, GranuleId n_b, MappingKind kind,
   clause.successor_name = "phaseB";
   clause.kind = kind;
   if (kind == MappingKind::kReverseIndirect) {
-    clause.indirection.requires_of = [n_a, fan](GranuleId r) {
-      std::vector<GranuleId> need;
-      need.reserve(fan);
+    clause.indirection.requires_of = [n_a, fan](GranuleId r,
+                                                std::vector<GranuleId>& need) {
       std::uint64_t s = 0x51ED2701u ^ (static_cast<std::uint64_t>(r) << 17);
       for (std::uint32_t j = 0; j < fan; ++j)
         need.push_back(static_cast<GranuleId>(splitmix64(s) % n_a));
-      return need;
     };
     clause.indirection.stable = stable;
   } else if (kind == MappingKind::kForwardIndirect) {
-    clause.indirection.enables_of = [n_b, fan](GranuleId p) {
-      std::vector<GranuleId> en;
-      en.reserve(fan);
+    clause.indirection.enables_of = [n_b, fan](GranuleId p,
+                                               std::vector<GranuleId>& en) {
       std::uint64_t s = 0x2F0A1993u ^ (static_cast<std::uint64_t>(p) << 13);
       for (std::uint32_t j = 0; j < fan; ++j)
         en.push_back(static_cast<GranuleId>(splitmix64(s) % n_b));
-      return en;
     };
     clause.indirection.stable = stable;
   }
@@ -211,6 +208,51 @@ inline TwoPhase two_phase(GranuleId n_a, GranuleId n_b, MappingKind kind,
   out.program.dispatch(out.b);
   out.program.halt();
   return out;
+}
+
+// --- the T9 protocol workload ------------------------------------------------
+// One definition shared by bench_t9_shard (which gates sharding against the
+// 1-shard baseline on it) and bench_t10_alloc (which gates that the
+// allocation-free control plane did not tax the same path) — so the two
+// gates can never silently diverge on workload or knobs.
+
+inline constexpr GranuleId kT9Granules = 4096;  ///< granules per phase
+inline constexpr std::uint64_t kT9Total = 2ull * kT9Granules;
+inline constexpr std::uint32_t kT9Grain = 32;
+inline constexpr std::uint32_t kT9Batch = 16;
+
+/// One run of the T9 two-phase identity program with ramped granule cost
+/// (~6x head to tail). When `probe` is non-null the bodies feed it for the
+/// rundown-window utilization metric.
+inline rt::RtResult run_t9_protocol(std::uint32_t workers, std::uint32_t shards,
+                                    RundownProbe* probe = nullptr) {
+  PhaseProgram prog;
+  const PhaseId a = prog.define_phase(make_phase("a", kT9Granules).writes("A"));
+  const PhaseId b =
+      prog.define_phase(make_phase("b", kT9Granules).reads("A").writes("B"));
+  prog.dispatch(a, {EnableClause{"b", MappingKind::kIdentity, {}}});
+  prog.dispatch(b);
+  prog.halt();
+
+  rt::BodyTable bodies;
+  auto body = [probe](GranuleRange r, WorkerId) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (GranuleId g = r.lo; g < r.hi; ++g)
+      spin(1500 + static_cast<std::uint32_t>(g) * 2);  // cost ramps ~6x
+    if (probe != nullptr)
+      probe->on_body(t0, std::chrono::steady_clock::now(), r.size());
+  };
+  bodies.set(a, body);
+  bodies.set(b, body);
+
+  ExecConfig cfg;
+  cfg.grain = kT9Grain;
+  rt::RtConfig rc;
+  rc.workers = workers;
+  rc.batch = kT9Batch;
+  rc.shards = shards;
+  rt::ThreadedRuntime runtime(prog, cfg, CostModel::free_of_charge(), bodies, rc);
+  return runtime.run();
 }
 
 /// Rundown window of phase-1 under a given result: [first idle-onset

@@ -11,6 +11,13 @@
 // soon as granule I of the first completes — no barrier between the phases.
 // This example runs both phases on real threads with overlap enabled and
 // checks the result.
+//
+// The example binary links the counting allocator hooks so the run can
+// report the control plane's heap traffic (DESIGN.md §10) — production
+// binaries simply omit the define and pay nothing.
+#define PAX_ALLOC_STATS_IMPLEMENT
+#include "common/alloc_stats.hpp"
+
 #include <cstdio>
 #include <vector>
 
@@ -93,6 +100,13 @@ int main() {
               static_cast<unsigned long long>(result.shard_sibling_hits),
               static_cast<unsigned long long>(result.shard_scattered),
               static_cast<double>(result.exec_lock_hold_ns) / 1e3);
+  // Heap traffic of the whole run (alloc_stats hooks): the steady-state
+  // scheduling path allocates nothing, so this amortizes toward zero.
+  std::printf("heap traffic      : %.4f allocs/granule (%llu allocs, %llu KiB)\n",
+              static_cast<double>(result.heap_allocs) /
+                  static_cast<double>(result.granules_executed),
+              static_cast<unsigned long long>(result.heap_allocs),
+              static_cast<unsigned long long>(result.heap_bytes / 1024));
   std::printf("result check      : %s\n", wrong == 0 ? "OK" : "CORRUPT");
   for (const auto& d : result.diagnostics)
     std::printf("diagnostic: %s\n", d.c_str());

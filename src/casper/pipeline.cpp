@@ -158,14 +158,11 @@ CasperPipeline build_casper_pipeline(const CasperOptions& opt) {
     const std::uint64_t salt = opt.seed * 1000 + i;
     return IndirectionSpec{
         .requires_of =
-            [cur_n, salt](GranuleId rr) {
-              std::vector<GranuleId> need;
-              need.reserve(10);
+            [cur_n, salt](GranuleId rr, std::vector<GranuleId>& need) {
               std::uint64_t s = salt ^ (0x9E3779B97F4A7C15ULL * (rr + 1));
               for (int j = 0; j < 10; ++j)
                 need.push_back(
                     static_cast<GranuleId>(splitmix64(s) % cur_n));
-              return need;
             },
         .enables_of = nullptr};
   };
@@ -175,10 +172,9 @@ CasperPipeline build_casper_pipeline(const CasperOptions& opt) {
     return IndirectionSpec{
         .requires_of = nullptr,
         .enables_of =
-            [succ_n, salt](GranuleId p) {
+            [succ_n, salt](GranuleId p, std::vector<GranuleId>& en) {
               std::uint64_t s = salt ^ (0xC2B2AE3D27D4EB4FULL * (p + 1));
-              return std::vector<GranuleId>{
-                  static_cast<GranuleId>(splitmix64(s) % succ_n)};
+              en.push_back(static_cast<GranuleId>(splitmix64(s) % succ_n));
             }};
   };
 

@@ -31,11 +31,10 @@ GranuleId Checkerboard::granule_at(Color c, std::uint32_t x, std::uint32_t y) co
   return g;
 }
 
-std::vector<GranuleId> Checkerboard::neighbours(Color next, GranuleId g) const {
+void Checkerboard::neighbours_into(Color next, GranuleId g,
+                                   std::vector<GranuleId>& out) const {
   const auto [x, y] = cell(next, g);
   const Color cur = next == Color::kRed ? Color::kBlack : Color::kRed;
-  std::vector<GranuleId> out;
-  out.reserve(4);
   const std::int32_t dx[4] = {-1, 1, 0, 0};
   const std::int32_t dy[4] = {0, 0, -1, 1};
   for (int k = 0; k < 4; ++k) {
@@ -47,6 +46,12 @@ std::vector<GranuleId> Checkerboard::neighbours(Color next, GranuleId g) const {
       continue;  // boundary neighbours never change
     out.push_back(granule_at(cur, nx2, ny2));
   }
+}
+
+std::vector<GranuleId> Checkerboard::neighbours(Color next, GranuleId g) const {
+  std::vector<GranuleId> out;
+  out.reserve(4);
+  neighbours_into(next, g, out);
   return out;
 }
 
@@ -90,13 +95,15 @@ SorProgram build_sor_program(Grid& grid, double omega, std::uint32_t sweeps) {
   // The seam/stencil relation as reverse-indirect enablement in both
   // directions.
   EnableClause red_to_black{"black", MappingKind::kReverseIndirect, {}};
-  red_to_black.indirection.requires_of = [board](GranuleId g) {
-    return board->neighbours(Color::kBlack, g);
+  red_to_black.indirection.requires_of = [board](GranuleId g,
+                                                 std::vector<GranuleId>& out) {
+    board->neighbours_into(Color::kBlack, g, out);
   };
   red_to_black.indirection.stable = true;  // the stencil never changes
   EnableClause black_to_red{"red", MappingKind::kReverseIndirect, {}};
-  black_to_red.indirection.requires_of = [board](GranuleId g) {
-    return board->neighbours(Color::kRed, g);
+  black_to_red.indirection.requires_of = [board](GranuleId g,
+                                                 std::vector<GranuleId>& out) {
+    board->neighbours_into(Color::kRed, g, out);
   };
   black_to_red.indirection.stable = true;
 

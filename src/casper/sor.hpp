@@ -53,6 +53,9 @@ class Checkerboard {
 
   /// The reverse enablement map: granules of colour `next` map to the
   /// interior neighbours of the *other* colour that must complete first.
+  /// Appended to `out` (the GranuleMapFn shape — no allocation per query).
+  void neighbours_into(Color next, GranuleId g, std::vector<GranuleId>& out) const;
+  /// Convenience vector-returning form for tests/tools.
   [[nodiscard]] std::vector<GranuleId> neighbours(Color next, GranuleId g) const;
 
  private:

@@ -1,0 +1,165 @@
+// arena.hpp — the control plane's memory discipline (DESIGN.md §10).
+//
+// The paper's rundown analysis says utilization dies when per-granule
+// management cost grows relative to shrinking task cost, and the
+// work-inflation line of Acar et al. locates much of that inflation in
+// allocator traffic inside the scheduler. The executive therefore keeps its
+// steady-state hot path off the general-purpose heap:
+//
+//   * MonotonicArena — chunked bump allocation with stable addresses. Chunks
+//     are never returned while the arena lives; reset() rewinds the cursor
+//     and reuses them.
+//   * Slab<T> — a typed object slab on top of an arena: acquire() hands out
+//     a default-constructed object (placement-new into arena storage) or
+//     *recycles* a release()d one. Recycled objects are handed back without
+//     being destroyed, so their internal buffers (vectors, range sets) keep
+//     the capacity they grew during previous use — the caller resets logical
+//     state, the allocator work is never repeated.
+//
+// The executive's Run/Edge/SplitTask/CachedMap/CompositeGranuleMap records
+// live on slabs; ExecWorkspace (executive.hpp) holds the cleared-not-freed
+// scratch vectors. What remains allowed to allocate is enumerated in
+// DESIGN.md §10 and policed by tests/test_alloc.cpp via alloc_stats.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pax {
+
+/// Chunked monotonic (bump) arena. Allocations are raw storage — callers
+/// placement-new into it — with stable addresses for the arena's lifetime.
+/// reset() rewinds to empty but keeps every chunk for reuse, so a warmed
+/// arena services the same allocation pattern with zero heap traffic.
+class MonotonicArena {
+ public:
+  explicit MonotonicArena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {
+    PAX_CHECK_MSG(chunk_bytes_ > 0, "arena chunk size must be positive");
+  }
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocate `size` bytes at `align`. Oversized requests get a
+  /// dedicated chunk; normal requests fill the current chunk and roll over.
+  void* allocate(std::size_t size, std::size_t align) {
+    PAX_CHECK_MSG(size > 0 && align > 0 && (align & (align - 1)) == 0,
+                  "arena allocation needs positive size and power-of-two align");
+    while (cur_ < chunks_.size()) {
+      Chunk& c = chunks_[cur_];
+      const std::size_t at = align_up(off_, align, c.data.get());
+      if (at + size <= c.size) {
+        off_ = at + size;
+        return c.data.get() + at;
+      }
+      ++cur_;
+      off_ = 0;
+    }
+    // No chunk fits: grow by one (sized up for oversized requests).
+    const std::size_t want = size + align;
+    const std::size_t chunk = want > chunk_bytes_ ? want : chunk_bytes_;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(chunk), chunk});
+    bytes_reserved_ += chunk;
+    cur_ = chunks_.size() - 1;
+    const std::size_t at = align_up(0, align, chunks_.back().data.get());
+    off_ = at + size;
+    return chunks_.back().data.get() + at;
+  }
+
+  /// Rewind to empty, keeping every chunk. Only valid when nothing
+  /// placement-constructed in the arena is still alive.
+  void reset() {
+    cur_ = 0;
+    off_ = 0;
+  }
+
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+  static constexpr std::size_t kDefaultChunkBytes = 16 * 1024;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static std::size_t align_up(std::size_t off, std::size_t align,
+                              const std::byte* base) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(base) + off;
+    const std::uintptr_t aligned = (addr + align - 1) & ~(align - 1);
+    return off + static_cast<std::size_t>(aligned - addr);
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;   ///< chunk currently bump-allocating
+  std::size_t off_ = 0;   ///< byte offset into that chunk
+  std::size_t bytes_reserved_ = 0;
+};
+
+/// Typed freelist slab over a MonotonicArena. Objects have stable addresses
+/// for the slab's lifetime. acquire() pops the freelist when possible;
+/// CRUCIALLY the recycled object is handed back *as last released* — it is
+/// not destroyed and reconstructed — so internal buffers keep their grown
+/// capacity. The caller owns resetting logical state on reuse. The slab's
+/// destructor destroys every object it ever constructed.
+template <typename T>
+class Slab {
+ public:
+  explicit Slab(std::size_t chunk_bytes = MonotonicArena::kDefaultChunkBytes)
+      : arena_(chunk_bytes) {}
+
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  ~Slab() {
+    for (T* p : all_) p->~T();
+  }
+
+  /// A fresh default-constructed object, or a recycled one (state untouched
+  /// since release — reset it).
+  T& acquire() {
+    static_assert(std::is_default_constructible_v<T>,
+                  "Slab<T> default-constructs slots; reset state on acquire");
+    ++live_;
+    if (!free_.empty()) {
+      T* p = free_.back();
+      free_.pop_back();
+      return *p;
+    }
+    void* raw = arena_.allocate(sizeof(T), alignof(T));
+    T* p = new (raw) T();
+    all_.push_back(p);
+    return *p;
+  }
+
+  /// Park `obj` for reuse. It must have come from this slab and must not be
+  /// referenced afterwards (until re-acquired).
+  void release(T& obj) {
+    PAX_DCHECK(live_ > 0);
+    --live_;
+    free_.push_back(&obj);
+  }
+
+  /// Objects ever constructed (== distinct addresses handed out).
+  [[nodiscard]] std::size_t created() const { return all_.size(); }
+  /// Objects currently acquired.
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] std::size_t free_count() const { return free_.size(); }
+
+ private:
+  MonotonicArena arena_;
+  std::vector<T*> all_;
+  std::vector<T*> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace pax

@@ -73,31 +73,39 @@ CompositeBuild CompositeGranuleMap::build_from_pairs(
 
 CompositeBuild CompositeGranuleMap::build_reverse(
     GranuleId current_count, GranuleId successor_count,
-    const std::function<std::vector<GranuleId>(GranuleId)>& requires_of,
+    const GranuleMapFn& requires_of,
     const std::optional<std::vector<GranuleId>>& subset) {
   PAX_CHECK(requires_of != nullptr);
   std::vector<std::pair<std::uint32_t, GranuleId>> pairs;
+  std::vector<GranuleId> scratch;  // one buffer for the whole build
+  auto append = [&](GranuleId r) {
+    scratch.clear();
+    requires_of(r, scratch);
+    for (GranuleId p : scratch) pairs.emplace_back(p, r);
+  };
   // Only walk the successor granules we intend to solve; that is the whole
   // point of the subset ("avoid solving an unnecessarily large enablement
   // problem") — the reverse map is evaluated per desired successor granule.
   if (subset) {
-    for (GranuleId r : *subset)
-      for (GranuleId p : requires_of(r)) pairs.emplace_back(p, r);
+    for (GranuleId r : *subset) append(r);
   } else {
-    for (GranuleId r = 0; r < successor_count; ++r)
-      for (GranuleId p : requires_of(r)) pairs.emplace_back(p, r);
+    for (GranuleId r = 0; r < successor_count; ++r) append(r);
   }
   return build_from_pairs(current_count, successor_count, std::move(pairs), subset);
 }
 
 CompositeBuild CompositeGranuleMap::build_forward(
     GranuleId current_count, GranuleId successor_count,
-    const std::function<std::vector<GranuleId>(GranuleId)>& enables_of,
+    const GranuleMapFn& enables_of,
     const std::optional<std::vector<GranuleId>>& subset) {
   PAX_CHECK(enables_of != nullptr);
   std::vector<std::pair<std::uint32_t, GranuleId>> pairs;
-  for (GranuleId p = 0; p < current_count; ++p)
-    for (GranuleId r : enables_of(p)) pairs.emplace_back(p, r);
+  std::vector<GranuleId> scratch;
+  for (GranuleId p = 0; p < current_count; ++p) {
+    scratch.clear();
+    enables_of(p, scratch);
+    for (GranuleId r : scratch) pairs.emplace_back(p, r);
+  }
   return build_from_pairs(current_count, successor_count, std::move(pairs), subset);
 }
 

@@ -28,15 +28,24 @@
 
 namespace pax {
 
+/// Enablement-mapping callback: append the granules mapped from `g` to
+/// `out`. Append-only by contract — callers batch many queries into one
+/// scratch buffer (and clear it between queries themselves), so a mapping
+/// evaluation performs no heap allocation. This is the hot-path shape the
+/// allocation-free control plane requires: the previous vector-returning
+/// form allocated a fresh std::vector per granule during map builds and
+/// subset verification.
+using GranuleMapFn = std::function<void(GranuleId g, std::vector<GranuleId>& out)>;
+
 /// Declarative description of the indirection between two phases.
-/// `requires_of(r)` lists the current-phase granules successor granule `r`
-/// needs (reverse direction); `enables_of(p)` lists the successor granules
-/// current granule `p` feeds (forward direction). A clause supplies the
-/// direction that is natural for its mapping kind; the composite map builder
-/// inverts as needed.
+/// `requires_of(r, out)` appends the current-phase granules successor
+/// granule `r` needs (reverse direction); `enables_of(p, out)` appends the
+/// successor granules current granule `p` feeds (forward direction). A
+/// clause supplies the direction that is natural for its mapping kind; the
+/// composite map builder inverts as needed.
 struct IndirectionSpec {
-  std::function<std::vector<GranuleId>(GranuleId)> requires_of;  // reverse
-  std::function<std::vector<GranuleId>(GranuleId)> enables_of;   // forward
+  GranuleMapFn requires_of;  // reverse
+  GranuleMapFn enables_of;   // forward
   /// Static enablement relation (paper: "the completion of a particular
   /// current-phase task may always enable the same next-phase task"). The
   /// executive caches and reuses the composite map across runs of the same
@@ -67,14 +76,14 @@ class CompositeGranuleMap {
   /// at current-phase completion.
   static CompositeBuild build_reverse(
       GranuleId current_count, GranuleId successor_count,
-      const std::function<std::vector<GranuleId>(GranuleId)>& requires_of,
+      const GranuleMapFn& requires_of,
       const std::optional<std::vector<GranuleId>>& subset = std::nullopt);
 
   /// Build from the forward direction (current granule -> successor granules
   /// it feeds). Successor granules nobody feeds are initially enabled.
   static CompositeBuild build_forward(
       GranuleId current_count, GranuleId successor_count,
-      const std::function<std::vector<GranuleId>(GranuleId)>& enables_of,
+      const GranuleMapFn& enables_of,
       const std::optional<std::vector<GranuleId>>& subset = std::nullopt);
 
   /// Status bit: does current granule `p` participate in any enablement?

@@ -1,6 +1,7 @@
 #include "core/executive.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace pax {
 
@@ -28,12 +29,15 @@ struct ExecutiveCore::Run {
   static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
 };
 
+/// Overlap edge. Slab-recycled when its current run completes: setup_overlap
+/// resets every field, and build_pairs keeps the capacity it grew during the
+/// previous edge's incremental map construction.
 struct ExecutiveCore::Edge {
   RunId cur = kNoRun;
   RunId succ = kNoRun;
   MappingKind kind = MappingKind::kNull;
-  const EnableClause* clause = nullptr;       // for deferred map building
-  std::unique_ptr<CompositeGranuleMap> cmap;  // indirect kinds only
+  const EnableClause* clause = nullptr;  // for deferred map building
+  CompositeGranuleMap* cmap = nullptr;   // indirect kinds only (cmap slab)
   bool dead = false;
 
   // Incremental map construction: pairs accumulated over idle-time slices.
@@ -67,6 +71,40 @@ struct ExecutiveCore::SplitTask {
   bool done = false;
 };
 
+/// The cleared-not-freed scratch buffers behind the steady-state hot paths.
+/// Each buffer grows to its working-set size once and is reused for the life
+/// of the core; no function in the completion/request cycle materialises a
+/// fresh std::vector. Buffers are grouped by the call tree that owns them —
+/// the completion set is idle whenever the map-build set runs (map builds
+/// happen at dispatch or in idle time, after the batch's deferred flush).
+struct ExecutiveCore::Workspace {
+  // complete_batch / flush_deferred
+  std::vector<DeferredEnable> deferred;  ///< slot pool; active = [0, deferred_n)
+  std::size_t deferred_n = 0;
+  std::vector<GranuleId> newly;          ///< per-ticket indirect enablements
+  std::vector<GranuleRange> ranges;      ///< coalesced-range scratch
+  // extract_elevated
+  std::vector<Descriptor*> hosts;
+  std::vector<std::pair<Descriptor*, GranuleId>> grouped;
+  std::vector<std::pair<GranuleId, Descriptor*>> carved;
+  std::vector<std::uint8_t> used;
+  // map building
+  std::vector<GranuleId> map_out;    ///< indirection-callback out-buffer
+  std::vector<GranuleId> map_newly;  ///< enablements fired by a map build
+
+  /// The batch's accumulation slot for successor run `succ`. Slots recycle
+  /// across batches with their `newly` capacity intact.
+  DeferredEnable& slot_for(RunId succ) {
+    for (std::size_t i = 0; i < deferred_n; ++i)
+      if (deferred[i].succ == succ) return deferred[i];
+    if (deferred_n == deferred.size()) deferred.emplace_back();
+    DeferredEnable& de = deferred[deferred_n++];
+    de.succ = succ;
+    de.newly.clear();
+    return de;
+  }
+};
+
 namespace {
 template <typename T>
 SplitTaskTag* as_tag(T* t) {
@@ -82,6 +120,7 @@ ExecutiveCore::ExecutiveCore(const PhaseProgram& program, ExecConfig config,
     : program_(program),
       config_(config),
       costs_(costs),
+      ws_(std::make_unique<Workspace>()),
       serial_done_early_(program.size(), 0),
       branch_predecided_(program.size(), -1),
       node_pending_run_(program.size(), kNoRun),
@@ -91,12 +130,15 @@ ExecutiveCore::ExecutiveCore(const PhaseProgram& program, ExecConfig config,
 
 ExecutiveCore::~ExecutiveCore() {
   // Tear down any still-linked structures so intrusive-hook destructors
-  // don't trip (a core may be destroyed mid-program by tests).
-  for (auto& r : runs_) {
+  // don't trip (a core may be destroyed mid-program by tests). Index
+  // iteration, not a snapshot copy: nothing below mutates a live table, and
+  // the old per-run std::vector copy was a heap round-trip per run.
+  for (Run* r : runs_) {
     r->barrier.drain([](Descriptor&) {});
   }
-  for (auto& r : runs_) {
-    for (Descriptor* d : std::vector<Descriptor*>(r->live)) {
+  for (Run* r : runs_) {
+    for (std::size_t i = 0; i < r->live.size(); ++i) {
+      Descriptor* d = r->live[i];
       if (d->wait_hook.linked()) waiting_.remove(*d);
       if (d->conflict_hook.linked()) d->conflict_hook.unlink();
       d->conflict_queue.drain([](Descriptor&) {});
@@ -108,13 +150,13 @@ ExecutiveCore::~ExecutiveCore() {
 // ---------------------------------------------------------------------------
 // Small plumbing
 
-void ExecutiveCore::emit(ExecEvent ev) {
+void ExecutiveCore::emit(const ExecEvent& ev) {
   if (observer) observer(ev);
 }
 
 void ExecutiveCore::diagnose(std::string msg) {
-  diagnostics_.push_back(msg);
-  emit({ExecEvent::Kind::kDiagnostic, kNoRun, kNoPhase, {}, std::move(msg)});
+  diagnostics_.push_back(std::move(msg));
+  emit({ExecEvent::Kind::kDiagnostic, kNoRun, kNoPhase, {}, diagnostics_.back()});
 }
 
 ExecutiveCore::Run& ExecutiveCore::run_of(RunId id) {
@@ -129,14 +171,16 @@ const ExecutiveCore::Run& ExecutiveCore::run_of(RunId id) const {
 
 ExecutiveCore::Run& ExecutiveCore::create_run(PhaseId phase, std::uint32_t node,
                                               RunState state) {
-  auto run = std::make_unique<Run>();
-  run->id = static_cast<RunId>(runs_.size());
-  run->phase = phase;
-  run->node = node;
-  run->state = state;
-  run->total = phase == kNoPhase ? 0 : program_.phase(phase).granules;
-  runs_.push_back(std::move(run));
-  Run& r = *runs_.back();
+  // Runs are immortal (RunId indexes runs_ for the core's lifetime), so the
+  // slab slot is always freshly default-constructed — only the scalar fields
+  // need setting.
+  Run& r = run_slab_.acquire();
+  r.id = static_cast<RunId>(runs_.size());
+  r.phase = phase;
+  r.node = node;
+  r.state = state;
+  r.total = phase == kNoPhase ? 0 : program_.phase(phase).granules;
+  runs_.push_back(&r);
   emit({ExecEvent::Kind::kRunCreated, r.id, r.phase, {0, r.total}, {}});
   return r;
 }
@@ -196,13 +240,14 @@ void ExecutiveCore::propagate_split(Descriptor& parent, Descriptor& piece) {
     PAX_CHECK(s->tracks_owner);
     decltype(parent.conflict_queue)::remove(*s);
     s->state = DescState::kHeld;
-    auto task = std::make_unique<SplitTask>();
-    task->held = s;
-    task->chunk = &piece;
-    task->remainder = &parent;
-    piece.pending_split = as_tag(task.get());
-    parent.pending_split = as_tag(task.get());
-    split_tasks_.push_back(std::move(task));
+    SplitTask& task = split_slab_.acquire();  // recycled slot: reset all fields
+    task.held = s;
+    task.chunk = &piece;
+    task.remainder = &parent;
+    task.done = false;
+    piece.pending_split = as_tag(&task);
+    parent.pending_split = as_tag(&task);
+    split_tasks_.push_back(&task);
     return;
   }
 
@@ -372,9 +417,7 @@ void ExecutiveCore::release_conflicts(Descriptor& d) {
   });
 }
 
-void ExecutiveCore::complete_one(Ticket ticket,
-                                 std::vector<DeferredEnable>& deferred,
-                                 CompletionResult& res) {
+void ExecutiveCore::complete_one(Ticket ticket, CompletionResult& res) {
   PAX_CHECK(ticket < assignments_.size() && assignments_[ticket] != nullptr);
   Descriptor* d = assignments_[ticket];
   assignments_[ticket] = nullptr;
@@ -394,18 +437,15 @@ void ExecutiveCore::complete_one(Ticket ticket,
   // Indirect enablement: decrement counters for participating granules.
   if (r.outgoing != nullptr && !r.outgoing->dead && r.outgoing->cmap != nullptr) {
     CompositeGranuleMap& m = *r.outgoing->cmap;
-    std::vector<GranuleId> newly;
+    Workspace& ws = *ws_;
+    ws.newly.clear();
     std::uint64_t updates = 0;
     for (GranuleId g = d->range.lo; g < d->range.hi; ++g)
-      updates += m.on_complete(g, newly);
+      updates += m.on_complete(g, ws.newly);
     if (updates > 0) ledger_.charge(MgmtOp::kCounterUpdate, costs_, updates);
-    if (!newly.empty()) {
-      const RunId succ = r.outgoing->succ;
-      DeferredEnable* slot = nullptr;
-      for (auto& de : deferred)
-        if (de.succ == succ) slot = &de;
-      if (slot == nullptr) slot = &deferred.emplace_back(DeferredEnable{succ, {}});
-      slot->newly.insert(slot->newly.end(), newly.begin(), newly.end());
+    if (!ws.newly.empty()) {
+      DeferredEnable& slot = ws.slot_for(r.outgoing->succ);
+      slot.newly.insert(slot.newly.end(), ws.newly.begin(), ws.newly.end());
     }
   }
 
@@ -415,23 +455,25 @@ void ExecutiveCore::complete_one(Ticket ticket,
     // A run completion can advance the program counter, and dispatch-time
     // overlap setup assumes every enabled successor granule is materialised
     // as a descriptor — so flush the batch's pending enablements first.
-    flush_deferred(deferred);
+    flush_deferred();
     on_run_complete(r);
     res.run_completed = true;
   }
 }
 
-void ExecutiveCore::flush_deferred(std::vector<DeferredEnable>& deferred) {
+void ExecutiveCore::flush_deferred() {
+  Workspace& ws = *ws_;
   const Priority prio =
       config_.elevate_released ? Priority::kElevated : Priority::kNormal;
-  for (DeferredEnable& de : deferred) {
+  for (std::size_t i = 0; i < ws.deferred_n; ++i) {
+    DeferredEnable& de = ws.deferred[i];
     std::sort(de.newly.begin(), de.newly.end());
     de.newly.erase(std::unique(de.newly.begin(), de.newly.end()), de.newly.end());
     Run& succ = run_of(de.succ);
-    for (const GranuleRange& range : coalesce_sorted(de.newly))
-      enqueue_enabled(succ, range, prio);
+    coalesce_sorted_into(de.newly, ws.ranges);
+    for (const GranuleRange& range : ws.ranges) enqueue_enabled(succ, range, prio);
   }
-  deferred.clear();
+  ws.deferred_n = 0;
 }
 
 CompletionResult ExecutiveCore::complete(Ticket ticket) {
@@ -441,12 +483,24 @@ CompletionResult ExecutiveCore::complete(Ticket ticket) {
 CompletionResult ExecutiveCore::complete_batch(std::span<const Ticket> tickets) {
   CompletionResult res;
   const std::size_t waiting_before = waiting_.size();
-  std::vector<DeferredEnable> deferred;
-  for (const Ticket t : tickets) complete_one(t, deferred, res);
-  flush_deferred(deferred);
+  PAX_DCHECK(ws_->deferred_n == 0);
+  for (const Ticket t : tickets) complete_one(t, res);
+  flush_deferred();
   res.new_work = waiting_.size() > waiting_before;
   res.program_finished = finished_;
   return res;
+}
+
+void ExecutiveCore::recycle_edge(Edge& e) {
+  PAX_DCHECK(e.dead);
+  // Drop any stale idle-time build reference before the slot can be reused
+  // by a later overlap edge.
+  std::erase(pending_map_builds_, &e);
+  if (e.cmap != nullptr) {
+    cmap_slab_.release(*e.cmap);  // next edge reuses its counter/CSR buffers
+    e.cmap = nullptr;
+  }
+  edge_slab_.release(e);
 }
 
 void ExecutiveCore::on_run_complete(Run& r) {
@@ -475,7 +529,8 @@ void ExecutiveCore::on_run_complete(Run& r) {
       // Successor granules outside the solved subset become computable now.
       const auto& untracked = e.cmap->untracked_successors();
       if (!untracked.empty()) {
-        for (const GranuleRange& range : coalesce_sorted(untracked))
+        coalesce_sorted_into(untracked, ws_->ranges);
+        for (const GranuleRange& range : ws_->ranges)
           enqueue_enabled(succ, range, Priority::kNormal);
       }
     } else if (e.kind == MappingKind::kReverseIndirect ||
@@ -487,6 +542,7 @@ void ExecutiveCore::on_run_complete(Run& r) {
     e.dead = true;
     succ.incoming = nullptr;
     r.outgoing = nullptr;
+    recycle_edge(e);
   }
 
   if (waiting_run_ == r.id) {
@@ -509,12 +565,16 @@ bool ExecutiveCore::idle_work() {
   }
 
   // 1. Deferred successor-splitting tasks ("quickly queued for later
-  //    attention when the executive would again be idle").
-  while (!split_tasks_.empty() && split_tasks_.front()->done)
+  //    attention when the executive would again be idle"). Retired slots go
+  //    back to the slab for reuse.
+  while (!split_tasks_.empty() && split_tasks_.front()->done) {
+    split_slab_.release(*split_tasks_.front());
     split_tasks_.erase(split_tasks_.begin());
+  }
   if (!split_tasks_.empty()) {
-    SplitTask* t = split_tasks_.front().get();
+    SplitTask* t = split_tasks_.front();
     force_pending_split(*t->chunk);
+    split_slab_.release(*t);
     split_tasks_.erase(split_tasks_.begin());
     return true;
   }
@@ -683,12 +743,18 @@ void ExecutiveCore::setup_overlap(Run& cur, const DispatchNode& d) {
   node_pending_run_[*succ_node] = succ.id;
   ledger_.charge(MgmtOp::kPhaseInit, costs_);
 
-  auto edge = std::make_unique<Edge>();
-  edge->cur = cur.id;
-  edge->succ = succ.id;
-  edge->kind = clause->kind;
-  cur.outgoing = edge.get();
-  succ.incoming = edge.get();
+  // Slab-recycled slot: reset every field (build_pairs keeps its capacity).
+  Edge& edge = edge_slab_.acquire();
+  edge.cur = cur.id;
+  edge.succ = succ.id;
+  edge.kind = clause->kind;
+  edge.clause = nullptr;
+  PAX_DCHECK(edge.cmap == nullptr);
+  edge.dead = false;
+  edge.build_cursor = 0;
+  edge.build_pairs.clear();
+  cur.outgoing = &edge;
+  succ.incoming = &edge;
 
   emit({ExecEvent::Kind::kOverlapSetUp, succ.id, succ.phase, {0, succ.total},
         to_string(clause->kind)});
@@ -702,12 +768,11 @@ void ExecutiveCore::setup_overlap(Run& cur, const DispatchNode& d) {
       break;
     case MappingKind::kReverseIndirect:
     case MappingKind::kForwardIndirect:
-      setup_indirect(cur, succ, *clause, *edge);
+      setup_indirect(cur, succ, *clause, edge);
       break;
     case MappingKind::kNull:
       break;
   }
-  edges_.push_back(std::move(edge));
 }
 
 void ExecutiveCore::setup_universal(Run&, Run& succ) {
@@ -733,8 +798,11 @@ void ExecutiveCore::setup_identity(Run& cur, Run& succ) {
   // and the resulting computation description placed in the conflicted
   // computation queue of the current phase description."
   // Live current descriptors partition the un-completed granules; each gets
-  // a tracking successor piece on its conflict queue.
-  for (Descriptor* L : cur.live) {
+  // a tracking successor piece on its conflict queue. Index iteration over a
+  // snapshot length: make_desc appends to succ.live, never to cur.live.
+  const std::size_t n_live = cur.live.size();
+  for (std::size_t i = 0; i < n_live; ++i) {
+    Descriptor* L = cur.live[i];
     if (L->state != DescState::kWaiting && L->state != DescState::kAssigned) continue;
     Descriptor& piece = make_desc(succ, L->range, Priority::kNormal);
     piece.tracks_owner = true;
@@ -769,36 +837,36 @@ bool ExecutiveCore::map_build_step(Edge& edge) {
   const EnableClause& clause = *edge.clause;
   Run& cur = run_of(edge.cur);
   Run& succ = run_of(edge.succ);
+  Workspace& ws = *ws_;
 
   // Optional successor subset: solve the enablement problem only for the
-  // first N successor granules.
-  std::optional<std::vector<GranuleId>> subset;
-  if (config_.indirect_subset > 0 && config_.indirect_subset < succ.total) {
-    std::vector<GranuleId> ids(config_.indirect_subset);
-    for (GranuleId i = 0; i < config_.indirect_subset; ++i) ids[i] = i;
-    subset = std::move(ids);
-  }
+  // first N successor granules (0 = solve everything).
+  const GranuleId subset_count =
+      (config_.indirect_subset > 0 && config_.indirect_subset < succ.total)
+          ? config_.indirect_subset
+          : 0;
 
   const bool reverse = clause.kind == MappingKind::kReverseIndirect;
   // Source domain walked by the builder: the successor granules to solve
   // (reverse direction) or every current granule (forward direction).
   const GranuleId domain =
-      reverse ? (subset ? static_cast<GranuleId>(subset->size()) : succ.total)
-              : cur.total;
+      reverse ? (subset_count > 0 ? subset_count : succ.total) : cur.total;
 
-  std::vector<GranuleId> newly;
+  ws.map_newly.clear();
   bool finished = false;
 
   if (clause.indirection.stable) {
     // Static enablement relation: reuse the cached map, paying only a
     // (vectorised) counter reset.
     CachedMap* cached = nullptr;
-    for (auto& c : map_cache_)
-      if (c->clause == &clause) cached = c.get();
+    for (CachedMap* c : map_cache_)
+      if (c->clause == &clause) cached = c;
     if (cached != nullptr) {
       ledger_.charge(MgmtOp::kMapReset, costs_, (cached->entries + 15) / 16);
-      edge.cmap = std::make_unique<CompositeGranuleMap>(cached->pristine);
-      newly = cached->initially_enabled;
+      edge.cmap = &cmap_slab_.acquire();
+      *edge.cmap = cached->pristine;  // copy-assign: recycled buffers reused
+      ws.map_newly.assign(cached->initially_enabled.begin(),
+                          cached->initially_enabled.end());
       finished = true;
     }
   }
@@ -808,15 +876,19 @@ bool ExecutiveCore::map_build_step(Edge& edge) {
     // entries), so the serial executive stays responsive to worker requests
     // while it works ahead.
     std::uint64_t added = 0;
+    std::vector<GranuleId>& out = ws.map_out;
     while (edge.build_cursor < domain && added < config_.map_build_quantum) {
       const GranuleId i = edge.build_cursor++;
+      out.clear();
       if (reverse) {
-        for (GranuleId p : clause.indirection.requires_of(i)) {
+        clause.indirection.requires_of(i, out);
+        for (GranuleId p : out) {
           edge.build_pairs.emplace_back(p, i);
           ++added;
         }
       } else {
-        for (GranuleId r : clause.indirection.enables_of(i)) {
+        clause.indirection.enables_of(i, out);
+        for (GranuleId r : out) {
           edge.build_pairs.emplace_back(i, r);
           ++added;
         }
@@ -825,19 +897,27 @@ bool ExecutiveCore::map_build_step(Edge& edge) {
     if (added > 0) ledger_.charge(MgmtOp::kMapBuildEntry, costs_, added);
     if (edge.build_cursor < domain) return false;  // more slices to go
 
+    std::optional<std::vector<GranuleId>> subset;
+    if (subset_count > 0) {
+      std::vector<GranuleId> ids(subset_count);
+      for (GranuleId i = 0; i < subset_count; ++i) ids[i] = i;
+      subset = std::move(ids);
+    }
     CompositeBuild built = CompositeGranuleMap::build_from_pairs(
         cur.total, succ.total, std::move(edge.build_pairs), subset);
-    edge.build_pairs = {};
+    edge.build_pairs.clear();
     if (clause.indirection.stable) {
-      auto entry = std::make_unique<CachedMap>();
-      entry->clause = &clause;
-      entry->pristine = built.map;
-      entry->initially_enabled = built.initially_enabled;
-      entry->entries = built.entries;
-      map_cache_.push_back(std::move(entry));
+      CachedMap& entry = cache_slab_.acquire();
+      entry.clause = &clause;
+      entry.pristine = built.map;
+      entry.initially_enabled = built.initially_enabled;
+      entry.entries = built.entries;
+      map_cache_.push_back(&entry);
     }
-    edge.cmap = std::make_unique<CompositeGranuleMap>(std::move(built.map));
-    newly = std::move(built.initially_enabled);
+    edge.cmap = &cmap_slab_.acquire();
+    *edge.cmap = std::move(built.map);
+    ws.map_newly.assign(built.initially_enabled.begin(),
+                        built.initially_enabled.end());
   }
 
   CompositeGranuleMap& m = *edge.cmap;
@@ -845,15 +925,18 @@ bool ExecutiveCore::map_build_step(Edge& edge) {
   // Replay granules the current run completed before the map existed.
   std::uint64_t updates = 0;
   for (const GranuleRange& range : cur.completed.ranges())
-    for (GranuleId g = range.lo; g < range.hi; ++g) updates += m.on_complete(g, newly);
+    for (GranuleId g = range.lo; g < range.hi; ++g)
+      updates += m.on_complete(g, ws.map_newly);
   if (updates > 0) ledger_.charge(MgmtOp::kCounterUpdate, costs_, updates);
 
   const Priority prio =
       config_.elevate_released ? Priority::kElevated : Priority::kNormal;
-  if (!newly.empty()) {
-    std::sort(newly.begin(), newly.end());
-    newly.erase(std::unique(newly.begin(), newly.end()), newly.end());
-    for (const GranuleRange& range : coalesce_sorted(newly))
+  if (!ws.map_newly.empty()) {
+    std::sort(ws.map_newly.begin(), ws.map_newly.end());
+    ws.map_newly.erase(std::unique(ws.map_newly.begin(), ws.map_newly.end()),
+                       ws.map_newly.end());
+    coalesce_sorted_into(ws.map_newly, ws.ranges);
+    for (const GranuleRange& range : ws.ranges)
       enqueue_enabled(succ, range, prio);
   }
 
@@ -864,26 +947,25 @@ bool ExecutiveCore::map_build_step(Edge& edge) {
   // elevation is bounded by the subset size: enabling the first successor
   // granules early needs only the earliest enabling granules, and carving
   // more individual descriptions than that is pure management waste.
-  if (config_.elevate_enabling && subset.has_value()) {
+  if (config_.elevate_enabling && subset_count > 0) {
     const auto& order = m.preferred_order();
-    const std::size_t limit = std::min(order.size(), subset->size());
-    extract_elevated(cur,
-                     std::vector<GranuleId>(order.begin(),
-                                            order.begin() +
-                                                static_cast<std::ptrdiff_t>(limit)));
+    const std::size_t limit =
+        std::min(order.size(), static_cast<std::size_t>(subset_count));
+    extract_elevated(cur, std::span<const GranuleId>(order.data(), limit));
   }
   return true;
 }
 
-void ExecutiveCore::extract_elevated(Run& r, const std::vector<GranuleId>& order) {
+void ExecutiveCore::extract_elevated(Run& r, std::span<const GranuleId> order) {
   if (order.empty()) return;
+  Workspace& ws = *ws_;
 
   // Locate every requested granule's hosting *waiting* descriptor via one
   // sorted snapshot (assigned/completed granules are already running or done
   // and need no elevation); a per-granule scan of the live list would be
   // quadratic in the number of fragments.
-  std::vector<Descriptor*> hosts;
-  hosts.reserve(r.live.size());
+  std::vector<Descriptor*>& hosts = ws.hosts;
+  hosts.clear();
   for (Descriptor* d : r.live)
     if (d->state == DescState::kWaiting && d->priority == Priority::kNormal)
       hosts.push_back(d);
@@ -912,8 +994,8 @@ void ExecutiveCore::extract_elevated(Run& r, const std::vector<GranuleId>& order
   // rebuild order — and with it the whole downstream schedule — depend on
   // heap layout (caught by the seeded stress harness as a sim run that was
   // not bit-reproducible).
-  std::vector<std::pair<Descriptor*, GranuleId>> grouped;
-  grouped.reserve(order.size());
+  std::vector<std::pair<Descriptor*, GranuleId>>& grouped = ws.grouped;
+  grouped.clear();
   for (GranuleId g : order) {
     if (r.completed.contains(g)) continue;
     Descriptor* host = host_of(g);
@@ -933,8 +1015,8 @@ void ExecutiveCore::extract_elevated(Run& r, const std::vector<GranuleId>& order
   // granules become individual descriptors held for elevation. These hosts
   // carry no conflict waiters (only identity edges attach those, and a run
   // has a single outgoing edge — the indirect one being materialised).
-  std::vector<std::pair<GranuleId, Descriptor*>> carved;
-  carved.reserve(grouped.size());
+  std::vector<std::pair<GranuleId, Descriptor*>>& carved = ws.carved;
+  carved.clear();
   std::size_t i = 0;
   while (i < grouped.size()) {
     Descriptor* host = grouped[i].first;
@@ -967,7 +1049,8 @@ void ExecutiveCore::extract_elevated(Run& r, const std::vector<GranuleId>& order
 
   // Enqueue the carved granules in the caller's preferred dispatch order.
   std::sort(carved.begin(), carved.end());
-  std::vector<std::uint8_t> used(carved.size(), 0);
+  std::vector<std::uint8_t>& used = ws.used;
+  used.assign(carved.size(), 0);
   for (GranuleId g : order) {
     auto it = std::lower_bound(carved.begin(), carved.end(),
                                std::make_pair(g, static_cast<Descriptor*>(nullptr)));
@@ -997,7 +1080,7 @@ void ExecutiveCore::run_serial(std::uint32_t node_index, const SerialNode& s) {
 std::vector<ExecutiveCore::RunInfo> ExecutiveCore::runs() const {
   std::vector<RunInfo> out;
   out.reserve(runs_.size());
-  for (const auto& r : runs_)
+  for (const Run* r : runs_)
     out.push_back({r->id, r->phase, r->node, r->state, r->total, r->completed_count});
   return out;
 }

@@ -18,6 +18,17 @@
 //     charges it accrues as executive busy-time;
 //   * rt::ThreadedRuntime serialises calls with a mutex and lets real
 //     std::jthread workers execute the assignments.
+//
+// Memory discipline (DESIGN.md §10): the steady-state worker protocol —
+// request_work/request_work_batch, complete/complete_batch — performs no
+// heap allocation once warm. Run/Edge/SplitTask/CachedMap/CompositeGranuleMap
+// records live on typed slabs (common/arena.hpp; dead edges and their maps
+// are recycled with their buffer capacity intact), and every hot-path
+// temporary draws on a Workspace of cleared-not-freed scratch buffers owned
+// by the core. What may still allocate: program advance at phase boundaries
+// (first-time slab chunks, run bookkeeping growth), cold map builds, and
+// diagnostics. tests/test_alloc.cpp pins the zero-allocation claim;
+// bench_t10_alloc gates allocs/granule end to end.
 #pragma once
 
 #include <algorithm>
@@ -29,8 +40,10 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "core/cost_model.hpp"
 #include "core/descriptor.hpp"
 #include "core/enablement.hpp"
@@ -65,7 +78,11 @@ struct ExecEvent {
   RunId run = kNoRun;
   PhaseId phase = kNoPhase;
   GranuleRange range{};
-  std::string text;
+  /// Borrowed label (static string or executive-owned storage), valid only
+  /// for the duration of the observer call — copy it to keep it. A view
+  /// rather than a std::string so emitting an event never allocates, whether
+  /// or not an observer is installed.
+  std::string_view text;
 };
 
 /// Outcome of a completion call, telling the driver what changed.
@@ -201,6 +218,9 @@ class ExecutiveCore {
   /// coalesced ranges (and always before a run-completion can advance the
   /// program, so dispatch-time invariants see a fully enqueued successor).
   struct DeferredEnable;
+  /// Reusable scratch buffers for the hot paths (completion batches, map
+  /// builds, elevation extraction): cleared, never freed, between calls.
+  struct Workspace;
 
   // Node processing.
   void advance_program();
@@ -228,14 +248,16 @@ class ExecutiveCore {
   Descriptor& make_desc(Run& r, GranuleRange range, Priority prio);
   void retire_desc(Descriptor& d);
   /// Completion processing for one ticket; indirect enablements accumulate
-  /// in `deferred` for a coalesced flush (complete() is a batch of one —
-  /// for a single ticket the deferred flush is observably identical to an
-  /// eager enqueue).
-  void complete_one(Ticket ticket, std::vector<DeferredEnable>& deferred,
-                    CompletionResult& res);
-  void flush_deferred(std::vector<DeferredEnable>& deferred);
+  /// in the workspace's deferred table for a coalesced flush (complete() is
+  /// a batch of one — for a single ticket the deferred flush is observably
+  /// identical to an eager enqueue).
+  void complete_one(Ticket ticket, CompletionResult& res);
+  void flush_deferred();
   void enqueue_enabled(Run& succ, GranuleRange range, Priority prio);
   void on_run_complete(Run& r);
+  /// Detach a dead edge's composite map and the edge itself back onto their
+  /// slabs (buffers keep their capacity for the next overlap edge).
+  void recycle_edge(Edge& e);
   void release_conflicts(Descriptor& d);
   void force_pending_split(Descriptor& d);
   void propagate_split(Descriptor& parent, Descriptor& piece);
@@ -243,9 +265,9 @@ class ExecutiveCore {
   /// be a prefix, suffix or interior slice). Returns the carved descriptor,
   /// detached from the queue. Successor propagation included per policy.
   Descriptor& carve(Descriptor& d, GranuleRange piece);
-  void extract_elevated(Run& r, const std::vector<GranuleId>& order);
+  void extract_elevated(Run& r, std::span<const GranuleId> order);
   void run_serial(std::uint32_t node_index, const SerialNode& s);
-  void emit(ExecEvent ev);
+  void emit(const ExecEvent& ev);
   void diagnose(std::string msg);
 
   const PhaseProgram& program_;
@@ -257,23 +279,37 @@ class ExecutiveCore {
   MgmtLedger ledger_;
   ProgramEnv env_;
 
-  std::vector<std::unique_ptr<Run>> runs_;
-  std::vector<std::unique_ptr<Edge>> edges_;
+  // Control-plane records live on typed slabs (common/arena.hpp): stable
+  // addresses, no per-record heap round-trips, and recycled records keep
+  // their internal buffer capacity. Runs and cached maps are immortal;
+  // edges, composite maps and split tasks recycle.
+  struct CachedMap;
+  Slab<Run> run_slab_;
+  Slab<Edge> edge_slab_;
+  Slab<SplitTask> split_slab_;
+  Slab<CachedMap> cache_slab_;
+  Slab<CompositeGranuleMap> cmap_slab_;
+
+  std::vector<Run*> runs_;  ///< index == RunId
 
   // Assignments by ticket.
   std::vector<Descriptor*> assignments_;
   std::vector<Ticket> free_tickets_;
 
-  // Deferred successor-splitting tasks (owned; drained in idle time).
-  std::vector<std::unique_ptr<SplitTask>> split_tasks_;
+  // Deferred successor-splitting tasks (drained in idle time; slots return
+  // to split_slab_ when retired).
+  std::vector<SplitTask*> split_tasks_;
 
   // Indirect edges whose composite maps await construction in idle time.
   std::vector<Edge*> pending_map_builds_;
 
   // Cache of composite maps for clauses whose indirection is declared
   // stable, keyed by clause identity (clauses live in program nodes).
-  struct CachedMap;
-  std::vector<std::unique_ptr<CachedMap>> map_cache_;
+  std::vector<CachedMap*> map_cache_;
+
+  // Hot-path scratch (defined in executive.cpp; one allocation at
+  // construction, buffers grow once and are reused forever after).
+  std::unique_ptr<Workspace> ws_;
 
   // Per-node early-execution state from lookahead.
   std::vector<std::uint8_t> serial_done_early_;

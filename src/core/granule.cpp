@@ -6,6 +6,13 @@ namespace pax {
 
 std::vector<GranuleRange> coalesce_sorted(const std::vector<GranuleId>& ids) {
   std::vector<GranuleRange> out;
+  coalesce_sorted_into(ids, out);
+  return out;
+}
+
+void coalesce_sorted_into(const std::vector<GranuleId>& ids,
+                          std::vector<GranuleRange>& out) {
+  out.clear();
   for (GranuleId g : ids) {
     if (!out.empty()) {
       PAX_DCHECK(g >= out.back().hi - 1 || g >= out.back().lo);
@@ -17,7 +24,6 @@ std::vector<GranuleRange> coalesce_sorted(const std::vector<GranuleId>& ids) {
     }
     out.push_back({g, g + 1});
   }
-  return out;
 }
 
 }  // namespace pax

@@ -41,4 +41,9 @@ struct Assignment {
 /// Coalesce a sorted list of granule ids into maximal contiguous ranges.
 std::vector<GranuleRange> coalesce_sorted(const std::vector<GranuleId>& ids);
 
+/// Append-into form for hot paths: coalesces into `out` (cleared first) so a
+/// caller-owned scratch vector keeps its capacity across calls.
+void coalesce_sorted_into(const std::vector<GranuleId>& ids,
+                          std::vector<GranuleRange>& out);
+
 }  // namespace pax

@@ -73,14 +73,23 @@ ShardedExecutive::ShardedExecutive(const PhaseProgram& program,
       nshards_(config.resolve(max_phase_granules(program))),
       depth_(config.effective_depth()),
       flush_(config.effective_flush()) {
+  // Worst-case tickets parked in deposit boxes at any instant: every worker
+  // holds at most one local queue's worth (2x batch with stealing). Reserving
+  // that up front means deposits and sweeps never grow a vector mid-run —
+  // the flush threshold bounds the *typical* box size, not the peak.
+  const std::size_t max_outstanding =
+      std::size_t{2} * config.workers * std::max(1u, config.batch);
   shards_.reserve(nshards_);
   for (std::uint32_t s = 0; s < nshards_; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->ready.reserve(depth_);
-    shard->deposits.reserve(flush_);
+    shard->deposits.reserve(std::max<std::size_t>(flush_, max_outstanding));
     shards_.push_back(std::move(shard));
   }
-  sweep_tickets_.reserve(static_cast<std::size_t>(flush_) * nshards_);
+  sweep_tickets_.reserve(
+      std::max<std::size_t>(static_cast<std::size_t>(flush_) * nshards_,
+                            max_outstanding));
+  census_locks_.reserve(nshards_);
 }
 
 void ShardedExecutive::publish_core_census() {
@@ -293,9 +302,11 @@ void ShardedExecutive::check_census() const {
   // Freeze the whole structure: every shard lock is held at once (ascending
   // order; workers only ever hold one shard lock, so this cannot deadlock).
   // Summing shard-by-shard under one lock at a time would race a concurrent
-  // take — the sum would include a buffer the census already debited.
-  std::vector<std::unique_lock<std::mutex>> frozen;
-  frozen.reserve(shards_.size());
+  // take — the sum would include a buffer the census already debited. The
+  // lock staging vector is a pre-reserved member (guarded by control_mu_)
+  // so repeated census probes perform no allocation.
+  std::vector<std::unique_lock<std::mutex>>& frozen = census_locks_;
+  PAX_DCHECK(frozen.empty());
   for (const auto& shard : shards_) frozen.emplace_back(shard->mu);
   std::int64_t ready = 0, deposits = 0;
   for (const auto& shard : shards_) {
@@ -315,6 +326,7 @@ void ShardedExecutive::check_census() const {
   PAX_CHECK_MSG(core_waiting_.load(std::memory_order_relaxed) ==
                     core_.waiting_size(),
                 "waiting-queue census drifted from the core");
+  frozen.clear();  // unlocks; capacity retained for the next probe
 }
 
 }  // namespace pax

@@ -233,8 +233,15 @@ class ShardedExecutive {
   std::atomic<bool> finished_{false};
 
   ShardStats stats_;
-  /// Sweep staging (guarded by control_mu_): collected tickets.
+  /// Sweep staging (guarded by control_mu_): collected tickets. Reserved at
+  /// construction to the worst-case outstanding-ticket count so sweeps never
+  /// reallocate.
   std::vector<Ticket> sweep_tickets_;
+  /// check_census() lock staging (guarded by control_mu_; mutable because
+  /// the probe is logically const). Reused across calls — rebuilding a
+  /// std::vector<std::unique_lock> per census froze the whole structure
+  /// *and* paid a heap round-trip for the privilege.
+  mutable std::vector<std::unique_lock<std::mutex>> census_locks_;
 };
 
 }  // namespace pax

@@ -13,6 +13,7 @@ constexpr std::uint64_t kNoJobId = ~std::uint64_t{0};
 
 PoolRuntime::PoolRuntime(PoolConfig config)
     : config_(config),
+      heap0_(alloc_stats::totals()),
       busy_(config.workers, std::chrono::nanoseconds{0}),
       worker_wall_(config.workers, std::chrono::nanoseconds{0}) {
   PAX_CHECK_MSG(config_.workers > 0, "pool needs at least one worker");
@@ -95,6 +96,9 @@ PoolStats PoolRuntime::stats() const {
   s.steals = steals_;
   s.steal_fail_spins = steal_fail_spins_;
   s.peak_local_queue = peak_local_queue_;
+  const AllocTotals heap = alloc_stats::delta(heap0_, alloc_stats::totals());
+  s.heap_allocs = heap.allocs;
+  s.heap_bytes = heap.bytes;
   s.worker_busy = busy_;
   s.worker_wall = worker_wall_;
   return s;

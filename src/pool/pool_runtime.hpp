@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/alloc_stats.hpp"
 #include "pool/job.hpp"
 #include "pool/pool_stats.hpp"
 #include "pool/scheduler_policy.hpp"
@@ -115,6 +116,9 @@ class PoolRuntime {
   bool cancel_job(const std::shared_ptr<detail::Job>& job);
 
   PoolConfig config_;
+  /// Heap-traffic snapshot at construction (alloc_stats; zeros without the
+  /// hooks), so stats() can report the pool's allocator footprint.
+  AllocTotals heap0_;
 
   mutable std::mutex mu_;        ///< guards everything below
   std::condition_variable cv_;   ///< workers sleep; drain() waits here too

@@ -77,6 +77,10 @@ struct PoolStats {
   std::uint64_t steal_fail_spins = 0;
   /// High-water mark of local run-queue occupancy across completed jobs.
   std::uint64_t peak_local_queue = 0;
+  /// Process-wide heap traffic since pool construction (all threads),
+  /// measured when the binary links the alloc_stats hooks — zero otherwise.
+  std::uint64_t heap_allocs = 0;
+  std::uint64_t heap_bytes = 0;
   std::vector<std::chrono::nanoseconds> worker_busy;
   std::vector<std::chrono::nanoseconds> worker_wall;  ///< in-worker_main span
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/alloc_stats.hpp"
 #include "common/check.hpp"
 
 namespace pax::rt {
@@ -167,6 +168,7 @@ RtResult ThreadedRuntime::run() {
   ran_ = true;
 
   const auto wall0 = std::chrono::steady_clock::now();
+  const AllocTotals heap0 = alloc_stats::totals();
   exec_.start();
   {
     std::vector<std::jthread> workers;
@@ -199,6 +201,9 @@ RtResult ThreadedRuntime::run() {
   res.steals = steals_;
   res.steal_fail_spins = steal_fail_spins_;
   res.peak_local_queue = dispatcher_.peak_occupancy();
+  const AllocTotals heap1 = alloc_stats::delta(heap0, alloc_stats::totals());
+  res.heap_allocs = heap1.allocs;
+  res.heap_bytes = heap1.bytes;
   res.ledger = exec_.core_unsynchronized().ledger();
   res.diagnostics = exec_.core_unsynchronized().diagnostics();
   return res;

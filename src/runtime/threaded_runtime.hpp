@@ -105,6 +105,11 @@ struct RtResult {
   std::uint64_t steal_fail_spins = 0;
   /// High-water mark of local run-queue occupancy across workers.
   std::uint64_t peak_local_queue = 0;
+  /// Process-wide heap traffic during run() (all threads), measured when the
+  /// binary links the alloc_stats hooks (common/alloc_stats.hpp) — zero
+  /// otherwise. Divided by granules it is the t10 allocs/granule metric.
+  std::uint64_t heap_allocs = 0;
+  std::uint64_t heap_bytes = 0;
   pax::MgmtLedger ledger;
   std::vector<std::string> diagnostics;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/alloc_stats.hpp"
 #include "common/check.hpp"
 
 namespace pax::sim {
@@ -265,6 +266,7 @@ void Machine::handle_task_done(const Event& e) {
 }
 
 SimResult Machine::run() {
+  const AllocTotals heap0 = alloc_stats::thread_totals();
   enqueue_job({JobKind::kStart, 0, kNoTicket});
   for (WorkerId w = 0; w < config_.workers; ++w) park(w);
   pump_executive();
@@ -289,6 +291,10 @@ SimResult Machine::run() {
   PAX_CHECK_MSG(core_.finished(), "simulation deadlocked before program end");
   PAX_CHECK_MSG(!core_.work_available(), "work left in queue at program end");
   result_.makespan = now_;
+  const AllocTotals heap =
+      alloc_stats::delta(heap0, alloc_stats::thread_totals());
+  result_.heap_allocs = heap.allocs;
+  result_.heap_bytes = heap.bytes;
   result_.ledger = core_.ledger();
   result_.diagnostics = core_.diagnostics();
   return std::move(result_);

@@ -66,6 +66,12 @@ class SimResult {
   /// worries about when successor splitting sits on the request path.
   Accumulator request_latency;
 
+  /// Heap traffic of the simulation run (alloc_stats hooks; zero when the
+  /// binary is not instrumented). The simulator is single-threaded, so this
+  /// is the executive control plane's own allocator footprint.
+  std::uint64_t heap_allocs = 0;
+  std::uint64_t heap_bytes = 0;
+
   std::vector<RunRecord> runs;
   std::vector<Interval> compute_intervals;  ///< empty if recording disabled
   pax::MgmtLedger ledger;

@@ -287,9 +287,10 @@ TEST(RangeSet, ClearResetsCoverage) {
 
 TEST(CompositeMap, ReverseAllOfSemantics) {
   // Successor r needs {r, r+1 mod 4}.
-  auto built = CompositeGranuleMap::build_reverse(4, 4, [](GranuleId r) {
-    return std::vector<GranuleId>{r, (r + 1) % 4};
-  });
+  auto built = CompositeGranuleMap::build_reverse(
+      4, 4, [](GranuleId r, std::vector<GranuleId>& out) {
+        out.insert(out.end(), {r, (r + 1) % 4});
+      });
   EXPECT_EQ(built.entries, 8u);
   EXPECT_TRUE(built.initially_enabled.empty());
   CompositeGranuleMap& m = built.map;
@@ -314,9 +315,10 @@ TEST(CompositeMap, ReverseAllOfSemantics) {
 
 TEST(CompositeMap, ForwardUnfedSuccessorsInitiallyEnabled) {
   // Current granule p feeds successor 2p; odd successors are unfed.
-  auto built = CompositeGranuleMap::build_forward(4, 8, [](GranuleId p) {
-    return std::vector<GranuleId>{2 * p};
-  });
+  auto built = CompositeGranuleMap::build_forward(
+      4, 8, [](GranuleId p, std::vector<GranuleId>& out) {
+        out.push_back(2 * p);
+      });
   EXPECT_EQ(built.initially_enabled, (std::vector<GranuleId>{1, 3, 5, 7}));
   std::vector<GranuleId> newly;
   built.map.on_complete(3, newly);
@@ -325,9 +327,10 @@ TEST(CompositeMap, ForwardUnfedSuccessorsInitiallyEnabled) {
 
 TEST(CompositeMap, DuplicateRequirementsCollapse) {
   // Successor 0 lists granule 5 three times: one completion satisfies all.
-  auto built = CompositeGranuleMap::build_reverse(8, 1, [](GranuleId) {
-    return std::vector<GranuleId>{5, 5, 5};
-  });
+  auto built = CompositeGranuleMap::build_reverse(
+      8, 1, [](GranuleId, std::vector<GranuleId>& out) {
+        out.insert(out.end(), {5, 5, 5});
+      });
   EXPECT_EQ(built.entries, 1u);
   std::vector<GranuleId> newly;
   built.map.on_complete(5, newly);
@@ -336,7 +339,7 @@ TEST(CompositeMap, DuplicateRequirementsCollapse) {
 
 TEST(CompositeMap, SubsetLeavesOthersUntracked) {
   auto built = CompositeGranuleMap::build_reverse(
-      8, 8, [](GranuleId r) { return std::vector<GranuleId>{r}; },
+      8, 8, [](GranuleId r, std::vector<GranuleId>& out) { out.push_back(r); },
       std::vector<GranuleId>{0, 1, 2});
   EXPECT_EQ(built.map.tracked_successors().size(), 3u);
   EXPECT_EQ(built.map.untracked_successors().size(), 5u);
@@ -350,9 +353,14 @@ TEST(CompositeMap, SubsetLeavesOthersUntracked) {
 
 TEST(CompositeMap, PreferredOrderGroupsByEarliestSuccessor) {
   // Successor 0 needs {6, 7}; successor 1 needs {2}.
-  auto built = CompositeGranuleMap::build_reverse(8, 2, [](GranuleId r) {
-    return r == 0 ? std::vector<GranuleId>{6, 7} : std::vector<GranuleId>{2};
-  });
+  auto built = CompositeGranuleMap::build_reverse(
+      8, 2, [](GranuleId r, std::vector<GranuleId>& out) {
+        if (r == 0) {
+          out.insert(out.end(), {6, 7});
+        } else {
+          out.push_back(2);
+        }
+      });
   const auto& order = built.map.preferred_order();
   ASSERT_EQ(order.size(), 3u);
   // Granules enabling successor 0 come first (6 then 7), then 2.
@@ -362,9 +370,8 @@ TEST(CompositeMap, PreferredOrderGroupsByEarliestSuccessor) {
 }
 
 TEST(CompositeMap, OnCompleteIdempotentPerGranule) {
-  auto built = CompositeGranuleMap::build_reverse(4, 4, [](GranuleId r) {
-    return std::vector<GranuleId>{r};
-  });
+  auto built = CompositeGranuleMap::build_reverse(
+      4, 4, [](GranuleId r, std::vector<GranuleId>& out) { out.push_back(r); });
   std::vector<GranuleId> newly;
   EXPECT_EQ(built.map.on_complete(2, newly), 1u);
   EXPECT_EQ(built.map.on_complete(2, newly), 0u);  // status bit cleared

@@ -72,13 +72,13 @@ TEST_P(ExactlyOnce, EveryGranuleExecutesExactlyOnce) {
   PhaseId b = prog.define_phase(make_phase("b", n).reads("X").writes("Y"));
   EnableClause clause{"b", p.kind, {}};
   if (p.kind == MappingKind::kReverseIndirect) {
-    clause.indirection.requires_of = [n](GranuleId r) {
-      return std::vector<GranuleId>{r, (3 * r + 5) % n, (7 * r + 1) % n};
+    clause.indirection.requires_of = [n](GranuleId r, std::vector<GranuleId>& out) {
+      out.insert(out.end(), {r, (3 * r + 5) % n, (7 * r + 1) % n});
     };
   }
   if (p.kind == MappingKind::kForwardIndirect) {
-    clause.indirection.enables_of = [n](GranuleId g) {
-      return std::vector<GranuleId>{(5 * g + 2) % n};
+    clause.indirection.enables_of = [n](GranuleId g, std::vector<GranuleId>& out) {
+      out.push_back((5 * g + 2) % n);
     };
   }
   prog.dispatch(a, {clause});
@@ -184,7 +184,10 @@ TEST(ExecutiveOrder, ReverseIndirectWaitsForAllRequirements) {
     return std::vector<GranuleId>{r, (r + 11) % n, (r + 17) % n};
   };
   EnableClause clause{"b", MappingKind::kReverseIndirect, {}};
-  clause.indirection.requires_of = requires_of;
+  clause.indirection.requires_of = [requires_of](GranuleId r,
+                                                 std::vector<GranuleId>& out) {
+    for (GranuleId p : requires_of(r)) out.push_back(p);
+  };
   prog.dispatch(a, {clause});
   prog.dispatch(1);
   prog.halt();
@@ -477,8 +480,8 @@ TEST(ExecutiveMapCache, StableIndirectionBuildsOnceAcrossIterations) {
   prog.define_phase(make_phase("a", 32).writes("X"));
   prog.define_phase(make_phase("b", 32).reads("X", IndexPattern::kIndirect, "M"));
   EnableClause clause{"b", MappingKind::kReverseIndirect, {}};
-  clause.indirection.requires_of = [](GranuleId r) {
-    return std::vector<GranuleId>{r};
+  clause.indirection.requires_of = [](GranuleId r, std::vector<GranuleId>& out) {
+    out.push_back(r);
   };
   clause.indirection.stable = true;
   prog.serial("init", [](ProgramEnv& env) { env.set("i", 0); }, 0, false);
@@ -508,8 +511,8 @@ TEST(ExecutiveMapCache, UnstableIndirectionRebuildsEveryRun) {
   prog.define_phase(make_phase("a", 32).writes("X"));
   prog.define_phase(make_phase("b", 32).reads("X", IndexPattern::kIndirect, "M"));
   EnableClause clause{"b", MappingKind::kReverseIndirect, {}};
-  clause.indirection.requires_of = [](GranuleId r) {
-    return std::vector<GranuleId>{r};
+  clause.indirection.requires_of = [](GranuleId r, std::vector<GranuleId>& out) {
+    out.push_back(r);
   };
   clause.indirection.stable = false;
   prog.serial("init", [](ProgramEnv& env) { env.set("i", 0); }, 0, false);
@@ -542,8 +545,8 @@ TEST(ExecutiveElevation, SubsetEnablersAreElevatedInPreferredOrder) {
   prog.define_phase(make_phase("b", n).reads("X", IndexPattern::kIndirect, "M"));
   EnableClause clause{"b", MappingKind::kReverseIndirect, {}};
   // Successor r requires exactly current granule n-1-r (reversed identity).
-  clause.indirection.requires_of = [n](GranuleId r) {
-    return std::vector<GranuleId>{n - 1 - r};
+  clause.indirection.requires_of = [n](GranuleId r, std::vector<GranuleId>& out) {
+    out.push_back(n - 1 - r);
   };
   prog.dispatch(0, {clause});
   prog.dispatch(1);
@@ -639,8 +642,9 @@ TEST(BatchedProtocol, CompleteBatchMatchesSingleCompletionOutcome) {
     PhaseId a = prog.define_phase(make_phase("a", n).writes("X"));
     PhaseId b = prog.define_phase(make_phase("b", n).reads("X").writes("Y"));
     EnableClause clause{"b", MappingKind::kReverseIndirect, {}};
-    clause.indirection.requires_of = [n](GranuleId r) {
-      return std::vector<GranuleId>{r, (3 * r + 5) % n, (7 * r + 1) % n};
+    clause.indirection.requires_of = [n](GranuleId r,
+                                         std::vector<GranuleId>& out) {
+      out.insert(out.end(), {r, (3 * r + 5) % n, (7 * r + 1) % n});
     };
     prog.dispatch(a, {clause});
     prog.dispatch(b);
@@ -696,8 +700,8 @@ TEST(BatchedProtocol, BatchCompletionCoalescesEnablementEvents) {
     EnableClause clause{"b", MappingKind::kForwardIndirect, {}};
     // Bit-reversal-flavoured scatter: adjacent current granules enable
     // non-adjacent successors, so per-ticket enqueues cannot merge.
-    clause.indirection.enables_of = [n](GranuleId g) {
-      return std::vector<GranuleId>{(g * 37) % n};
+    clause.indirection.enables_of = [n](GranuleId g, std::vector<GranuleId>& out) {
+      out.push_back((g * 37) % n);
     };
     prog.dispatch(a, {clause});
     prog.dispatch(b);

@@ -88,8 +88,8 @@ TEST(ExecutiveSmoke, ReverseIndirectOverlapCompletes) {
           .writes("B"));
   EnableClause clause{"sum", MappingKind::kReverseIndirect, {}};
   // Successor granule r requires current granules {r, (r*7+3) % n}.
-  clause.indirection.requires_of = [n](GranuleId r) {
-    return std::vector<GranuleId>{r, (r * 7 + 3) % n};
+  clause.indirection.requires_of = [n](GranuleId r, std::vector<GranuleId>& out) {
+    out.insert(out.end(), {r, (r * 7 + 3) % n});
   };
   prog.dispatch(a, {clause});
   prog.dispatch(b);

@@ -257,7 +257,9 @@ HALT
 
   Compiler compiler;
   IndirectionSpec spec;
-  spec.requires_of = [](GranuleId r) { return std::vector<GranuleId>{r}; };
+  spec.requires_of = [](GranuleId r, std::vector<GranuleId>& out) {
+    out.push_back(r);
+  };
   compiler.bind("IMAP", spec);
   CompileResult with = compile_source(src, compiler);
   EXPECT_TRUE(with.ok);

@@ -73,9 +73,12 @@ INSTANTIATE_TEST_SUITE_P(Workers, RtIdentityOrder, ::testing::Values(1, 2, 4, 8)
 
 TEST(RtReverseIndirect, AllRequirementsFinishBeforeSuccessorStarts) {
   const GranuleId n = 256;
-  IndirectionSpec ind;
-  ind.requires_of = [n](GranuleId r) {
+  auto requires_list = [n](GranuleId r) {
     return std::vector<GranuleId>{r, (r * 5 + 3) % n, (r * 11 + 7) % n};
+  };
+  IndirectionSpec ind;
+  ind.requires_of = [requires_list](GranuleId r, std::vector<GranuleId>& out) {
+    for (GranuleId p : requires_list(r)) out.push_back(p);
   };
   TwoPhaseSetup s = make_two_phase(n, MappingKind::kReverseIndirect, ind);
   HappensBeforeRecorder rec(2, n);
@@ -98,7 +101,7 @@ TEST(RtReverseIndirect, AllRequirementsFinishBeforeSuccessorStarts) {
   const RtResult res = runtime.run();
   EXPECT_EQ(res.granules_executed, 2u * n);
   for (GranuleId r = 0; r < n; ++r)
-    for (GranuleId need : ind.requires_of(r))
+    for (GranuleId need : requires_list(r))
       EXPECT_LT(rec.finish_ticket(0, need), rec.start_ticket(1, r))
           << "successor " << r << " started before requirement " << need;
 }
@@ -264,9 +267,12 @@ INSTANTIATE_TEST_SUITE_P(Batches, RtBatchedHandoff, ::testing::Values(2, 4, 16),
 
 TEST(RtBatchedHandoff, ReverseIndirectOrderHoldsUnderBatching) {
   const GranuleId n = 256;
-  IndirectionSpec ind;
-  ind.requires_of = [n](GranuleId r) {
+  auto requires_list = [n](GranuleId r) {
     return std::vector<GranuleId>{r, (r * 5 + 3) % n, (r * 11 + 7) % n};
+  };
+  IndirectionSpec ind;
+  ind.requires_of = [requires_list](GranuleId r, std::vector<GranuleId>& out) {
+    for (GranuleId p : requires_list(r)) out.push_back(p);
   };
   TwoPhaseSetup s = make_two_phase(n, MappingKind::kReverseIndirect, ind);
   HappensBeforeRecorder rec(2, n);
@@ -290,7 +296,7 @@ TEST(RtBatchedHandoff, ReverseIndirectOrderHoldsUnderBatching) {
   const RtResult res = runtime.run();
   EXPECT_EQ(res.granules_executed, 2u * n);
   for (GranuleId r = 0; r < n; ++r)
-    for (GranuleId need : ind.requires_of(r))
+    for (GranuleId need : requires_list(r))
       EXPECT_LT(rec.finish_ticket(0, need), rec.start_ticket(1, r))
           << "successor " << r << " started before requirement " << need;
 }

@@ -404,12 +404,14 @@ TEST(MachineShards, SingleShardTracesAreBitForBitStable) {
     cl.successor_name = "b";
     cl.kind = c.kind;
     if (c.kind == MappingKind::kReverseIndirect)
-      cl.indirection.requires_of = [n = c.n](GranuleId r) {
-        return std::vector<GranuleId>{r % n, (r * 7 + 3) % n};
+      cl.indirection.requires_of = [n = c.n](GranuleId r,
+                                             std::vector<GranuleId>& out) {
+        out.insert(out.end(), {r % n, (r * 7 + 3) % n});
       };
     if (c.kind == MappingKind::kForwardIndirect)
-      cl.indirection.enables_of = [n = c.n](GranuleId p) {
-        return std::vector<GranuleId>{(p * 5 + 1) % n};
+      cl.indirection.enables_of = [n = c.n](GranuleId p,
+                                            std::vector<GranuleId>& out) {
+        out.push_back((p * 5 + 1) % n);
       };
     prog.dispatch(0, {cl});
     prog.dispatch(1);

@@ -101,28 +101,26 @@ inline GeneratedProgram generate_program(std::uint64_t seed) {
           clause.kind = MappingKind::kReverseIndirect;
           const std::uint32_t fan = static_cast<std::uint32_t>(pick(1, 5));
           clause.indirection.stable = pick(0, 1) == 1;
-          clause.indirection.requires_of = [cur_n, fan, seed](GranuleId r) {
-            std::vector<GranuleId> need;
-            need.reserve(fan);
-            std::uint64_t s = seed ^ (0x51ED2701ULL + (std::uint64_t{r} << 17));
-            for (std::uint32_t j = 0; j < fan; ++j)
-              need.push_back(static_cast<GranuleId>(splitmix64(s) % cur_n));
-            return need;
-          };
+          clause.indirection.requires_of =
+              [cur_n, fan, seed](GranuleId r, std::vector<GranuleId>& need) {
+                std::uint64_t s =
+                    seed ^ (0x51ED2701ULL + (std::uint64_t{r} << 17));
+                for (std::uint32_t j = 0; j < fan; ++j)
+                  need.push_back(static_cast<GranuleId>(splitmix64(s) % cur_n));
+              };
           break;
         }
         default: {
           clause.kind = MappingKind::kForwardIndirect;
           const std::uint32_t fan = static_cast<std::uint32_t>(pick(1, 4));
           clause.indirection.stable = pick(0, 1) == 1;
-          clause.indirection.enables_of = [succ_n, fan, seed](GranuleId p) {
-            std::vector<GranuleId> en;
-            en.reserve(fan);
-            std::uint64_t s = seed ^ (0x2F0A1993ULL + (std::uint64_t{p} << 13));
-            for (std::uint32_t j = 0; j < fan; ++j)
-              en.push_back(static_cast<GranuleId>(splitmix64(s) % succ_n));
-            return en;
-          };
+          clause.indirection.enables_of =
+              [succ_n, fan, seed](GranuleId p, std::vector<GranuleId>& en) {
+                std::uint64_t s =
+                    seed ^ (0x2F0A1993ULL + (std::uint64_t{p} << 13));
+                for (std::uint32_t j = 0; j < fan; ++j)
+                  en.push_back(static_cast<GranuleId>(splitmix64(s) % succ_n));
+              };
           break;
         }
       }
