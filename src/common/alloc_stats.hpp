@@ -34,6 +34,9 @@ struct AllocTotals {
 
 namespace alloc_stats {
 
+// All counters relaxed: they are pure sums read for reporting — no reader
+// infers anything about *other* memory from a counter value, so no ordering
+// is bought and none is paid for (these sit on the global new/delete path).
 inline std::atomic<std::uint64_t> g_allocs{0};
 inline std::atomic<std::uint64_t> g_frees{0};
 inline std::atomic<std::uint64_t> g_bytes{0};

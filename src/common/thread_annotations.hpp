@@ -1,0 +1,80 @@
+// thread_annotations.hpp — Clang Thread Safety Analysis capability macros.
+//
+// The concurrency discipline of this codebase (DESIGN.md §11) is encoded in
+// the type system: every mutex is a declared *capability*, every field it
+// protects is PAX_GUARDED_BY it, and every function that assumes a lock is
+// held says so with PAX_REQUIRES. Under Clang the annotations turn the
+// informal "the executive protects the census" invariant into a compile-time
+// proof obligation checked by `-Wthread-safety -Werror` (the CI `lint` job);
+// under GCC and MSVC they expand to nothing, so the annotated tree builds
+// everywhere the unannotated tree did.
+//
+// Conventions:
+//   * Annotate the *declaration*, after the declarator:
+//       std::vector<Ticket> deposits PAX_GUARDED_BY(mu);
+//       void sweep_locked(...) PAX_REQUIRES(control_mu_);
+//   * Lock scopes use the annotated guards in common/lock_rank.hpp
+//     (RankedLock / RankedUniqueLock), NOT std::scoped_lock — libstdc++'s
+//     guards carry no annotations, so the analysis cannot see through them.
+//   * PAX_NO_THREAD_SAFETY_ANALYSIS is a last resort and every use requires
+//     an adjacent `// SAFETY:` comment stating the out-of-band reason the
+//     access is race-free (quiescence, constancy after construction, ...).
+#pragma once
+
+// Clang >= 3.5 spells these as [[clang::...]]-style GNU attributes guarded by
+// __has_attribute; anything else gets no-ops. The capability variants
+// (`capability`, `acquire_capability`, ...) subsume the older lockable/
+// exclusive_lock_function spellings on every Clang new enough to matter.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PAX_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PAX_THREAD_ANNOTATION
+#define PAX_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a capability (e.g. "mutex"). Required on any type
+/// used as the argument of the annotations below.
+#define PAX_CAPABILITY(x) PAX_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction (our RankedLock / RankedUniqueLock).
+#define PAX_SCOPED_CAPABILITY PAX_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data members: reading or writing requires holding the named capability.
+#define PAX_GUARDED_BY(x) PAX_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer members: dereferencing the pointee requires the capability (the
+/// pointer itself is not guarded).
+#define PAX_PT_GUARDED_BY(x) PAX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Functions: the caller must hold the capability (and still does on return).
+#define PAX_REQUIRES(...) \
+  PAX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Functions: the caller must NOT hold the capability (deadlock prevention
+/// on self-locking entry points).
+#define PAX_EXCLUDES(...) PAX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Functions that acquire / release a capability (mutex lock/unlock methods
+/// and the ctor/dtor of scoped capabilities).
+#define PAX_ACQUIRE(...) \
+  PAX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PAX_RELEASE(...) \
+  PAX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PAX_TRY_ACQUIRE(...) \
+  PAX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Functions returning a reference to a guarded field.
+#define PAX_RETURN_CAPABILITY(x) PAX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Assert (to the analysis, not at runtime) that the capability is held —
+/// for callbacks invoked only from inside a locked region.
+#define PAX_ASSERT_CAPABILITY(x) \
+  PAX_THREAD_ANNOTATION(assert_capability(x))
+
+/// Opt a function out of the analysis entirely. Requires a `// SAFETY:`
+/// comment at the use site.
+#define PAX_NO_THREAD_SAFETY_ANALYSIS \
+  PAX_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -18,6 +18,12 @@
 //     charges it accrues as executive busy-time;
 //   * rt::ThreadedRuntime serialises calls with a mutex and lets real
 //     std::jthread workers execute the assignments.
+// Under the sharded executive the serialising mutex is the control mutex,
+// and the core member is PAX_GUARDED_BY it (DESIGN.md §11) — the
+// thread-safety analysis rejects any new call path that reaches the core
+// without it. The one deliberate hole, core_unsynchronized(), is for
+// pre-start configuration and post-quiescence reads only. The atomic grain
+// limit below is the single field workers touch without the lock.
 //
 // Memory discipline (DESIGN.md §10): the steady-state worker protocol —
 // request_work/request_work_batch, complete/complete_batch — performs no

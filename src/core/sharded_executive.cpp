@@ -68,11 +68,11 @@ std::uint32_t ShardConfig::resolve(GranuleId max_granules) const {
 ShardedExecutive::ShardedExecutive(const PhaseProgram& program,
                                    ExecConfig exec_config, CostModel costs,
                                    ShardConfig config)
-    : core_(program, exec_config, costs),
-      costs_(costs),
+    : costs_(costs),
       nshards_(config.resolve(max_phase_granules(program))),
       depth_(config.effective_depth()),
-      flush_(config.effective_flush()) {
+      flush_(config.effective_flush()),
+      core_(program, exec_config, costs) {
   // Worst-case tickets parked in deposit boxes at any instant: every worker
   // holds at most one local queue's worth (2x batch with stealing). Reserving
   // that up front means deposits and sweeps never grow a vector mid-run —
@@ -89,23 +89,30 @@ ShardedExecutive::ShardedExecutive(const PhaseProgram& program,
   sweep_tickets_.reserve(
       std::max<std::size_t>(static_cast<std::size_t>(flush_) * nshards_,
                             max_outstanding));
-  census_locks_.reserve(nshards_);
 }
 
 void ShardedExecutive::publish_core_census() {
+  // Relaxed stores: these feed the heuristic probes; the sleep predicates
+  // that must not miss a flip re-read them under the sleeper's mutex after
+  // wake_all() passes through it.
   core_waiting_.store(core_.waiting_size(), std::memory_order_relaxed);
   core_elevated_.store(core_.waiting_elevated_size(), std::memory_order_relaxed);
   core_idle_.store(core_.has_idle_work(), std::memory_order_relaxed);
+  // Release: pairs with the acquire load in finished() — post-run readers of
+  // the core (ledger, diagnostics) synchronize on this flag alone.
   if (core_.finished()) finished_.store(true, std::memory_order_release);
 }
 
 void ShardedExecutive::start() {
   {
     ControlTimer timer(stats_);
-    std::scoped_lock lock(control_mu_);
+    RankedLock lock(control_mu_);
     core_.start();
     publish_core_census();
   }
+  // Release: pairs with the acquire load in acquire() — a worker that sees
+  // started_ may enter the shard/control protocol and must see the
+  // constructor-reserved shard buffers and the started core behind it.
   started_.store(true, std::memory_order_release);
 }
 
@@ -127,14 +134,14 @@ std::size_t ShardedExecutive::take_from(Shard& s, std::size_t max_n,
 void ShardedExecutive::sweep_locked(ShardAcquire& res, WorkerId w,
                                     std::size_t max_n,
                                     std::vector<Assignment>& out) {
-  // Collect the deposit boxes (shard locks nest inside the control mutex;
-  // the reverse order never happens, so no deadlock). The occupancy hint
-  // skips empty shards without locking them — a deposit racing past the
-  // hint read is simply retired by the next sweep.
+  // Collect the deposit boxes (shard locks nest inside the control mutex —
+  // rank control < shard, enforced by the lock-rank validator in debug
+  // builds). The occupancy hint skips empty shards without locking them — a
+  // deposit racing past the hint read is simply retired by the next sweep.
   sweep_tickets_.clear();
   for (auto& shard : shards_) {
     if (shard->deposit_n.load(std::memory_order_relaxed) == 0) continue;
-    std::scoped_lock sl(shard->mu);
+    RankedLock sl(shard->mu);
     sweep_tickets_.insert(sweep_tickets_.end(), shard->deposits.begin(),
                           shard->deposits.end());
     shard->deposits.clear();
@@ -162,7 +169,7 @@ void ShardedExecutive::sweep_locked(ShardAcquire& res, WorkerId w,
   std::uint64_t touched = 0;
   for (std::uint32_t i = 0; core_.work_available() && i < nshards_; ++i) {
     Shard& s = *shards_[(home_of(w) + 1 + i) % nshards_];
-    std::scoped_lock sl(s.mu);
+    RankedLock sl(s.mu);
     const std::size_t room = depth_ - std::min<std::size_t>(depth_, s.ready.size());
     if (room == 0) continue;
     // Carve straight into the buffer: appended entries extend the handout
@@ -187,6 +194,7 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
                                        std::vector<Ticket>& done,
                                        std::vector<Assignment>& out) {
   ShardAcquire res;
+  // Acquire: pairs with the release store in start() (see there).
   if (!started_.load(std::memory_order_acquire)) {
     PAX_CHECK_MSG(done.empty(), "finished tickets before start");
     return res;
@@ -196,7 +204,7 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
     // Single shard: the PR 3 protocol verbatim — one control section that
     // retires the worker's batch and refills it.
     ControlTimer timer(stats_);
-    std::scoped_lock lock(control_mu_);
+    RankedLock lock(control_mu_);
     if (!done.empty()) {
       const CompletionResult cr = core_.complete_batch(done);
       done.clear();
@@ -211,7 +219,7 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
 
   Shard& home = *shards_[home_of(w)];
   if (!done.empty()) {
-    std::scoped_lock sl(home.mu);
+    RankedLock sl(home.mu);
     home.deposits.insert(home.deposits.end(), done.begin(), done.end());
     home.deposit_n.store(static_cast<std::uint32_t>(home.deposits.size()),
                          std::memory_order_relaxed);
@@ -223,7 +231,9 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
 
   // Straight to a sweep when deposits crossed the flush threshold (bounds
   // enablement latency) or an elevated release is pending in the core
-  // (buffered normal work must not outrank it).
+  // (buffered normal work must not outrank it). Relaxed loads: both are
+  // wake-signal heuristics — a stale read delays one sweep by one acquire,
+  // it cannot lose work (the census is re-derived under the control mutex).
   const bool flush_due =
       deposited_.load(std::memory_order_relaxed) >=
       static_cast<std::int64_t>(flush_);
@@ -232,7 +242,7 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
 
   if (max_n > 0 && !flush_due && !elevated_pending) {
     if (home.ready_n.load(std::memory_order_relaxed) > 0) {
-      std::scoped_lock sl(home.mu);
+      RankedLock sl(home.mu);
       res.taken = take_from(home, max_n, out);
     }
     if (res.taken > 0) {
@@ -242,7 +252,7 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
     for (std::uint32_t i = 1; i < nshards_; ++i) {
       Shard& sib = *shards_[(home_of(w) + i) % nshards_];
       if (sib.ready_n.load(std::memory_order_relaxed) == 0) continue;
-      std::scoped_lock sl(sib.mu);
+      RankedLock sl(sib.mu);
       // Steal-style bite: at most half the sibling's buffer (rounded up).
       // Draining a whole sibling in one take would concentrate the tail in
       // one worker's local queue — the fat-tail pattern rundown stealing
@@ -263,7 +273,7 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
   if (deposited_.load(std::memory_order_relaxed) > 0 ||
       core_waiting_.load(std::memory_order_relaxed) > 0) {
     ControlTimer timer(stats_);
-    std::scoped_lock lock(control_mu_);
+    RankedLock lock(control_mu_);
     sweep_locked(res, w, max_n, out);
   }
   return res;
@@ -271,7 +281,7 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
 
 bool ShardedExecutive::idle_work() {
   ControlTimer timer(stats_);
-  std::scoped_lock lock(control_mu_);
+  RankedLock lock(control_mu_);
   const bool did = core_.idle_work();
   publish_core_census();
   return did;
@@ -280,7 +290,7 @@ bool ShardedExecutive::idle_work() {
 void ShardedExecutive::submit_conflicting(RunId blocker, PhaseId phase,
                                           GranuleRange range) {
   ControlTimer timer(stats_);
-  std::scoped_lock lock(control_mu_);
+  RankedLock lock(control_mu_);
   core_.submit_conflicting(blocker, phase, range);
   publish_core_census();
 }
@@ -297,17 +307,17 @@ ShardStatsView ShardedExecutive::stats() const {
   return v;
 }
 
-void ShardedExecutive::check_census() const {
-  std::scoped_lock lock(control_mu_);
-  // Freeze the whole structure: every shard lock is held at once (ascending
-  // order; workers only ever hold one shard lock, so this cannot deadlock).
-  // Summing shard-by-shard under one lock at a time would race a concurrent
-  // take — the sum would include a buffer the census already debited. The
-  // lock staging vector is a pre-reserved member (guarded by control_mu_)
-  // so repeated census probes perform no allocation.
-  std::vector<std::unique_lock<std::mutex>>& frozen = census_locks_;
-  PAX_DCHECK(frozen.empty());
-  for (const auto& shard : shards_) frozen.emplace_back(shard->mu);
+// SAFETY: opted out of the static analysis because it freezes a *dynamic*
+// set of shard locks in a loop, which TSA cannot track. The discipline is
+// manual and checked dynamically instead: the control mutex is taken first
+// (rank control), then every shard lock in ascending index order — a total
+// order, declared to the rank validator with kSameRank — and all comparisons
+// happen with the full set held, so the sums are exact at one instant.
+// Workers only ever hold one shard lock at a time, so the batch acquisition
+// cannot deadlock against them.
+void ShardedExecutive::check_census() const PAX_NO_THREAD_SAFETY_ANALYSIS {
+  RankedLock lock(control_mu_);
+  for (const auto& shard : shards_) shard->mu.lock(kSameRank);
   std::int64_t ready = 0, deposits = 0;
   for (const auto& shard : shards_) {
     ready += static_cast<std::int64_t>(shard->ready.size());
@@ -326,7 +336,7 @@ void ShardedExecutive::check_census() const {
   PAX_CHECK_MSG(core_waiting_.load(std::memory_order_relaxed) ==
                     core_.waiting_size(),
                 "waiting-queue census drifted from the core");
-  frozen.clear();  // unlocks; capacity retained for the next probe
+  for (const auto& shard : shards_) shard->mu.unlock();
 }
 
 }  // namespace pax

@@ -39,15 +39,23 @@
 // control sweep over buffered normal work while an elevated release is
 // pending — with one worker this preserves the strict release-outranks-
 // queued-work ordering of the unsharded executive.
+//
+// Concurrency discipline (DESIGN.md §11): the wrapped core and the sweep
+// staging are PAX_GUARDED_BY the control mutex (rank: control, the outermost
+// lock of the system); each Shard's buffer and deposit box are guarded by
+// that shard's own mutex (rank: shard, which nests inside control during
+// sweeps — never the reverse). The census atomics are the only state read
+// outside both, and each one documents the synchronization it relies on.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/lock_rank.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/executive.hpp"
 
 namespace pax {
@@ -100,6 +108,8 @@ struct ShardAcquire {
 
 /// Lock/traffic counters. Written under the control or shard locks with
 /// relaxed atomics so stats()/JobHandle snapshots may read them any time.
+/// Relaxed everywhere: the counters are reporting data, never used to order
+/// anything — a snapshot mid-run is allowed to be a moment stale.
 struct ShardStats {
   std::atomic<std::uint64_t> control_acquisitions{0};  ///< control-mutex sections
   std::atomic<std::uint64_t> control_hold_ns{0};       ///< time inside them
@@ -134,7 +144,7 @@ class ShardedExecutive {
 
   /// Begin program execution (control section). Until start() returns,
   /// acquire() yields nothing and runnable() is false.
-  void start();
+  void start() PAX_EXCLUDES(control_mu_);
 
   /// The worker protocol, all locking internal:
   ///   1. deposit `done` (cleared on return) into the home shard;
@@ -146,31 +156,56 @@ class ShardedExecutive {
   ///      caller, re-scatter the shard buffers.
   /// Returns what happened; `out` is appended in handout order.
   ShardAcquire acquire(WorkerId w, std::size_t max_n, std::vector<Ticket>& done,
-                       std::vector<Assignment>& out);
+                       std::vector<Assignment>& out) PAX_EXCLUDES(control_mu_);
 
   /// Executive idle-time work (control section). True if something was done.
-  bool idle_work();
+  bool idle_work() PAX_EXCLUDES(control_mu_);
 
   /// Thread-safe conflicting-computation submission (control section).
-  void submit_conflicting(RunId blocker, PhaseId phase, GranuleRange range);
+  void submit_conflicting(RunId blocker, PhaseId phase, GranuleRange range)
+      PAX_EXCLUDES(control_mu_);
 
   /// Forwarded to the core's atomic grain limit — no lock required (that is
   /// the point of the grain-limit fix: the steal-rate signal publishes it
   /// from outside every control section).
-  void set_grain_limit(GranuleId g) { core_.set_grain_limit(g); }
+  // SAFETY: grain_limit_ is a relaxed atomic inside the core, designed to be
+  // published with no lock held; this call touches nothing else of core_.
+  void set_grain_limit(GranuleId g) PAX_NO_THREAD_SAFETY_ANALYSIS {
+    core_.set_grain_limit(g);
+  }
+
+  /// The core's configured (pre-adaptive-limit) grain, for the dispatch
+  /// layer's hot path.
+  // SAFETY: reads ExecConfig::grain, which is set at construction and never
+  // written again — constant after construction needs no lock.
+  [[nodiscard]] GranuleId configured_grain() const
+      PAX_NO_THREAD_SAFETY_ANALYSIS {
+    return core_.configured_grain();
+  }
 
   // --- lock-free census probes ---------------------------------------------
+  // Each probe documents what orders it. The common pattern: a census flip
+  // happens under a shard/control lock, and every flip a sleeper could miss
+  // is followed by a wake that passes through the sleeper's mutex — the
+  // mutexes carry the ordering, so the probes themselves can stay relaxed.
   [[nodiscard]] bool finished() const {
+    // Acquire: pairs with the release store in publish_core_census() so a
+    // thread that sees `finished == true` also sees the core's final state
+    // (ledger, diagnostics) when it reads them post-run without the lock.
     return finished_.load(std::memory_order_acquire);
   }
   /// Computable work is reachable *right now*: buffered in a shard, waiting
   /// in the core, or unlockable by sweeping deposited tickets.
   [[nodiscard]] bool work_available() const {
+    // Relaxed: a heuristic wake/probe signal. False negatives are closed by
+    // the wake-through-mutex discipline; false positives cost one acquire()
+    // that comes back empty.
     return ready_.load(std::memory_order_relaxed) > 0 ||
            core_waiting_.load(std::memory_order_relaxed) > 0 ||
            deposited_.load(std::memory_order_relaxed) > 0;
   }
   [[nodiscard]] bool has_idle_work() const {
+    // Relaxed: same wake-signal contract as work_available().
     return core_idle_.load(std::memory_order_relaxed);
   }
   /// Cross-job probe (pool rotation pick): can a worker make progress here?
@@ -184,46 +219,64 @@ class ShardedExecutive {
   /// reads. NOT synchronized: callers touch it only while the executive is
   /// quiescent (before start / after the program finished and every worker
   /// joined), exactly like the pre-shard runtimes' direct member access.
-  [[nodiscard]] ExecutiveCore& core_unsynchronized() { return core_; }
-  [[nodiscard]] const ExecutiveCore& core_unsynchronized() const { return core_; }
+  // SAFETY: quiescence contract above — callers hold no lock because no
+  // other thread can be inside the executive at the allowed call times.
+  [[nodiscard]] ExecutiveCore& core_unsynchronized()
+      PAX_NO_THREAD_SAFETY_ANALYSIS {
+    return core_;
+  }
+  [[nodiscard]] const ExecutiveCore& core_unsynchronized() const
+      PAX_NO_THREAD_SAFETY_ANALYSIS {
+    return core_;
+  }
 
   /// Test hook: lock everything and check the census against the actual
   /// buffer/deposit contents. Aborts (PAX_CHECK) on drift. Quiescence not
   /// required — the locks make the comparison exact at one instant.
-  void check_census() const;
+  void check_census() const PAX_EXCLUDES(control_mu_);
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<Assignment> ready;   ///< pre-carved, in handout order
-    std::vector<Ticket> deposits;    ///< finished tickets awaiting a sweep
+    /// Rank: shard — nests inside the control mutex (sweeps, check_census);
+    /// a worker outside a sweep holds at most one shard lock at a time.
+    mutable RankedMutex<LockRank::kShard> mu;
+    std::vector<Assignment> ready PAX_GUARDED_BY(mu);   ///< handout order
+    std::vector<Ticket> deposits PAX_GUARDED_BY(mu);    ///< awaiting a sweep
     /// Lock-free occupancy hints so probes and sweeps skip empty shards
-    /// without locking them (a miss is retried by the next sweep).
+    /// without locking them. Relaxed: a hint read races its buffer by
+    /// design — a miss is retried by the next sweep, and every read that
+    /// acts on the buffer re-checks under mu.
     std::atomic<std::uint32_t> ready_n{0};
     std::atomic<std::uint32_t> deposit_n{0};
   };
 
   [[nodiscard]] std::uint32_t home_of(WorkerId w) const { return w % nshards_; }
   /// Take up to max_n from one shard's buffer (front first: handout order).
-  std::size_t take_from(Shard& s, std::size_t max_n, std::vector<Assignment>& out);
-  /// Control sweep body; caller holds control_mu_.
+  std::size_t take_from(Shard& s, std::size_t max_n, std::vector<Assignment>& out)
+      PAX_REQUIRES(s.mu);
+  /// Control sweep body; caller holds the control mutex.
   void sweep_locked(ShardAcquire& res, WorkerId w, std::size_t max_n,
-                    std::vector<Assignment>& out);
-  /// Refresh the core-side census after a control section (caller holds
-  /// control_mu_).
-  void publish_core_census();
+                    std::vector<Assignment>& out) PAX_REQUIRES(control_mu_);
+  /// Refresh the core-side census after a control section.
+  void publish_core_census() PAX_REQUIRES(control_mu_);
 
-  ExecutiveCore core_;
   CostModel costs_;
   std::uint32_t nshards_;
   std::uint32_t depth_;
   std::uint32_t flush_;
 
-  mutable std::mutex control_mu_;
+  /// Rank: control — the outermost lock of the whole system. Guards the
+  /// single-threaded core and the sweep staging; shard locks nest inside it.
+  mutable RankedMutex<LockRank::kControl> control_mu_;
+  /// The wrapped single-threaded executive. Every entry goes through the
+  /// control mutex except the three annotated escape hatches above (atomic
+  /// grain limit, constant config, quiescent driver access).
+  ExecutiveCore core_ PAX_GUARDED_BY(control_mu_);
   std::vector<std::unique_ptr<Shard>> shards_;
 
   // Census. ready_/deposited_ change under shard locks, the rest under the
-  // control mutex; all reads are lock-free probes.
+  // control mutex; all reads are lock-free probes (orders documented at the
+  // probe methods above).
   std::atomic<std::int64_t> ready_{0};       ///< assignments across shard buffers
   std::atomic<std::int64_t> deposited_{0};   ///< unretired deposited tickets
   std::atomic<std::uint64_t> core_waiting_{0};   ///< core waiting-queue size
@@ -233,15 +286,9 @@ class ShardedExecutive {
   std::atomic<bool> finished_{false};
 
   ShardStats stats_;
-  /// Sweep staging (guarded by control_mu_): collected tickets. Reserved at
-  /// construction to the worst-case outstanding-ticket count so sweeps never
-  /// reallocate.
-  std::vector<Ticket> sweep_tickets_;
-  /// check_census() lock staging (guarded by control_mu_; mutable because
-  /// the probe is logically const). Reused across calls — rebuilding a
-  /// std::vector<std::unique_lock> per census froze the whole structure
-  /// *and* paid a heap round-trip for the privilege.
-  mutable std::vector<std::unique_lock<std::mutex>> census_locks_;
+  /// Sweep staging: collected tickets. Reserved at construction to the
+  /// worst-case outstanding-ticket count so sweeps never reallocate.
+  std::vector<Ticket> sweep_tickets_ PAX_GUARDED_BY(control_mu_);
 };
 
 }  // namespace pax

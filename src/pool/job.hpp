@@ -9,10 +9,14 @@
 // cross-job scheduling works entirely on cheap atomic probes backed by the
 // sharded executive's census.
 //
-// Lock discipline (pool-wide): a thread never holds a job mutex and the pool
-// mutex at the same time, and never holds the job mutex across executive
-// calls (the sharded executive locks internally). Probes flip while only
-// shard/control locks are held, so every path that can turn a sleeper's
+// Lock discipline (pool-wide, DESIGN.md §11): a thread never holds a job
+// mutex and the pool mutex at the same time, and never holds the job mutex
+// across executive calls (the sharded executive locks internally). The job
+// mutex ranks below the pool mutex and above every executive lock, so in
+// debug builds the rank validator aborts on a job mutex acquired under the
+// pool mutex and on any executive lock acquired under a job mutex (the two
+// ways those rules have actually been at risk). Probes flip while
+// only shard/control locks are held, so every path that can turn a sleeper's
 // predicate true passes through the relevant mutex (empty critical section)
 // before notifying — see PoolRuntime::wake_pool() and cancellation in
 // pool_runtime.cpp.
@@ -23,9 +27,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "common/check.hpp"
+#include "common/lock_rank.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/executive.hpp"
 #include "core/sharded_executive.hpp"
 #include "pool/pool_stats.hpp"
@@ -81,20 +86,30 @@ struct Job {
   ShardedExecutive exec;
 
   // --- guarded by mu (job bookkeeping only) --------------------------------
-  std::mutex mu;
-  JobStats stats;
-  std::chrono::steady_clock::time_point submitted_at;
-  std::chrono::steady_clock::time_point opened_at{};
-  std::chrono::steady_clock::time_point finished_at{};
+  /// Rank: job — held alone (never across executive calls, never under the
+  /// pool mutex; the rank validator aborts if either slips).
+  RankedMutex<LockRank::kJob> mu;
+  JobStats stats PAX_GUARDED_BY(mu);
+  /// Set once at construction, read-only afterwards — no guard needed.
+  const std::chrono::steady_clock::time_point submitted_at;
+  std::chrono::steady_clock::time_point opened_at PAX_GUARDED_BY(mu){};
+  std::chrono::steady_clock::time_point finished_at PAX_GUARDED_BY(mu){};
 
-  /// Signalled (with mu) on transition to a terminal state.
-  std::condition_variable done_cv;
+  /// Signalled (with mu) on transition to a terminal state. _any variant:
+  /// waits go through RankedUniqueLock's annotated lock()/unlock().
+  std::condition_variable_any done_cv;
 
   // --- atomic probes for the lock-free cross-job pick ----------------------
+  /// Terminal flips are release stores (made under mu in the finalize and
+  /// cancel paths); handle-side reads are acquire so the terminal stats
+  /// written before the flip are visible after it. Scheduling-loop reads
+  /// stay relaxed — they only pick a candidate, which the adopter verifies.
   std::atomic<JobState> state{JobState::kQueued};
   /// Cached ShardedExecutive::runnable() (shard/core work, sweepable
-  /// deposits, or pending idle work).
+  /// deposits, or pending idle work). Relaxed: a stale probe costs one
+  /// rotation; the wake path through the pool mutex carries the ordering.
   std::atomic<bool> core_runnable{false};
+  /// Relaxed monotonic progress counter (observability only).
   std::atomic<std::uint64_t> granules_done{0};
 
   /// Refresh the pick probe from the executive census and the local queues;
@@ -131,7 +146,7 @@ struct Job {
 
   /// Snapshot of the stats. Caller holds mu (the executive-side counters are
   /// atomics and read lock-free).
-  [[nodiscard]] JobStats stats_snapshot() const {
+  [[nodiscard]] JobStats stats_snapshot() const PAX_REQUIRES(mu) {
     JobStats out = stats;
     const ShardStatsView ss = exec.stats();
     out.exec_control_acquisitions = ss.control_acquisitions;
@@ -180,8 +195,10 @@ class JobHandle {
   /// Block until the job reaches a terminal state; returns it.
   JobState wait() {
     PAX_CHECK_MSG(job_ != nullptr, "empty JobHandle");
-    std::unique_lock lock(job_->mu);
+    RankedUniqueLock lock(job_->mu);
     job_->done_cv.wait(lock, [&] {
+      // acquire: pairs with the release store in the finalize/cancel paths
+      // so the terminal stats written before the flip are visible after it.
       const JobState s = job_->state.load(std::memory_order_acquire);
       return s == JobState::kComplete || s == JobState::kCancelled;
     });
@@ -196,7 +213,7 @@ class JobHandle {
   /// Stats snapshot (final once done()).
   [[nodiscard]] JobStats stats() const {
     PAX_CHECK_MSG(job_ != nullptr, "empty JobHandle");
-    std::scoped_lock lock(job_->mu);
+    RankedLock lock(job_->mu);
     return job_->stats_snapshot();
   }
 

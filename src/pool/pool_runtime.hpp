@@ -24,11 +24,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/alloc_stats.hpp"
+#include "common/lock_rank.hpp"
+#include "common/thread_annotations.hpp"
 #include "pool/job.hpp"
 #include "pool/pool_stats.hpp"
 #include "pool/scheduler_policy.hpp"
@@ -104,14 +105,15 @@ class PoolRuntime {
   }
 
   void worker_main(WorkerId id);
-  /// Policy pick over the runnable jobs' atomic probes. Caller holds mu_.
-  std::shared_ptr<detail::Job> pick_job_locked();
-  [[nodiscard]] bool any_runnable_locked() const;
+  /// Policy pick over the runnable jobs' atomic probes.
+  std::shared_ptr<detail::Job> pick_job_locked() PAX_REQUIRES(mu_);
+  [[nodiscard]] bool any_runnable_locked() const PAX_REQUIRES(mu_);
   /// Empty mu_ critical section + notify: makes probe flips (done under a
   /// job mutex only) visible to sleepers without ever nesting the locks.
-  void wake_pool();
-  /// Erase `job` from the runnable list if present. Caller holds mu_.
-  void remove_job_locked(const std::shared_ptr<detail::Job>& job);
+  void wake_pool() PAX_EXCLUDES(mu_);
+  /// Erase `job` from the runnable list if present.
+  void remove_job_locked(const std::shared_ptr<detail::Job>& job)
+      PAX_REQUIRES(mu_);
   /// JobHandle::cancel backend.
   bool cancel_job(const std::shared_ptr<detail::Job>& job);
 
@@ -120,26 +122,33 @@ class PoolRuntime {
   /// hooks), so stats() can report the pool's allocator footprint.
   AllocTotals heap0_;
 
-  mutable std::mutex mu_;        ///< guards everything below
-  std::condition_variable cv_;   ///< workers sleep; drain() waits here too
-  std::vector<std::shared_ptr<detail::Job>> jobs_;  ///< non-terminal jobs
-  std::uint64_t next_id_ = 0;
-  bool stop_ = false;
-  std::uint64_t jobs_submitted_ = 0;
-  std::uint64_t jobs_completed_ = 0;
-  std::uint64_t jobs_cancelled_ = 0;
-  std::uint64_t tasks_ = 0;
-  std::uint64_t granules_ = 0;
-  std::uint64_t lock_acquisitions_ = 0;
-  std::uint64_t exec_control_acquisitions_ = 0;  ///< summed at job completion
-  std::uint64_t exec_lock_hold_ns_ = 0;          ///< summed at job completion
-  std::uint64_t shard_hits_ = 0;                 ///< summed at job completion
-  std::uint64_t rotations_ = 0;
-  std::uint64_t steals_ = 0;
-  std::uint64_t steal_fail_spins_ = 0;
-  std::uint64_t peak_local_queue_ = 0;
-  std::vector<std::chrono::nanoseconds> busy_;
-  std::vector<std::chrono::nanoseconds> worker_wall_;
+  /// Pool bookkeeping mutex — guards everything below. Rank: pool (above
+  /// the job rank: a thread never holds a job mutex and mu_ together; the
+  /// rank validator turns that documented rule into an abort).
+  mutable RankedMutex<LockRank::kPool> mu_;
+  /// Workers sleep; drain() waits here too. _any variant: waits go through
+  /// RankedUniqueLock's annotated lock()/unlock().
+  std::condition_variable_any cv_;
+  std::vector<std::shared_ptr<detail::Job>> jobs_
+      PAX_GUARDED_BY(mu_);  ///< non-terminal jobs
+  std::uint64_t next_id_ PAX_GUARDED_BY(mu_) = 0;
+  bool stop_ PAX_GUARDED_BY(mu_) = false;
+  std::uint64_t jobs_submitted_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t jobs_completed_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t jobs_cancelled_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t tasks_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t granules_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t lock_acquisitions_ PAX_GUARDED_BY(mu_) = 0;
+  /// summed at job completion
+  std::uint64_t exec_control_acquisitions_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t exec_lock_hold_ns_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t shard_hits_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t rotations_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t steals_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t steal_fail_spins_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t peak_local_queue_ PAX_GUARDED_BY(mu_) = 0;
+  std::vector<std::chrono::nanoseconds> busy_ PAX_GUARDED_BY(mu_);
+  std::vector<std::chrono::nanoseconds> worker_wall_ PAX_GUARDED_BY(mu_);
 
   std::vector<std::jthread> workers_;  ///< last member: joins before teardown
 };

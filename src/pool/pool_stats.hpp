@@ -3,7 +3,11 @@
 // Two independent accumulation paths cross-check each other: workers count
 // what they execute (published into PoolStats at worker exit), and each job
 // counts what is executed on its behalf (JobStats, merged under the job's
-// own lock). test_pool asserts the per-job sums equal the pool totals.
+// own lock). The two paths never share a mutex — JobStats fields are
+// guarded by the job mutex, the PoolStats accumulators by the pool mutex
+// (ranks job < pool, DESIGN.md §11), and values cross between them only as
+// locals captured in one section and republished in the other.
+// test_pool asserts the per-job sums equal the pool totals.
 // Per-job busy time against a solo-run baseline is the work-inflation
 // measure of Acar/Charguéraud/Rainey that bench_t7_pool reports.
 #pragma once

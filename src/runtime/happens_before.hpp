@@ -4,6 +4,12 @@
 // successor granule never started before its enabling set completed; instead
 // every granule start/finish draws a ticket from one global atomic counter.
 // Tests then assert ordering properties over the recorded tickets.
+//
+// Memory orders: everything is relaxed. The clock's fetch_add needs only
+// atomicity (a total order over tickets comes from the RMW itself), the
+// per-slot CAS only guards double-execution, and tests read the tickets
+// after every worker has joined — the joins supply the happens-before edge,
+// so the reads need no acquire.
 #pragma once
 
 #include <atomic>

@@ -26,16 +26,23 @@
 // value across threads. Note one documented exception to CP.22: inter-phase
 // serial actions registered in the program run on the completing worker's
 // thread while the executive control mutex is held — keep them short.
+//
+// Concurrency discipline (DESIGN.md §11): the per-worker accounting is
+// PAX_GUARDED_BY the sleep mutex (rank: sleep — held alone, never nested
+// under an executive or queue lock), and the condition variable is a
+// condition_variable_any so waits release/reacquire through the ranked
+// mutex's annotated methods.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/executive.hpp"
 #include "core/sharded_executive.hpp"
 #include "runtime/body_table.hpp"
@@ -139,7 +146,7 @@ class ThreadedRuntime {
   void worker_main(WorkerId id);
   /// Pass through the sleep mutex, then notify: orders census flips (done
   /// under shard/control locks only) against sleepers' predicate checks.
-  void wake_all();
+  void wake_all() PAX_EXCLUDES(mu_);
 
   const PhaseProgram& program_;
   const BodyTable& bodies_;
@@ -150,16 +157,22 @@ class ThreadedRuntime {
 
   /// Sleep/accounting mutex: guards nothing in the executive — only the
   /// condition variable hand-shake and the per-worker result publication.
-  std::mutex mu_;
-  std::condition_variable cv_;
+  /// Rank: sleep (the innermost rank; a worker holds no other ranked lock
+  /// when it sleeps or publishes).
+  RankedMutex<LockRank::kSleep> mu_;
+  /// _any variant: waits release/reacquire through RankedUniqueLock's
+  /// annotated lock()/unlock(), keeping rank accounting coherent across
+  /// the wait.
+  std::condition_variable_any cv_;
 
-  std::vector<std::chrono::nanoseconds> busy_;
-  std::vector<std::chrono::nanoseconds> worker_wall_;
-  std::uint64_t tasks_ = 0;
-  std::uint64_t granules_ = 0;
-  std::uint64_t wait_locks_ = 0;
-  std::uint64_t steals_ = 0;
-  std::uint64_t steal_fail_spins_ = 0;
+  std::vector<std::chrono::nanoseconds> busy_ PAX_GUARDED_BY(mu_);
+  std::vector<std::chrono::nanoseconds> worker_wall_ PAX_GUARDED_BY(mu_);
+  std::uint64_t tasks_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t granules_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t wait_locks_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t steals_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t steal_fail_spins_ PAX_GUARDED_BY(mu_) = 0;
+  /// run-once latch; touched only by the (single) thread that calls run().
   bool ran_ = false;
 };
 

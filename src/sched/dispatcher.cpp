@@ -53,7 +53,10 @@ RefillOutcome Dispatcher::refill(ShardedExecutive& ex, WorkerId w,
                                  std::vector<Ticket>& done) {
   RefillOutcome out;
   if (config_.adaptive_grain) {
-    const GranuleId base = ex.core_unsynchronized().configured_grain();
+    // configured_grain() is constant after construction; the annotated
+    // accessor keeps the hot path off core_unsynchronized(), whose contract
+    // (quiescence) this call site cannot meet.
+    const GranuleId base = ex.configured_grain();
     const auto shift = grain_shift_.load(std::memory_order_relaxed);
     ex.set_grain_limit(std::max<GranuleId>(1, base >> shift));
   }
@@ -140,6 +143,10 @@ std::size_t Dispatcher::peak_occupancy() const {
 
 void Dispatcher::note_event(bool was_steal) {
   if (!config_.adaptive_grain) return;
+  // Relaxed throughout: the window counters synchronize with nothing — they
+  // feed a grain heuristic, and a racy window reset only blurs one window's
+  // edges (two workers may both observe the rollover; the double-reset
+  // drops at most one window of events, never corrupts the shift).
   if (was_steal) window_steals_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t ev = window_events_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (ev < window_size_) return;

@@ -150,8 +150,13 @@ class Dispatcher {
 
   DispatchConfig config_;
   std::size_t capacity_;
+  /// The queues lock internally (LocalRunQueue's own ranked mutex); the
+  /// Dispatcher itself holds no lock — its remaining shared state is the
+  /// relaxed steal-rate window below.
   std::vector<std::unique_ptr<LocalRunQueue>> queues_;
-  /// Worker-private refill/steal staging buffers (owner-thread only).
+  /// Worker-private refill/steal staging buffers: scratch_[w] is touched
+  /// only by worker w's thread (refill and try_steal are called by the
+  /// owner), so it needs no guard by construction.
   std::vector<std::vector<Assignment>> scratch_;
 
   // Steal-rate signal: over a window of productive acquisitions (refills

@@ -9,14 +9,21 @@
 // assignments the owner would reach last — under the same light per-queue
 // mutex. Occupancy is mirrored into an atomic so the steal picker can size
 // up victims without touching any lock.
+//
+// Concurrency discipline (DESIGN.md §11): the ring and its geometry are
+// PAX_GUARDED_BY the queue mutex (rank: queue — normally held alone; the
+// one sanctioned nesting is the pool finalize path reading peak() under a
+// job mutex, which is why queue ranks above job). The occupancy mirror is
+// the one field read outside it.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/lock_rank.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/granule.hpp"
 
 namespace pax::sched {
@@ -30,7 +37,7 @@ class LocalRunQueue {
   LocalRunQueue(const LocalRunQueue&) = delete;
   LocalRunQueue& operator=(const LocalRunQueue&) = delete;
 
-  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   /// Peer-visible occupancy. May be momentarily stale; exact size is only
   /// observable under the queue lock and nobody needs it.
@@ -40,10 +47,10 @@ class LocalRunQueue {
 
   /// Owner: append at the back. False when the ring is full (the dispatcher
   /// never over-refills, so a failed push is a caller bug in practice).
-  bool push(const Assignment& a) {
-    std::scoped_lock lock(mu_);
-    if (count_ == ring_.size()) return false;
-    ring_[(head_ + count_) % ring_.size()] = a;
+  bool push(const Assignment& a) PAX_EXCLUDES(mu_) {
+    RankedLock lock(mu_);
+    if (count_ == capacity_) return false;
+    ring_[(head_ + count_) % capacity_] = a;
     ++count_;
     if (count_ > peak_) peak_ = count_;
     occupancy_.store(count_, std::memory_order_relaxed);
@@ -55,11 +62,11 @@ class LocalRunQueue {
   /// per-assignment lock round-trips there would lengthen exactly the
   /// serial section the dispatch layer exists to shrink). All-or-nothing:
   /// false when the ring lacks room for the whole buffer.
-  bool push_reversed(const std::vector<Assignment>& buf) {
-    std::scoped_lock lock(mu_);
-    if (buf.size() > ring_.size() - count_) return false;
+  bool push_reversed(const std::vector<Assignment>& buf) PAX_EXCLUDES(mu_) {
+    RankedLock lock(mu_);
+    if (buf.size() > capacity_ - count_) return false;
     for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
-      ring_[(head_ + count_) % ring_.size()] = *it;
+      ring_[(head_ + count_) % capacity_] = *it;
       ++count_;
     }
     if (count_ > peak_) peak_ = count_;
@@ -68,11 +75,11 @@ class LocalRunQueue {
   }
 
   /// Owner: pop the most recent assignment (LIFO end).
-  bool pop(Assignment& out) {
-    std::scoped_lock lock(mu_);
+  bool pop(Assignment& out) PAX_EXCLUDES(mu_) {
+    RankedLock lock(mu_);
     if (count_ == 0) return false;
     --count_;
-    out = ring_[(head_ + count_) % ring_.size()];
+    out = ring_[(head_ + count_) % capacity_];
     occupancy_.store(count_, std::memory_order_relaxed);
     return true;
   }
@@ -80,12 +87,13 @@ class LocalRunQueue {
   /// Thief: take up to `max_n` assignments from the front (FIFO end), capped
   /// at half the current occupancy rounded up, appended to `out`. Returns
   /// how many were taken (0 when the queue raced empty).
-  std::size_t steal(std::size_t max_n, std::vector<Assignment>& out) {
-    std::scoped_lock lock(mu_);
+  std::size_t steal(std::size_t max_n, std::vector<Assignment>& out)
+      PAX_EXCLUDES(mu_) {
+    RankedLock lock(mu_);
     const std::size_t take = std::min(max_n, (count_ + 1) / 2);
     for (std::size_t i = 0; i < take; ++i) {
       out.push_back(ring_[head_]);
-      head_ = (head_ + 1) % ring_.size();
+      head_ = (head_ + 1) % capacity_;
       --count_;
     }
     occupancy_.store(count_, std::memory_order_relaxed);
@@ -93,18 +101,27 @@ class LocalRunQueue {
   }
 
   /// High-water mark of the occupancy (for RtResult / PoolStats reporting).
-  [[nodiscard]] std::size_t peak() const {
-    std::scoped_lock lock(mu_);
+  [[nodiscard]] std::size_t peak() const PAX_EXCLUDES(mu_) {
+    RankedLock lock(mu_);
     return peak_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Assignment> ring_;
-  std::size_t head_ = 0;   ///< index of the front (FIFO / steal) element
-  std::size_t count_ = 0;
-  std::size_t peak_ = 0;
+  mutable RankedMutex<LockRank::kQueue> mu_;
+  std::vector<Assignment> ring_ PAX_GUARDED_BY(mu_);
+  std::size_t head_ PAX_GUARDED_BY(mu_) = 0;  ///< front (FIFO/steal) index
+  std::size_t count_ PAX_GUARDED_BY(mu_) = 0;
+  std::size_t peak_ PAX_GUARDED_BY(mu_) = 0;
+  /// Mirror of count_, written under mu_ on every mutation, read lock-free
+  /// by the steal picker and sleep predicates. Relaxed on both sides: the
+  /// value is a sizing heuristic — a stale read mispicks a victim or spins
+  /// one extra round, and every correctness-bearing read of the ring itself
+  /// happens under mu_, which provides the ordering.
   std::atomic<std::size_t> occupancy_{0};
+  /// ring_.size(), readable without the lock (never resized after
+  /// construction). Kept separate so capacity() needs no capability and the
+  /// guarded ring_ is only touched inside critical sections.
+  const std::size_t capacity_ = ring_.size();
 };
 
 }  // namespace pax::sched

@@ -1,0 +1,225 @@
+// Lock-rank validator tests (common/lock_rank.hpp).
+//
+// Three layers:
+//   1. the validator primitives (note_acquire / note_release) — always
+//      compiled, so the abort paths are death-tested in every build type,
+//      including the RelWithDebInfo tier-1 configuration;
+//   2. RankedMutex / RankedLock wiring — death-tested when the checks are
+//      enabled (debug builds), and *proven absent* when they are not: the
+//      same inversion that aborts a checked build must run cleanly in a
+//      release build, which pins the zero-cost claim's codegen half;
+//   3. the annotated guard helpers under real concurrency — a seeded
+//      threaded + pool run with enough shards, workers and stealing to push
+//      traffic through every re-scoped critical section (sharded sweeps,
+//      shard deposits, queue steals, job finalize, pool accounting). This
+//      suite runs in the TSAN CI matrix, so the RankedLock/RankedUniqueLock
+//      rewrite is also checked against the happens-before model.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "common/lock_rank.hpp"
+#include "testing_util.hpp"
+
+namespace pax {
+namespace {
+
+using lock_rank::held;
+using lock_rank::note_acquire;
+using lock_rank::note_release;
+
+// The zero-cost claim, layout half: the rank lives in the type, the
+// validator census in a thread-local — never in the mutex.
+static_assert(sizeof(RankedMutex<LockRank::kControl>) == sizeof(std::mutex));
+static_assert(sizeof(RankedMutex<LockRank::kSleep>) == sizeof(std::mutex));
+
+// Checks default to !NDEBUG (the tier-1 RelWithDebInfo build runs with them
+// off; the Debug CI leg runs with them on) unless forced via the macro.
+#ifdef NDEBUG
+constexpr bool kExpectChecks = PAX_LOCK_RANK_CHECKS != 0;
+#else
+constexpr bool kExpectChecks = true;
+#endif
+static_assert(lock_rank::kChecksEnabled == kExpectChecks);
+
+// --- validator primitives (always compiled) ----------------------------------
+
+TEST(LockRankPrimitives, AscendingAcquisitionIsClean) {
+  note_acquire(LockRank::kControl, /*same_rank_ok=*/false);
+  note_acquire(LockRank::kShard, /*same_rank_ok=*/false);
+  note_acquire(LockRank::kQueue, /*same_rank_ok=*/false);
+  EXPECT_EQ(held(LockRank::kControl), 1u);
+  EXPECT_EQ(held(LockRank::kShard), 1u);
+  EXPECT_EQ(held(LockRank::kQueue), 1u);
+  // Non-LIFO release is legal: check_census unlocks front-to-back.
+  note_release(LockRank::kControl);
+  note_release(LockRank::kQueue);
+  note_release(LockRank::kShard);
+  EXPECT_EQ(held(LockRank::kShard), 0u);
+}
+
+TEST(LockRankPrimitives, SameRankBatchWithTagIsClean) {
+  // check_census's pattern: control, then every shard in ascending index
+  // order under the kSameRank waiver.
+  note_acquire(LockRank::kControl, false);
+  note_acquire(LockRank::kShard, false);
+  note_acquire(LockRank::kShard, /*same_rank_ok=*/true);
+  note_acquire(LockRank::kShard, /*same_rank_ok=*/true);
+  EXPECT_EQ(held(LockRank::kShard), 3u);
+  note_release(LockRank::kShard);
+  note_release(LockRank::kShard);
+  note_release(LockRank::kShard);
+  note_release(LockRank::kControl);
+}
+
+TEST(LockRankPrimitivesDeathTest, InversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        note_acquire(LockRank::kPool, false);
+        note_acquire(LockRank::kJob, false);  // job < pool: inversion
+      },
+      "lock-rank violation.*'job'.*'pool'");
+}
+
+TEST(LockRankPrimitivesDeathTest, ExecutiveLockUnderJobMutexAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The documented pool rule "never hold a job mutex across executive
+  // calls", as the validator sees it.
+  EXPECT_DEATH(
+      {
+        note_acquire(LockRank::kJob, false);
+        note_acquire(LockRank::kControl, false);
+      },
+      "lock-rank violation.*'control'.*'job'");
+}
+
+TEST(LockRankPrimitivesDeathTest, SameRankWithoutTagAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        note_acquire(LockRank::kShard, false);
+        note_acquire(LockRank::kShard, false);
+      },
+      "without kSameRank");
+}
+
+TEST(LockRankPrimitivesDeathTest, ReleasingUnheldRankAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(note_release(LockRank::kSleep),
+               "release of a rank this thread does not hold");
+}
+
+// --- RankedMutex wiring ------------------------------------------------------
+
+TEST(RankedMutex, CheckedBuildsTrackHeldRanksThroughGuards) {
+  RankedMutex<LockRank::kControl> control;
+  RankedMutex<LockRank::kShard> shard;
+  {
+    RankedLock outer(control);
+    RankedLock inner(shard);
+    if (lock_rank::kChecksEnabled) {
+      EXPECT_EQ(held(LockRank::kControl), 1u);
+      EXPECT_EQ(held(LockRank::kShard), 1u);
+    } else {
+      // Zero-cost claim: release-build guards never touch the census.
+      EXPECT_EQ(held(LockRank::kControl), 0u);
+      EXPECT_EQ(held(LockRank::kShard), 0u);
+    }
+  }
+  EXPECT_EQ(held(LockRank::kControl), 0u);
+  EXPECT_EQ(held(LockRank::kShard), 0u);
+}
+
+TEST(RankedMutex, UniqueLockBalancesAcrossManualUnlockRelock) {
+  // The condition_variable_any wait path: unlock then relock through the
+  // guard's own methods, keeping the census balanced.
+  RankedMutex<LockRank::kSleep> mu;
+  RankedUniqueLock lock(mu);
+  lock.unlock();
+  EXPECT_EQ(held(LockRank::kSleep), 0u);
+  lock.lock();
+  EXPECT_EQ(held(LockRank::kSleep), lock_rank::kChecksEnabled ? 1u : 0u);
+}
+
+TEST(RankedMutexDeathTest, InversionThroughGuardsAbortsWhenChecked) {
+  if (!lock_rank::kChecksEnabled) {
+    // Release build: the identical inversion must run to completion —
+    // RankedMutex::lock() compiled down to std::mutex::lock() with no
+    // validator call. (Two distinct mutexes, so no deadlock either.)
+    RankedMutex<LockRank::kSleep> sleep_mu;
+    RankedMutex<LockRank::kControl> control_mu;
+    RankedLock outer(sleep_mu);
+    RankedLock inner(control_mu);
+    SUCCEED();
+    return;
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RankedMutex<LockRank::kSleep> sleep_mu;
+        RankedMutex<LockRank::kControl> control_mu;
+        RankedLock outer(sleep_mu);
+        RankedLock inner(control_mu);
+      },
+      "lock-rank violation.*'control'.*'sleep'");
+}
+
+TEST(RankedMutexDeathTest, SameRankGuardWithoutTagAbortsWhenChecked) {
+  if (!lock_rank::kChecksEnabled) {
+    GTEST_SKIP() << "rank checks compiled out in this build";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RankedMutex<LockRank::kShard> a;
+        RankedMutex<LockRank::kShard> b;
+        RankedLock la(a);
+        RankedLock lb(b);  // no kSameRank tag
+      },
+      "without kSameRank");
+}
+
+TEST(RankedMutex, SameRankGuardWithTagIsClean) {
+  RankedMutex<LockRank::kShard> a;
+  RankedMutex<LockRank::kShard> b;
+  RankedLock la(a);
+  RankedLock lb(b, kSameRank);
+  if (lock_rank::kChecksEnabled) {
+    EXPECT_EQ(held(LockRank::kShard), 2u);
+  }
+}
+
+// --- the real lock graph under load (runs in the TSAN CI matrix) -------------
+
+// One run of any multi-threaded test certifies the lock graph acyclic in a
+// checked build — these two force traffic through every re-scoped guard:
+// control sweeps + shard deposits + sibling pulls (many shards, small
+// batches), queue pushes/pops/steals (steal on, more workers than shards
+// busy), the sleep mutex (workers outnumber work at the tail), and on the
+// pool run the job-bookkeeping and pool-accounting sections including the
+// finalize path's job-mutex -> queue-mutex peak probe.
+TEST(LockRankIntegration, ThreadedSweepAndStealTrafficIsRankClean) {
+  testing::GeneratedProgram g = testing::generate_program(/*seed=*/1986);
+  g.workers = 4;
+  g.batch = 2;
+  g.shards = kAutoShards;
+  g.steal = true;
+  g.adaptive_grain = true;
+  const rt::RtResult res = testing::run_threaded_checked(g);
+  EXPECT_GT(res.shard_hits + res.shard_sibling_hits, 0u)
+      << "config failed to exercise the shard-buffer guards";
+}
+
+TEST(LockRankIntegration, PoolFinalizeAndCancelTrafficIsRankClean) {
+  testing::GeneratedProgram g = testing::generate_program(/*seed=*/1986);
+  g.workers = 4;
+  g.batch = 2;
+  g.shards = kAutoShards;
+  g.steal = true;
+  g.cancel_second_job = true;  // exercises cancel's pool-then-job sequence
+  testing::run_pool_checked(g);
+}
+
+}  // namespace
+}  // namespace pax

@@ -20,6 +20,12 @@
 //
 // On any failure the seed is printed via SCOPED_TRACE, so a red run is
 // replayed with `PAX_STRESS_SEED=<seed> ctest -R stress`.
+//
+// In checked builds (PAX_LOCK_RANK_CHECKS, default in Debug) every run
+// through this harness additionally certifies the runtimes' lock graph
+// acyclic: all mutexes are ranked (common/lock_rank.hpp) and any
+// out-of-order acquisition aborts deterministically, so the randomized
+// sweep doubles as lock-order coverage — no lucky interleaving required.
 #pragma once
 
 #include <gtest/gtest.h>
