@@ -196,6 +196,9 @@ int main(int argc, char** argv) {
   // --- gate 2 -----------------------------------------------------------------
   const std::uint32_t workers =
       std::max(8u, std::min(16u, std::thread::hardware_concurrency()));
+  json.set_meta("workers", workers);
+  json.set_meta("batch", kBatch);
+  json.set_meta("shards", "1 vs auto");
   constexpr int kReps = 3;
   constexpr int kAttempts = 4;  // whole-measurement retries against host noise
 

@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/table.hpp"
@@ -83,10 +85,13 @@ inline void spin(std::uint32_t iters) {
   g_spin_sink.fetch_add(acc, std::memory_order_relaxed);
 }
 
-/// Machine-readable bench output: pass `--json <path>` to any T-series gate
-/// bench and it appends one record per reported metric, so the BENCH_*.json
-/// perf trajectory can be recorded per PR. Without the flag, add() is a
-/// no-op. Records are written by flush() (called by the destructor).
+/// Machine-readable bench output: pass `--json <path>` to any gate or
+/// figure bench and it appends one record per reported metric, so the
+/// BENCH_*.json perf trajectory can be recorded per PR. Without the flag,
+/// add() is a no-op. Records are written by flush() (called by the
+/// destructor) under a `meta` block stamping the run (build type, UTC
+/// timestamp, hardware concurrency, plus whatever the bench set_meta()s —
+/// workers, shards, ...), so two BENCH files are comparable after the fact.
 class JsonReport {
  public:
   JsonReport() = default;
@@ -114,6 +119,15 @@ class JsonReport {
     if (enabled()) recs_.push_back({name, metric, value, config});
   }
 
+  /// Bench-specific run metadata (e.g. "workers", "shards"). Later calls
+  /// with the same key append — keep keys unique.
+  void set_meta(const std::string& key, const std::string& value) {
+    if (enabled()) meta_.push_back({key, value});
+  }
+  void set_meta(const std::string& key, std::uint64_t value) {
+    set_meta(key, std::to_string(value));
+  }
+
   /// Write the records as a JSON array. Returns false (and warns on stderr)
   /// when the file cannot be written.
   bool flush() {
@@ -124,16 +138,28 @@ class JsonReport {
       std::fprintf(stderr, "bench: cannot write --json file '%s'\n", path_.c_str());
       return false;
     }
-    std::fputs("[\n", f);
+    std::fputs("{\n  \"meta\": {\n", f);
+#ifdef NDEBUG
+    std::fputs("    \"build_type\": \"release\",\n", f);
+#else
+    std::fputs("    \"build_type\": \"debug\",\n", f);
+#endif
+    std::fprintf(f, "    \"timestamp\": \"%s\",\n", utc_timestamp().c_str());
+    std::fprintf(f, "    \"hardware_concurrency\": %u",
+                 std::thread::hardware_concurrency());
+    for (const auto& [k, v] : meta_)
+      std::fprintf(f, ",\n    \"%s\": \"%s\"", escape(k).c_str(),
+                   escape(v).c_str());
+    std::fputs("\n  },\n  \"records\": [\n", f);
     for (std::size_t i = 0; i < recs_.size(); ++i) {
       const Rec& r = recs_[i];
       std::fprintf(f,
-                   "  {\"name\": \"%s\", \"metric\": \"%s\", \"value\": %.17g, "
+                   "    {\"name\": \"%s\", \"metric\": \"%s\", \"value\": %.17g, "
                    "\"config\": \"%s\"}%s\n",
                    escape(r.name).c_str(), escape(r.metric).c_str(), r.value,
                    escape(r.config).c_str(), i + 1 < recs_.size() ? "," : "");
     }
-    std::fputs("]\n", f);
+    std::fputs("  ]\n}\n", f);
     std::fclose(f);
     return true;
   }
@@ -158,7 +184,17 @@ class JsonReport {
     return out;
   }
 
+  static std::string utc_timestamp() {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+  }
+
   std::string path_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<Rec> recs_;
   bool flushed_ = false;
 };
@@ -223,9 +259,11 @@ inline constexpr std::uint32_t kT9Batch = 16;
 
 /// One run of the T9 two-phase identity program with ramped granule cost
 /// (~6x head to tail). When `probe` is non-null the bodies feed it for the
-/// rundown-window utilization metric.
+/// rundown-window utilization metric. When `trace` is non-null the run
+/// records into it (the t11 overhead gate's tracing-on arm).
 inline rt::RtResult run_t9_protocol(std::uint32_t workers, std::uint32_t shards,
-                                    RundownProbe* probe = nullptr) {
+                                    RundownProbe* probe = nullptr,
+                                    obs::TraceBuffer* trace = nullptr) {
   PhaseProgram prog;
   const PhaseId a = prog.define_phase(make_phase("a", kT9Granules).writes("A"));
   const PhaseId b =
@@ -251,6 +289,7 @@ inline rt::RtResult run_t9_protocol(std::uint32_t workers, std::uint32_t shards,
   rc.workers = workers;
   rc.batch = kT9Batch;
   rc.shards = shards;
+  rc.trace = trace;
   rt::ThreadedRuntime runtime(prog, cfg, CostModel::free_of_charge(), bodies, rc);
   return runtime.run();
 }

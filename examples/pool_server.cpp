@@ -9,6 +9,7 @@
 // (utilization, rotations, and the per-job-sum cross-check) print at
 // shutdown.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -16,15 +17,26 @@
 #include "casper/pipeline.hpp"
 #include "casper/sor.hpp"
 #include "common/table.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/trace_ring.hpp"
 #include "pool/pool_runtime.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pax;
   using namespace pax::casper;
 
+  // `--trace out.trace.json` records the whole job stream into per-worker
+  // rings and exports a Chrome/Perfetto trace; each job gets its own
+  // process lane (open at https://ui.perfetto.dev).
+  const char* trace_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+
+  obs::TraceBuffer trace(4);
   pool::PoolRuntime pool({.workers = 4,
                           .batch = 4,
-                          .policy = pool::SchedPolicy::kPriority});
+                          .policy = pool::SchedPolicy::kPriority,
+                          .trace = trace_path != nullptr ? &trace : nullptr});
 
   struct Submitted {
     const char* kind;
@@ -126,5 +138,11 @@ int main() {
       static_cast<unsigned long long>(job_sum),
       static_cast<unsigned long long>(ps.rotations), 100.0 * ps.utilization());
   ok &= job_sum == ps.granules_executed;
+  if (trace_path != nullptr) {
+    obs::write_chrome_trace(trace, trace_path);
+    std::printf("trace: %s (%llu records, %llu dropped)\n", trace_path,
+                static_cast<unsigned long long>(trace.total_emitted()),
+                static_cast<unsigned long long>(trace.total_dropped()));
+  }
   return ok ? 0 : 1;
 }

@@ -19,15 +19,24 @@
 #include "common/alloc_stats.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "core/dataflow.hpp"
 #include "core/executive.hpp"
+#include "obs/trace_export.hpp"
+#include "obs/trace_ring.hpp"
 #include "runtime/threaded_runtime.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pax;
   constexpr GranuleId kN = 1 << 16;
+
+  // `--trace out.trace.json` records the run into per-worker rings and
+  // exports a Chrome/Perfetto trace (open at https://ui.perfetto.dev).
+  const char* trace_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
 
   std::vector<double> a(kN), b(kN), c(kN);
   for (GranuleId i = 0; i < kN; ++i) a[i] = 0.5 * static_cast<double>(i);
@@ -64,8 +73,19 @@ int main() {
   config.overlap = true;  // flip to false for the strict-barrier baseline
   config.grain = 1024;
 
-  rt::ThreadedRuntime runtime(program, config, CostModel{}, bodies, {4});
+  rt::RtConfig rt_config;
+  rt_config.workers = 4;
+  obs::TraceBuffer trace(rt_config.workers);
+  if (trace_path != nullptr) rt_config.trace = &trace;
+  rt::ThreadedRuntime runtime(program, config, CostModel{}, bodies, rt_config);
   const rt::RtResult result = runtime.run();
+  if (trace_path != nullptr) {
+    obs::write_chrome_trace(trace, trace_path);
+    std::printf("trace             : %s (%llu records, %llu dropped)\n",
+                trace_path,
+                static_cast<unsigned long long>(trace.total_emitted()),
+                static_cast<unsigned long long>(trace.total_dropped()));
+  }
 
   // 4. Verify and report.
   std::size_t wrong = 0;

@@ -151,7 +151,7 @@ ExecutiveCore::~ExecutiveCore() {
 // Small plumbing
 
 void ExecutiveCore::emit(const ExecEvent& ev) {
-  if (observer) observer(ev);
+  if (sink_ != nullptr) sink_->on_event(ev);
 }
 
 void ExecutiveCore::diagnose(std::string msg) {

@@ -91,6 +91,33 @@ struct ExecEvent {
   std::string_view text;
 };
 
+/// Structural-event observation interface. The core calls on_event()
+/// synchronously at each emit site, under whatever lock the driver wraps
+/// the core in (the control mutex in the sharded front-end) — sinks must be
+/// cheap and must not re-enter the core. The virtual call replaces the old
+/// std::function observer: installing a sink never allocates, and the null
+/// check on emit is the entire cost of tracing-off builds, which is what
+/// lets the hook stay compiled in on production paths (DESIGN.md §12).
+class ExecEventSink {
+ public:
+  virtual ~ExecEventSink() = default;
+  virtual void on_event(const ExecEvent& ev) = 0;
+};
+
+/// Compatibility shim for the retired `core.observer = lambda` idiom: wraps
+/// a std::function as a sink. The *shim* owns the function (constructing it
+/// may allocate — fine for tests and tools, which is who this is for); the
+/// caller owns the shim and keeps it alive for the core's lifetime.
+class FunctionEventSink final : public ExecEventSink {
+ public:
+  explicit FunctionEventSink(std::function<void(const ExecEvent&)> fn)
+      : fn_(std::move(fn)) {}
+  void on_event(const ExecEvent& ev) override { fn_(ev); }
+
+ private:
+  std::function<void(const ExecEvent&)> fn_;
+};
+
 /// Outcome of a completion call, telling the driver what changed.
 struct CompletionResult {
   bool new_work = false;       ///< the waiting queue gained entries
@@ -200,8 +227,12 @@ class ExecutiveCore {
     return diagnostics_;
   }
 
-  /// Observation hook; called synchronously on structural events.
-  std::function<void(const ExecEvent&)> observer;
+  /// Install (or clear, with nullptr) the structural-event sink. Non-owning;
+  /// the sink must outlive the core or be cleared first. Call before
+  /// start() or after quiescence — the drivers serialize core access, and
+  /// the sink pointer rides under the same serialization.
+  void set_event_sink(ExecEventSink* sink) { sink_ = sink; }
+  [[nodiscard]] ExecEventSink* event_sink() const { return sink_; }
 
   // --- introspection for tests ------------------------------------------
   struct RunInfo {
@@ -321,6 +352,8 @@ class ExecutiveCore {
   std::vector<std::uint8_t> serial_done_early_;
   std::vector<std::int32_t> branch_predecided_;  // -1 = not predecided
   std::vector<RunId> node_pending_run_;          // run created early for node
+
+  ExecEventSink* sink_ = nullptr;  ///< non-owning; rides the core's lock
 
   std::atomic<GranuleId> grain_limit_;  ///< effective grain cap (init: config grain)
   std::uint32_t pc_ = 0;

@@ -72,6 +72,8 @@ ShardedExecutive::ShardedExecutive(const PhaseProgram& program,
       nshards_(config.resolve(max_phase_granules(program))),
       depth_(config.effective_depth()),
       flush_(config.effective_flush()),
+      trace_(config.trace),
+      trace_job_(config.trace_job),
       core_(program, exec_config, costs) {
   // Worst-case tickets parked in deposit boxes at any instant: every worker
   // holds at most one local queue's worth (2x batch with stealing). Reserving
@@ -148,6 +150,7 @@ void ShardedExecutive::sweep_locked(ShardAcquire& res, WorkerId w,
     shard->deposit_n.store(0, std::memory_order_relaxed);
   }
   if (!sweep_tickets_.empty()) {
+    res.retired = sweep_tickets_.size();
     deposited_.fetch_sub(static_cast<std::int64_t>(sweep_tickets_.size()),
                          std::memory_order_relaxed);
     stats_.sweeps.fetch_add(1, std::memory_order_relaxed);
@@ -203,30 +206,42 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
   if (nshards_ == 1) {
     // Single shard: the PR 3 protocol verbatim — one control section that
     // retires the worker's batch and refills it.
-    ControlTimer timer(stats_);
-    RankedLock lock(control_mu_);
-    if (!done.empty()) {
-      const CompletionResult cr = core_.complete_batch(done);
-      done.clear();
-      res.new_work |= cr.new_work;
+    {
+      ControlTimer timer(stats_);
+      RankedLock lock(control_mu_);
+      if (!done.empty()) {
+        res.retired = done.size();
+        const CompletionResult cr = core_.complete_batch(done);
+        done.clear();
+        res.new_work |= cr.new_work;
+      }
+      if (max_n > 0) res.taken = core_.request_work_batch(w, max_n, out);
+      publish_core_census();
+      res.program_finished = core_.finished();
+      res.swept = true;
     }
-    if (max_n > 0) res.taken = core_.request_work_batch(w, max_n, out);
-    publish_core_census();
-    res.program_finished = core_.finished();
-    res.swept = true;
+    // Trace AFTER the control section so the record's clock read never
+    // lands inside the timed hold span (the t11 overhead gate).
+    trace_event(w, obs::TraceKind::kShardSweep,
+                static_cast<std::uint32_t>(res.retired));
     return res;
   }
 
   Shard& home = *shards_[home_of(w)];
   if (!done.empty()) {
-    RankedLock sl(home.mu);
-    home.deposits.insert(home.deposits.end(), done.begin(), done.end());
-    home.deposit_n.store(static_cast<std::uint32_t>(home.deposits.size()),
-                         std::memory_order_relaxed);
-    deposited_.fetch_add(static_cast<std::int64_t>(done.size()),
-                         std::memory_order_relaxed);
-    stats_.deposits.fetch_add(done.size(), std::memory_order_relaxed);
-    done.clear();
+    const std::size_t parked = done.size();
+    {
+      RankedLock sl(home.mu);
+      home.deposits.insert(home.deposits.end(), done.begin(), done.end());
+      home.deposit_n.store(static_cast<std::uint32_t>(home.deposits.size()),
+                           std::memory_order_relaxed);
+      deposited_.fetch_add(static_cast<std::int64_t>(parked),
+                           std::memory_order_relaxed);
+      stats_.deposits.fetch_add(parked, std::memory_order_relaxed);
+      done.clear();
+    }
+    trace_event(w, obs::TraceKind::kDepositFlush,
+                static_cast<std::uint32_t>(parked));
   }
 
   // Straight to a sweep when deposits crossed the flush threshold (bounds
@@ -272,11 +287,29 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
   // waiting queue — so rundown probing stays off the control mutex.
   if (deposited_.load(std::memory_order_relaxed) > 0 ||
       core_waiting_.load(std::memory_order_relaxed) > 0) {
-    ControlTimer timer(stats_);
-    RankedLock lock(control_mu_);
-    sweep_locked(res, w, max_n, out);
+    {
+      ControlTimer timer(stats_);
+      RankedLock lock(control_mu_);
+      sweep_locked(res, w, max_n, out);
+    }
+    // Emitted after the section ends, for the same t11-gate reason as the
+    // single-shard path above.
+    trace_event(w, obs::TraceKind::kShardSweep,
+                static_cast<std::uint32_t>(res.retired));
   }
   return res;
+}
+
+void ShardedExecutive::trace_event(WorkerId w, obs::TraceKind kind,
+                                   std::uint32_t aux) {
+  if (trace_ == nullptr) return;
+  obs::TraceRecord r;
+  r.ts_ns = obs::trace_now_ns();
+  r.job = trace_job_;
+  r.aux = aux;
+  r.worker = static_cast<std::uint16_t>(w);
+  r.kind = kind;
+  trace_->ring(w).emit(r);
 }
 
 bool ShardedExecutive::idle_work() {

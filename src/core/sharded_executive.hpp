@@ -57,6 +57,7 @@
 #include "common/lock_rank.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/executive.hpp"
+#include "obs/trace_ring.hpp"
 
 namespace pax {
 
@@ -91,6 +92,13 @@ struct ShardConfig {
     return flush != 0 ? flush : std::max(2u, 2u * batch);
   }
 
+  /// Optional trace buffer (non-owning; null = tracing off, each emit site
+  /// one untaken branch). Must outlive the executive; the worker passed to
+  /// acquire() indexes its ring. DESIGN.md §12.
+  obs::TraceBuffer* trace = nullptr;
+  /// Job lane tag on emitted records (the pool sets its job id here).
+  std::uint64_t trace_job = obs::kNoTraceJob;
+
   /// Resolve `shards` against a program's largest phase (`max_granules`).
   /// PAX_CHECKs the validity rules above.
   [[nodiscard]] std::uint32_t resolve(GranuleId max_granules) const;
@@ -99,6 +107,7 @@ struct ShardConfig {
 /// What one acquire() call did.
 struct ShardAcquire {
   std::size_t taken = 0;        ///< assignments appended to `out`
+  std::size_t retired = 0;      ///< tickets retired by this call's sweep
   /// Work became visible to peers (an enablement enqueued, or a sweep
   /// scattered assignments into shard buffers): drivers wake sleepers.
   bool new_work = false;
@@ -259,11 +268,19 @@ class ShardedExecutive {
                     std::vector<Assignment>& out) PAX_REQUIRES(control_mu_);
   /// Refresh the core-side census after a control section.
   void publish_core_census() PAX_REQUIRES(control_mu_);
+  /// Emit a worker-track record onto the trace buffer (no-op when tracing
+  /// is off). Called by the owning worker with NO executive lock held — the
+  /// clock read must stay out of the timed control sections.
+  void trace_event(WorkerId w, obs::TraceKind kind, std::uint32_t aux);
 
   CostModel costs_;
   std::uint32_t nshards_;
   std::uint32_t depth_;
   std::uint32_t flush_;
+  /// Trace plumbing (ShardConfig::trace): set at construction, immutable
+  /// after — workers read it with no synchronization.
+  obs::TraceBuffer* const trace_;
+  const std::uint64_t trace_job_;
 
   /// Rank: control — the outermost lock of the whole system. Guards the
   /// single-threaded core and the sweep staging; shard locks nest inside it.

@@ -1,0 +1,257 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace pax::obs {
+
+namespace {
+
+/// Chrome trace pid/tid encoding. Perfetto groups tracks by pid, so each
+/// pool job gets its own process lane; tid 0 is the control track so it
+/// sorts above the workers.
+std::uint64_t pid_of(std::uint64_t job) { return job == kNoTraceJob ? 1 : job + 2; }
+std::uint32_t tid_of(std::uint16_t worker) {
+  return worker == kControlTrack ? 0 : worker + 1u;
+}
+
+/// Microseconds (Chrome trace unit) relative to the run's first record.
+double us_of(std::uint64_t ts_ns, std::uint64_t t0_ns) {
+  return static_cast<double>(ts_ns - t0_ns) / 1000.0;
+}
+
+struct Emitter {
+  std::FILE* f;
+  bool first = true;
+
+  void raw(const std::string& s) {
+    std::fputs(first ? "\n    " : ",\n    ", f);
+    std::fputs(s.c_str(), f);
+    first = false;
+  }
+
+  void meta(std::uint64_t pid, std::uint32_t tid, const char* what,
+            const std::string& name) {
+    char b[256];
+    if (tid == 0xFFFFFFFFu) {
+      std::snprintf(b, sizeof b,
+                    "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%" PRIu64
+                    ",\"args\":{\"name\":\"%s\"}}",
+                    what, pid, name.c_str());
+    } else {
+      std::snprintf(b, sizeof b,
+                    "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%" PRIu64
+                    ",\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                    what, pid, tid, name.c_str());
+    }
+    raw(b);
+  }
+
+  void complete(const std::string& name, std::uint64_t pid, std::uint32_t tid,
+                double ts_us, double dur_us, const std::string& args_json) {
+    char b[384];
+    std::snprintf(b, sizeof b,
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%" PRIu64
+                  ",\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}",
+                  name.c_str(), pid, tid, ts_us, dur_us, args_json.c_str());
+    raw(b);
+  }
+
+  void instant(const std::string& name, std::uint64_t pid, std::uint32_t tid,
+               double ts_us, char scope, const std::string& args_json) {
+    char b[384];
+    std::snprintf(b, sizeof b,
+                  "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"%c\",\"pid\":%" PRIu64
+                  ",\"tid\":%u,\"ts\":%.3f,\"args\":{%s}}",
+                  name.c_str(), scope, pid, tid, ts_us, args_json.c_str());
+    raw(b);
+  }
+};
+
+std::string exec_name(const TraceRecord& r) {
+  char b[96];
+  std::snprintf(b, sizeof b, "phase %u [%u,%u)", r.phase, r.range.lo,
+                r.range.hi);
+  return b;
+}
+
+}  // namespace
+
+std::vector<TraceRecord> merged_records(const TraceBuffer& buf) {
+  std::vector<TraceRecord> out;
+  std::size_t total = 0;
+  for (std::uint32_t w = 0; w <= buf.workers(); ++w)
+    total += (w == buf.workers() ? buf.control_ring() : buf.ring(w)).size();
+  out.reserve(total);
+  for (std::uint32_t w = 0; w < buf.workers(); ++w)
+    buf.ring(w).snapshot_into(out);
+  buf.control_ring().snapshot_into(out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns
+                                               : a.worker < b.worker;
+                   });
+  return out;
+}
+
+std::vector<std::uint64_t> busy_ns_by_worker(const TraceBuffer& buf) {
+  std::vector<std::uint64_t> busy(buf.workers(), 0);
+  std::vector<TraceRecord> ring;
+  for (std::uint32_t w = 0; w < buf.workers(); ++w) {
+    ring.clear();
+    buf.ring(w).snapshot_into(ring);
+    // Single-writer rings hold this worker's records in emission order, so
+    // begin/end strictly alternate; a wrap can only truncate the front,
+    // leaving at worst one orphaned end to skip.
+    std::uint64_t begin_ns = 0;
+    bool open = false;
+    for (const TraceRecord& r : ring) {
+      if (r.kind == TraceKind::kExecBegin) {
+        begin_ns = r.ts_ns;
+        open = true;
+      } else if (r.kind == TraceKind::kExecEnd && open) {
+        busy[w] += r.ts_ns - begin_ns;
+        open = false;
+      }
+    }
+  }
+  return busy;
+}
+
+std::uint64_t granules_in(const std::vector<TraceRecord>& records) {
+  std::uint64_t n = 0;
+  for (const TraceRecord& r : records)
+    if (r.kind == TraceKind::kExecEnd) n += r.aux;
+  return n;
+}
+
+bool write_chrome_trace(const std::vector<TraceRecord>& records,
+                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace file '%s'\n", path.c_str());
+    return false;
+  }
+
+  std::uint64_t t0 = ~std::uint64_t{0};
+  std::uint64_t total_granules = 0;
+  for (const TraceRecord& r : records) {
+    t0 = std::min(t0, r.ts_ns);
+    if (r.kind == TraceKind::kExecEnd) total_granules += r.aux;
+  }
+  if (records.empty()) t0 = 0;
+
+  std::fputs("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [", f);
+  Emitter em{f};
+
+  // Track metadata: name every (job, worker) pair that appears.
+  std::map<std::uint64_t, std::vector<std::uint32_t>> tracks;
+  for (const TraceRecord& r : records) {
+    auto& tids = tracks[r.job];
+    const std::uint32_t tid = tid_of(r.worker);
+    if (std::find(tids.begin(), tids.end(), tid) == tids.end())
+      tids.push_back(tid);
+  }
+  for (auto& [job, tids] : tracks) {
+    const std::uint64_t pid = pid_of(job);
+    em.meta(pid, 0xFFFFFFFFu, "process_name",
+            job == kNoTraceJob ? std::string("pax")
+                               : "job " + std::to_string(job));
+    std::sort(tids.begin(), tids.end());
+    for (std::uint32_t tid : tids)
+      em.meta(pid, tid, "thread_name",
+              tid == 0 ? std::string("control")
+                       : "worker " + std::to_string(tid - 1));
+  }
+
+  // Pair-tracking state, keyed per (job, worker) for spans and per
+  // (job, run) for run lanes. The records are time-sorted; per-worker kinds
+  // still alternate correctly because each worker's records keep their ring
+  // order under the stable sort.
+  std::map<std::pair<std::uint64_t, std::uint16_t>, std::uint64_t> open_exec;
+  std::map<std::pair<std::uint64_t, std::uint16_t>, std::uint64_t> open_sleep;
+  struct OpenRun {
+    std::uint64_t ts_ns = 0;
+    PhaseId phase = kNoPhase;
+  };
+  std::map<std::pair<std::uint64_t, std::uint32_t>, OpenRun> open_runs;
+  std::uint64_t done_granules = 0;
+  bool t90_marked = false;
+  char args[192];
+
+  for (const TraceRecord& r : records) {
+    const std::uint64_t pid = pid_of(r.job);
+    const std::uint32_t tid = tid_of(r.worker);
+    const double ts = us_of(r.ts_ns, t0);
+    switch (r.kind) {
+      case TraceKind::kExecBegin:
+        open_exec[{r.job, r.worker}] = r.ts_ns;
+        break;
+      case TraceKind::kExecEnd: {
+        const auto it = open_exec.find({r.job, r.worker});
+        if (it != open_exec.end()) {
+          std::snprintf(args, sizeof args, "\"granules\":%u", r.aux);
+          em.complete(exec_name(r), pid, tid, us_of(it->second, t0),
+                      us_of(r.ts_ns, t0) - us_of(it->second, t0), args);
+          open_exec.erase(it);
+        }
+        done_granules += r.aux;
+        if (!t90_marked && total_granules > 0 &&
+            done_granules * 10 >= total_granules * 9) {
+          em.instant("rundown t90", pid, tid, ts, 'g', "");
+          t90_marked = true;
+        }
+        break;
+      }
+      case TraceKind::kSleep:
+        open_sleep[{r.job, r.worker}] = r.ts_ns;
+        break;
+      case TraceKind::kWake: {
+        const auto it = open_sleep.find({r.job, r.worker});
+        if (it != open_sleep.end()) {
+          em.complete("sleep", pid, tid, us_of(it->second, t0),
+                      us_of(r.ts_ns, t0) - us_of(it->second, t0), "");
+          open_sleep.erase(it);
+        }
+        break;
+      }
+      case TraceKind::kRunOpened:
+        open_runs[{r.job, r.aux}] = OpenRun{r.ts_ns, r.phase};
+        std::snprintf(args, sizeof args, "\"run\":%u", r.aux);
+        em.instant(to_string(r.kind), pid, tid, ts, 't', args);
+        break;
+      case TraceKind::kRunCompleted: {
+        const auto it = open_runs.find({r.job, r.aux});
+        if (it != open_runs.end()) {
+          std::snprintf(args, sizeof args, "\"run\":%u,\"phase\":%u", r.aux,
+                        it->second.phase);
+          em.complete("run " + std::to_string(r.aux), pid, tid,
+                      us_of(it->second.ts_ns, t0),
+                      us_of(r.ts_ns, t0) - us_of(it->second.ts_ns, t0), args);
+          open_runs.erase(it);
+        } else {
+          em.instant(to_string(r.kind), pid, tid, ts, 't', "");
+        }
+        break;
+      }
+      default:
+        std::snprintf(args, sizeof args, "\"aux\":%u", r.aux);
+        em.instant(to_string(r.kind), pid, tid, ts, 't', args);
+        break;
+    }
+  }
+
+  std::fputs("\n  ]\n}\n", f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool write_chrome_trace(const TraceBuffer& buf, const std::string& path) {
+  return write_chrome_trace(merged_records(buf), path);
+}
+
+}  // namespace pax::obs

@@ -24,6 +24,15 @@ PoolRuntime::PoolRuntime(PoolConfig config)
                 "local queue capacity below the retire batch");
   PAX_CHECK_MSG(config_.shards != 0,
                 "shards must be at least 1 (pass kAutoShards for the default)");
+  mid_.tasks = metrics_.register_counter("worker.tasks");
+  mid_.granules = metrics_.register_counter("worker.granules");
+  mid_.busy_ns = metrics_.register_counter("worker.busy_ns");
+  mid_.wall_ns = metrics_.register_counter("worker.wall_ns");
+  mid_.steals = metrics_.register_counter("worker.steals");
+  mid_.steal_fails = metrics_.register_counter("worker.steal_fail_spins");
+  mid_.rotations = metrics_.register_counter("worker.rotations");
+  mid_.job_locks = metrics_.register_counter("worker.job_lock_acquisitions");
+  metrics_.bind(config_.workers);
   workers_.reserve(config_.workers);
   for (WorkerId w = 0; w < config_.workers; ++w)
     workers_.emplace_back([this, w] { worker_main(w); });
@@ -40,19 +49,25 @@ JobHandle PoolRuntime::submit(const PhaseProgram& program,
   PAX_CHECK_MSG(shards == kAutoShards || config_.shards == kAutoShards ||
                     shards == config_.shards,
                 "job shard count mismatches the pool's shard configuration");
-  const ShardConfig shard_config{
-      .shards = shards != kAutoShards ? shards : config_.shards,
-      .workers = config_.workers,
-      .batch = config_.batch};
   std::uint64_t id = 0;
   {
     RankedLock lock(mu_);
     PAX_CHECK_MSG(!stop_, "submit on a stopped pool");
     id = next_id_++;
   }
+  // Trace records from this job's executive/dispatcher carry its id, so the
+  // exporter can lane them per job even though the rings are per worker.
+  const ShardConfig shard_config{
+      .shards = shards != kAutoShards ? shards : config_.shards,
+      .workers = config_.workers,
+      .batch = config_.batch,
+      .trace = config_.trace,
+      .trace_job = id};
+  sched::DispatchConfig dispatch = dispatch_config();
+  dispatch.trace_job = id;
   // Job construction (executive setup) happens outside the pool lock.
   auto job = std::make_shared<detail::Job>(id, priority, program, bodies, config,
-                                           costs, dispatch_config(), shard_config);
+                                           costs, dispatch, shard_config);
   {
     RankedLock lock(mu_);
     PAX_CHECK_MSG(!stop_, "submit on a stopped pool");
@@ -104,6 +119,22 @@ PoolStats PoolRuntime::stats() const {
   s.heap_bytes = heap.bytes;
   s.worker_busy = busy_;
   s.worker_wall = worker_wall_;
+  // Unified metrics surface: worker-cell sums (live; final after shutdown)
+  // plus the pool-plane values pushed as plain entries under mu_.
+  s.metrics = metrics_.snapshot();
+  s.metrics.push("pool.jobs_submitted", jobs_submitted_);
+  s.metrics.push("pool.jobs_completed", jobs_completed_);
+  s.metrics.push("pool.jobs_cancelled", jobs_cancelled_);
+  s.metrics.push("exec.control_acquisitions", exec_control_acquisitions_);
+  s.metrics.push("exec.control_hold_ns", exec_lock_hold_ns_);
+  s.metrics.push("shard.hits", shard_hits_);
+  s.metrics.push("queue.peak_occupancy", peak_local_queue_);
+  s.metrics.push("heap.allocs", heap.allocs);
+  s.metrics.push("heap.bytes", heap.bytes);
+  if (config_.trace != nullptr) {
+    s.metrics.push("trace.emitted", config_.trace->total_emitted());
+    s.metrics.push("trace.dropped", config_.trace->total_dropped());
+  }
   return s;
 }
 
@@ -186,7 +217,11 @@ void PoolRuntime::worker_main(WorkerId id) {
       RankedUniqueLock lock(mu_);
       // Explicit wait loop: the predicate touches mu_-guarded state, which
       // the analysis cannot track through a lambda.
-      while (!stop_ && !any_runnable_locked()) cv_.wait(lock);
+      if (!stop_ && !any_runnable_locked()) {
+        trace_event(id, kNoJobId, obs::TraceKind::kSleep);
+        while (!stop_ && !any_runnable_locked()) cv_.wait(lock);
+        trace_event(id, kNoJobId, obs::TraceKind::kWake);
+      }
       job = pick_job_locked();
       if (job == nullptr) {
         if (stop_) break;
@@ -246,7 +281,10 @@ void PoolRuntime::worker_main(WorkerId id) {
     // across executive calls). The open-CAS winner is the only caller, and
     // a peer that adopts before start() returns just sees an un-started
     // executive (acquire yields nothing) and rotates on.
-    if (must_start) job->exec.start();
+    if (must_start) {
+      trace_event(id, job->id, obs::TraceKind::kJobOpen);
+      job->exec.start();
+    }
 
     if (st != JobState::kRunning) {
       PAX_DCHECK(done.empty());
@@ -301,6 +339,7 @@ void PoolRuntime::worker_main(WorkerId id) {
       case Outcome::kRetry:
         break;
       case Outcome::kFinished: {
+        trace_event(id, job->id, obs::TraceKind::kJobFinalize);
         job->done_cv.notify_all();
         {
           const ShardStatsView ss = job->exec.stats();
@@ -336,6 +375,7 @@ void PoolRuntime::worker_main(WorkerId id) {
         // Release residency and let the policy pick whose tail to fill
         // next. refresh_probes() above keeps a drained job out of the pick
         // until it has work again.
+        trace_event(id, job->id, obs::TraceKind::kJobDrain);
         job.reset();
         break;
       }
@@ -349,6 +389,16 @@ void PoolRuntime::worker_main(WorkerId id) {
   // so spawn/join overhead never counts as pool idle time.
   const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - enter);
+  // Unified metrics: each worker writes only its own cells (obs/metrics.hpp
+  // per-worker sharding — no contention by construction, no lock needed).
+  metrics_.add(mid_.tasks, id, totals.tasks);
+  metrics_.add(mid_.granules, id, totals.granules);
+  metrics_.add(mid_.busy_ns, id, static_cast<std::uint64_t>(totals.busy.count()));
+  metrics_.add(mid_.wall_ns, id, static_cast<std::uint64_t>(wall.count()));
+  metrics_.add(mid_.steals, id, steals);
+  metrics_.add(mid_.steal_fails, id, steal_fails);
+  metrics_.add(mid_.rotations, id, rotations);
+  metrics_.add(mid_.job_locks, id, locks);
   RankedLock lock(mu_);
   busy_[id] += totals.busy;
   worker_wall_[id] = wall;
@@ -358,6 +408,17 @@ void PoolRuntime::worker_main(WorkerId id) {
   rotations_ += rotations;
   steals_ += steals;
   steal_fail_spins_ += steal_fails;
+}
+
+void PoolRuntime::trace_event(WorkerId w, std::uint64_t job_id,
+                              obs::TraceKind kind) {
+  if (config_.trace == nullptr) return;
+  obs::TraceRecord r;
+  r.ts_ns = obs::trace_now_ns();
+  r.job = job_id;
+  r.worker = static_cast<std::uint16_t>(w);
+  r.kind = kind;
+  config_.trace->ring(w).emit(r);
 }
 
 }  // namespace pax::pool

@@ -30,6 +30,8 @@
 #include "common/alloc_stats.hpp"
 #include "common/lock_rank.hpp"
 #include "common/thread_annotations.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
 #include "pool/job.hpp"
 #include "pool/pool_stats.hpp"
 #include "pool/scheduler_policy.hpp"
@@ -57,6 +59,15 @@ struct PoolConfig {
   bool steal = true;
   /// Steal-rate signal halves a job's effective grain during its rundown.
   bool adaptive_grain = true;
+  /// Optional trace buffer (non-owning; must outlive the pool and be sized
+  /// for >= `workers`). Null = tracing off. When set, workers write exec/
+  /// refill/steal records tagged with the resident job's id plus job
+  /// open/drain/finalize and sleep/wake lifecycle records into their own
+  /// rings. The pool installs NO control-track core sink: two workers
+  /// resident on different jobs hold independent control mutexes, so a
+  /// shared control ring would lose its single-writer contract — job lanes
+  /// come from the worker-side records (DESIGN.md §12).
+  obs::TraceBuffer* trace = nullptr;
 };
 
 class PoolRuntime {
@@ -101,10 +112,13 @@ class PoolRuntime {
             .batch = config_.batch,
             .queue_capacity = config_.queue_capacity,
             .steal = config_.steal,
-            .adaptive_grain = config_.adaptive_grain};
+            .adaptive_grain = config_.adaptive_grain,
+            .trace = config_.trace};
   }
 
   void worker_main(WorkerId id);
+  /// Emit a worker-track job-lifecycle record (no-op when tracing is off).
+  void trace_event(WorkerId w, std::uint64_t job_id, obs::TraceKind kind);
   /// Policy pick over the runnable jobs' atomic probes.
   std::shared_ptr<detail::Job> pick_job_locked() PAX_REQUIRES(mu_);
   [[nodiscard]] bool any_runnable_locked() const PAX_REQUIRES(mu_);
@@ -121,6 +135,14 @@ class PoolRuntime {
   /// Heap-traffic snapshot at construction (alloc_stats; zeros without the
   /// hooks), so stats() can report the pool's allocator footprint.
   AllocTotals heap0_;
+
+  /// Unified metrics registry (obs/metrics.hpp): workers accumulate into
+  /// their own cells at worker exit; stats() folds in the pool-plane values.
+  obs::MetricsRegistry metrics_;
+  struct MetricIds {
+    obs::MetricId tasks, granules, busy_ns, wall_ns, steals, steal_fails,
+        rotations, job_locks;
+  } mid_{};
 
   /// Pool bookkeeping mutex — guards everything below. Rank: pool (above
   /// the job rank: a thread never holds a job mutex and mu_ together; the

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace pax::pool {
 
 /// What one job cost, regardless of which workers ran it. Snapshot-able at
@@ -87,6 +89,11 @@ struct PoolStats {
   std::uint64_t heap_bytes = 0;
   std::vector<std::chrono::nanoseconds> worker_busy;
   std::vector<std::chrono::nanoseconds> worker_wall;  ///< in-worker_main span
+  /// Unified metrics snapshot (obs/metrics.hpp): the fields above under
+  /// stable dotted names plus the per-worker cell sums. Worker-side entries
+  /// finalize at shutdown(), like the legacy totals; test_obs pins the two
+  /// views equal.
+  obs::MetricsSnapshot metrics;
 
   /// Fraction of total worker wall time spent inside phase bodies (same
   /// definition as rt::RtResult::utilization()).

@@ -47,17 +47,28 @@ ThreadedRuntime::ThreadedRuntime(const PhaseProgram& program, ExecConfig config,
       exec_(program, config, costs,
             ShardConfig{.shards = rt_config_.shards,
                         .workers = rt_config_.workers,
-                        .batch = rt_config_.batch}),
+                        .batch = rt_config_.batch,
+                        .trace = rt_config_.trace}),
       dispatcher_(sched::DispatchConfig{.workers = rt_config_.workers,
                                         .batch = rt_config_.batch,
                                         .queue_capacity = rt_config_.queue_capacity,
                                         .steal = rt_config_.steal,
-                                        .adaptive_grain = rt_config_.adaptive_grain}),
+                                        .adaptive_grain = rt_config_.adaptive_grain,
+                                        .trace = rt_config_.trace}),
       busy_(rt_config_.workers, std::chrono::nanoseconds{0}),
-      worker_wall_(rt_config_.workers, std::chrono::nanoseconds{0}) {}
+      worker_wall_(rt_config_.workers, std::chrono::nanoseconds{0}) {
+  mid_.tasks = metrics_.register_counter("worker.tasks");
+  mid_.granules = metrics_.register_counter("worker.granules");
+  mid_.busy_ns = metrics_.register_counter("worker.busy_ns");
+  mid_.wall_ns = metrics_.register_counter("worker.wall_ns");
+  mid_.steals = metrics_.register_counter("worker.steals");
+  mid_.steal_fails = metrics_.register_counter("worker.steal_fail_spins");
+  mid_.wait_wakeups = metrics_.register_counter("worker.wait_wakeups");
+  metrics_.bind(rt_config_.workers);
+}
 
 void ThreadedRuntime::set_observer(std::function<void(const ExecEvent&)> obs) {
-  exec_.core_unsynchronized().observer = std::move(obs);
+  observer_fn_ = std::move(obs);
 }
 
 void ThreadedRuntime::wake_all() {
@@ -128,8 +139,25 @@ void ThreadedRuntime::worker_main(WorkerId id) {
       }
       RankedUniqueLock lock(mu_);
       if (!wake_pred()) {
+        // Trace the park/resume pair. Emitting under mu_ is harmless: mu_ is
+        // the sleep rank, never contended with the executive, and the ring
+        // write is a couple of stores.
+        if (rt_config_.trace != nullptr) {
+          obs::TraceRecord r;
+          r.ts_ns = obs::trace_now_ns();
+          r.worker = static_cast<std::uint16_t>(id);
+          r.kind = obs::TraceKind::kSleep;
+          rt_config_.trace->ring(id).emit(r);
+        }
         cv_.wait(lock, wake_pred);
         ++wait_locks;
+        if (rt_config_.trace != nullptr) {
+          obs::TraceRecord r;
+          r.ts_ns = obs::trace_now_ns();
+          r.worker = static_cast<std::uint16_t>(id);
+          r.kind = obs::TraceKind::kWake;
+          rt_config_.trace->ring(id).emit(r);
+        }
       }
       continue;
     }
@@ -153,6 +181,15 @@ void ThreadedRuntime::worker_main(WorkerId id) {
   // worker_main, so thread spawn/join overhead never counts as idle time.
   const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - enter);
+  // Unified metrics: each worker writes only its own cells (obs/metrics.hpp
+  // per-worker sharding — no contention by construction, no lock needed).
+  metrics_.add(mid_.tasks, id, stats.tasks);
+  metrics_.add(mid_.granules, id, stats.granules);
+  metrics_.add(mid_.busy_ns, id, static_cast<std::uint64_t>(stats.busy.count()));
+  metrics_.add(mid_.wall_ns, id, static_cast<std::uint64_t>(wall.count()));
+  metrics_.add(mid_.steals, id, steals);
+  metrics_.add(mid_.steal_fails, id, steal_fail_spins);
+  metrics_.add(mid_.wait_wakeups, id, wait_locks);
   RankedLock lock(mu_);
   busy_[id] += stats.busy;
   worker_wall_[id] = wall;
@@ -166,6 +203,23 @@ void ThreadedRuntime::worker_main(WorkerId id) {
 RtResult ThreadedRuntime::run() {
   PAX_CHECK_MSG(!ran_, "run() called twice");
   ran_ = true;
+
+  // Install the event-sink chain before the program starts: trace sink first
+  // (structural events onto the control-track ring), forwarding to the user
+  // sink or the observer shim. SAFETY: quiescent core access — no worker
+  // thread exists yet.
+  ExecEventSink* tail = user_sink_;
+  if (tail == nullptr && observer_fn_) {
+    observer_shim_ = std::make_unique<FunctionEventSink>(std::move(observer_fn_));
+    tail = observer_shim_.get();
+  }
+  if (rt_config_.trace != nullptr) {
+    trace_sink_ = std::make_unique<obs::TraceEventSink>(
+        rt_config_.trace->control_ring(), obs::kNoTraceJob, tail);
+    exec_.core_unsynchronized().set_event_sink(trace_sink_.get());
+  } else if (tail != nullptr) {
+    exec_.core_unsynchronized().set_event_sink(tail);
+  }
 
   const auto wall0 = std::chrono::steady_clock::now();
   const AllocTotals heap0 = alloc_stats::totals();
@@ -216,6 +270,25 @@ RtResult ThreadedRuntime::run() {
   // the core's final writes before these reads.
   res.ledger = exec_.core_unsynchronized().ledger();
   res.diagnostics = exec_.core_unsynchronized().diagnostics();
+
+  // Unified metrics surface: worker-cell sums first, then the control-plane
+  // and derived values pushed as plain snapshot entries (single-writer here;
+  // no cells needed).
+  res.metrics = metrics_.snapshot();
+  res.metrics.push("exec.control_acquisitions", ss.control_acquisitions);
+  res.metrics.push("exec.control_hold_ns", ss.control_hold_ns);
+  res.metrics.push("shard.hits", ss.shard_hits);
+  res.metrics.push("shard.sibling_hits", ss.sibling_hits);
+  res.metrics.push("shard.scattered", ss.scattered);
+  res.metrics.push("shard.count", res.shards_used);
+  res.metrics.push("queue.peak_occupancy", res.peak_local_queue);
+  res.metrics.push("heap.allocs", res.heap_allocs);
+  res.metrics.push("heap.bytes", res.heap_bytes);
+  res.metrics.push("run.wall_ns", static_cast<std::uint64_t>(res.wall.count()));
+  if (rt_config_.trace != nullptr) {
+    res.metrics.push("trace.emitted", rt_config_.trace->total_emitted());
+    res.metrics.push("trace.dropped", rt_config_.trace->total_dropped());
+  }
   return res;
 }
 

@@ -38,6 +38,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,8 @@
 #include "common/thread_annotations.hpp"
 #include "core/executive.hpp"
 #include "core/sharded_executive.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "runtime/body_table.hpp"
 #include "sched/dispatcher.hpp"
 
@@ -70,6 +73,13 @@ struct RtConfig {
   bool steal = true;
   /// Steal-rate signal halves the effective grain during rundown.
   bool adaptive_grain = true;
+  /// Optional trace buffer (non-owning; must outlive the runtime and be
+  /// sized for >= `workers`). Null = tracing off: every emit site in the
+  /// executive, dispatcher and worker loop is one untaken branch. When set,
+  /// workers write exec/refill/steal/sleep records into their own rings and
+  /// the run installs a control-track sink for structural events
+  /// (DESIGN.md §12); read the rings after run() returns.
+  obs::TraceBuffer* trace = nullptr;
 };
 
 /// Wall-clock results of a threaded run.
@@ -119,6 +129,11 @@ struct RtResult {
   std::uint64_t heap_bytes = 0;
   pax::MgmtLedger ledger;
   std::vector<std::string> diagnostics;
+  /// The unified metrics snapshot (obs/metrics.hpp): every counter above
+  /// plus per-worker accumulations under stable dotted names, so benches
+  /// and JSON reports read one uniform surface. The legacy fields stay for
+  /// source compatibility; test_obs pins the two views equal.
+  obs::MetricsSnapshot metrics;
 
   /// Fraction of total worker wall-time spent inside phase bodies.
   [[nodiscard]] double utilization() const;
@@ -138,9 +153,18 @@ class ThreadedRuntime {
   /// (bodies execute with no executive lock held).
   void submit_conflicting(RunId blocker, PhaseId phase, GranuleRange range);
 
-  /// Optional: forwarded to the core's observer (called under the executive
-  /// control mutex; keep it cheap). Must be set before run().
+  /// Optional: installed on the core as a FunctionEventSink (called under
+  /// the executive control mutex; keep it cheap). Must be set before run().
+  /// Compatibility shim for the retired `core.observer` std::function hook;
+  /// new code should prefer install_event_sink(). NOTE the ExecEvent::text
+  /// borrow rule applies: the view is valid only for the callback's
+  /// duration — copy it to keep it.
   void set_observer(std::function<void(const ExecEvent&)> obs);
+
+  /// Optional: install a raw sink (non-owning; must outlive run()). Mutually
+  /// chained with tracing — when RtConfig::trace is set, the trace sink runs
+  /// first and forwards every event here.
+  void install_event_sink(ExecEventSink* sink) { user_sink_ = sink; }
 
  private:
   void worker_main(WorkerId id);
@@ -154,6 +178,24 @@ class ThreadedRuntime {
 
   ShardedExecutive exec_;
   sched::Dispatcher dispatcher_;
+
+  /// The unified metrics registry (obs/metrics.hpp): worker-side counters
+  /// accumulate into per-worker cells (each worker writes only its own, at
+  /// worker exit — serialization by construction), and run() folds in the
+  /// control-plane values before snapshotting into RtResult::metrics.
+  obs::MetricsRegistry metrics_;
+  struct MetricIds {
+    obs::MetricId tasks, granules, busy_ns, wall_ns, steals, steal_fails,
+        wait_wakeups;
+  } mid_{};
+
+  /// Event-sink chain storage. The core holds raw pointers into these, so
+  /// they live on the runtime, installed at run() entry: trace sink first
+  /// (when RtConfig::trace is set), then the user sink / observer shim.
+  std::function<void(const ExecEvent&)> observer_fn_;
+  std::unique_ptr<FunctionEventSink> observer_shim_;
+  std::unique_ptr<obs::TraceEventSink> trace_sink_;
+  ExecEventSink* user_sink_ = nullptr;
 
   /// Sleep/accounting mutex: guards nothing in the executive — only the
   /// condition variable hand-shake and the per-worker result publication.

@@ -45,7 +45,11 @@ RefillOutcome Dispatcher::refill(ExecutiveCore& core, WorkerId w,
   core.request_work_batch(w, room, buf);
   push_reversed(w, buf);
   out.refilled = buf.size();
-  if (out.refilled > 0) note_event(/*was_steal=*/false);
+  if (out.refilled > 0) {
+    note_event(/*was_steal=*/false);
+    trace_event(w, obs::TraceKind::kRefill,
+                static_cast<std::uint32_t>(out.refilled));
+  }
   return out;
 }
 
@@ -70,7 +74,11 @@ RefillOutcome Dispatcher::refill(ShardedExecutive& ex, WorkerId w,
   out.refilled = ar.taken;
   out.completion.new_work = ar.new_work;
   out.completion.program_finished = ar.program_finished;
-  if (out.refilled > 0) note_event(/*was_steal=*/false);
+  if (out.refilled > 0) {
+    note_event(/*was_steal=*/false);
+    trace_event(w, obs::TraceKind::kRefill,
+                static_cast<std::uint32_t>(out.refilled));
+  }
   return out;
 }
 
@@ -95,6 +103,32 @@ void Dispatcher::drain_local(const rt::BodyTable& bodies, WorkerId w,
     stats.granules += a.range.size();
     ++stats.tasks;
     done.push_back(a.ticket);
+    if (config_.trace != nullptr) {
+      // Both records stamp from t0/t1 — the same reads that feed stats.busy
+      // — and both are emitted after the body, so tracing perturbs neither
+      // the busy measure nor the body itself. Exact consequence: with zero
+      // ring drops, summing (end - begin) over a worker's ring reproduces
+      // that worker's busy nanoseconds bit for bit (bench_t11 checks this).
+      obs::TraceRecord r;
+      r.job = config_.trace_job;
+      r.range = a.range;
+      r.phase = a.phase;
+      r.aux = static_cast<std::uint32_t>(a.range.size());
+      r.worker = static_cast<std::uint16_t>(w);
+      r.ts_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              t0.time_since_epoch())
+              .count());
+      r.kind = obs::TraceKind::kExecBegin;
+      obs::TraceRing& ring = config_.trace->ring(w);
+      ring.emit(r);
+      r.ts_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              t1.time_since_epoch())
+              .count());
+      r.kind = obs::TraceKind::kExecEnd;
+      ring.emit(r);
+    }
   }
 }
 
@@ -110,17 +144,35 @@ std::size_t Dispatcher::try_steal(WorkerId w) {
       victim = peer;
     }
   }
-  if (most == 0) return 0;
+  if (most == 0) {
+    trace_event(w, obs::TraceKind::kStealAttempt, 0);
+    return 0;
+  }
 
   const std::size_t room = capacity_ - std::min(capacity_, queues_[w]->size());
   if (room == 0) return 0;
   std::vector<Assignment>& buf = scratch_[w];
   buf.clear();
   const std::size_t got = queues_[victim]->steal(room, buf);
-  if (got == 0) return 0;  // victim raced dry
+  if (got == 0) {
+    trace_event(w, obs::TraceKind::kStealAttempt, 0);  // victim raced dry
+    return 0;
+  }
   push_reversed(w, buf);
   note_event(/*was_steal=*/true);
+  trace_event(w, obs::TraceKind::kStealSuccess, static_cast<std::uint32_t>(got));
   return got;
+}
+
+void Dispatcher::trace_event(WorkerId w, obs::TraceKind kind, std::uint32_t aux) {
+  if (config_.trace == nullptr) return;
+  obs::TraceRecord r;
+  r.ts_ns = obs::trace_now_ns();
+  r.job = config_.trace_job;
+  r.aux = aux;
+  r.worker = static_cast<std::uint16_t>(w);
+  r.kind = kind;
+  config_.trace->ring(w).emit(r);
 }
 
 bool Dispatcher::any_local_work() const {

@@ -62,6 +62,13 @@ struct DispatchConfig {
   bool steal = true;
   /// Steal-rate signal halves the effective grain during rundown.
   bool adaptive_grain = true;
+  /// Optional trace buffer (non-owning; null = off). drain_local stamps its
+  /// exec begin/end records from the SAME two clock reads that feed
+  /// BodyLoopStats::busy — tracing adds no clock call to the body loop and
+  /// the trace-vs-result busy sums match exactly (DESIGN.md §12).
+  obs::TraceBuffer* trace = nullptr;
+  /// Job lane tag on emitted records (the pool sets its job id here).
+  std::uint64_t trace_job = obs::kNoTraceJob;
 
   [[nodiscard]] std::size_t effective_capacity() const {
     if (queue_capacity != 0) return queue_capacity;
@@ -147,6 +154,8 @@ class Dispatcher {
 
  private:
   void note_event(bool was_steal);
+  /// Emit a worker-track instant record (no-op when tracing is off).
+  void trace_event(WorkerId w, obs::TraceKind kind, std::uint32_t aux);
 
   DispatchConfig config_;
   std::size_t capacity_;

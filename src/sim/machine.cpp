@@ -26,29 +26,31 @@ Machine::Machine(const PhaseProgram& program, ExecConfig exec_config,
   result_.shards = config_.shards;
   result_.shard_exec_ticks.assign(config_.shards, 0);
 
-  core_.observer = [this](const ExecEvent& ev) {
-    switch (ev.kind) {
-      case ExecEvent::Kind::kRunCreated: {
-        RunRecord rec;
-        rec.run = ev.run;
-        rec.phase = ev.phase;
-        rec.phase_name =
-            ev.phase == kNoPhase ? "<anon>" : program_.phase(ev.phase).name;
-        rec.created = now_;
-        rec.opened = now_;
-        result_.runs.push_back(rec);
-        break;
-      }
-      case ExecEvent::Kind::kRunOpened:
-        if (ev.run < result_.runs.size()) result_.runs[ev.run].opened = now_;
-        break;
-      case ExecEvent::Kind::kRunCompleted:
-        if (ev.run < result_.runs.size()) result_.runs[ev.run].completed = now_;
-        break;
-      default:
-        break;
+  core_.set_event_sink(this);
+}
+
+void Machine::on_event(const ExecEvent& ev) {
+  switch (ev.kind) {
+    case ExecEvent::Kind::kRunCreated: {
+      RunRecord rec;
+      rec.run = ev.run;
+      rec.phase = ev.phase;
+      rec.phase_name =
+          ev.phase == kNoPhase ? "<anon>" : program_.phase(ev.phase).name;
+      rec.created = now_;
+      rec.opened = now_;
+      result_.runs.push_back(rec);
+      break;
     }
-  };
+    case ExecEvent::Kind::kRunOpened:
+      if (ev.run < result_.runs.size()) result_.runs[ev.run].opened = now_;
+      break;
+    case ExecEvent::Kind::kRunCompleted:
+      if (ev.run < result_.runs.size()) result_.runs[ev.run].completed = now_;
+      break;
+    default:
+      break;
+  }
 }
 
 void Machine::push_event(Event e) {
@@ -297,6 +299,19 @@ SimResult Machine::run() {
   result_.heap_bytes = heap.bytes;
   result_.ledger = core_.ledger();
   result_.diagnostics = core_.diagnostics();
+  // Unified metrics surface (single-threaded run: one-shot pushes, no
+  // worker cells). Same dotted names as the threaded runtimes where the
+  // quantity corresponds; tick-valued entries say so in the suffix.
+  result_.metrics.push("worker.tasks", result_.tasks_executed);
+  result_.metrics.push("worker.granules", result_.granules_executed);
+  result_.metrics.push("worker.busy_ticks", result_.compute_ticks);
+  result_.metrics.push("worker.steals", result_.steals);
+  result_.metrics.push("exec.busy_ticks", result_.exec_ticks);
+  result_.metrics.push("exec.wait_ticks", result_.mgmt_wait_ticks);
+  result_.metrics.push("run.makespan_ticks", result_.makespan);
+  result_.metrics.push("shard.count", result_.shards);
+  result_.metrics.push("heap.allocs", result_.heap_allocs);
+  result_.metrics.push("heap.bytes", result_.heap_bytes);
   return std::move(result_);
 }
 

@@ -61,7 +61,9 @@ struct MachineConfig {
   SimTime max_time = kTimeNever;
 };
 
-class Machine {
+/// Privately an ExecEventSink: the machine installs itself on the core to
+/// timestamp run-lifecycle events into SimResult::runs.
+class Machine : private ExecEventSink {
  public:
   Machine(const PhaseProgram& program, ExecConfig exec_config, CostModel costs,
           Workload workload, MachineConfig config);
@@ -70,6 +72,10 @@ class Machine {
   SimResult run();
 
  private:
+  /// ExecEventSink: called synchronously from inside core_ entry points
+  /// (single-threaded; `now_` is the event's simulation time).
+  void on_event(const ExecEvent& ev) override;
+
   enum class JobKind : std::uint8_t { kStart, kRequest, kCompletion, kIdleWork };
 
   struct Job {

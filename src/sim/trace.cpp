@@ -73,4 +73,41 @@ SimTime SimResult::phase_completion(PhaseId phase) const {
   return t;
 }
 
+std::vector<obs::TraceRecord> trace_records_of(const SimResult& res) {
+  constexpr std::uint64_t kNsPerTick = 1000;  // 1 tick == 1 µs in the UI
+  std::vector<obs::TraceRecord> out;
+  out.reserve(2 * res.compute_intervals.size() + 2 * res.runs.size());
+  for (const Interval& iv : res.compute_intervals) {
+    obs::TraceRecord r;
+    r.job = obs::kNoTraceJob;
+    r.worker = static_cast<std::uint16_t>(iv.worker);
+    r.ts_ns = iv.begin * kNsPerTick;
+    r.kind = obs::TraceKind::kExecBegin;
+    out.push_back(r);
+    r.ts_ns = iv.end * kNsPerTick;
+    r.kind = obs::TraceKind::kExecEnd;
+    out.push_back(r);
+  }
+  for (const RunRecord& run : res.runs) {
+    obs::TraceRecord r;
+    r.job = obs::kNoTraceJob;
+    r.worker = obs::kControlTrack;
+    r.phase = run.phase;
+    r.aux = static_cast<std::uint32_t>(run.run);
+    r.ts_ns = run.opened * kNsPerTick;
+    r.kind = obs::TraceKind::kRunOpened;
+    out.push_back(r);
+    if (run.completed != kTimeNever) {
+      r.ts_ns = run.completed * kNsPerTick;
+      r.kind = obs::TraceKind::kRunCompleted;
+      out.push_back(r);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const obs::TraceRecord& a, const obs::TraceRecord& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
 }  // namespace pax::sim

@@ -12,6 +12,8 @@
 #include "core/cost_model.hpp"
 #include "core/granule.hpp"
 #include "core/phase.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
 
 namespace pax::sim {
 
@@ -76,6 +78,10 @@ class SimResult {
   std::vector<Interval> compute_intervals;  ///< empty if recording disabled
   pax::MgmtLedger ledger;
   std::vector<std::string> diagnostics;
+  /// Unified metrics snapshot (obs/metrics.hpp): the tick counters above
+  /// under the same dotted names the threaded runtimes use, so benches and
+  /// JSON reports read one uniform surface across sim and hardware runs.
+  obs::MetricsSnapshot metrics;
 
   /// Overall processor utilization: compute / (P * makespan).
   [[nodiscard]] double utilization() const;
@@ -99,5 +105,13 @@ class SimResult {
   /// the phase never completed).
   [[nodiscard]] SimTime phase_completion(PhaseId phase) const;
 };
+
+/// Adapt a simulation result to the trace-record schema so the one exporter
+/// (obs/trace_export.hpp) renders simulated and real timelines identically.
+/// Scale: 1 simulated tick = 1000 ns, so ticks read as microseconds in the
+/// Perfetto UI. Compute intervals become exec begin/end pairs on worker
+/// tracks; run lifecycles become control-track run opened/completed events.
+/// Requires recorded intervals (MachineConfig::record_intervals).
+[[nodiscard]] std::vector<obs::TraceRecord> trace_records_of(const SimResult& res);
 
 }  // namespace pax::sim

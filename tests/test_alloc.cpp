@@ -362,11 +362,12 @@ TEST(ExecEvents, BorrowedTextViewsAreCorrectAndEventsAllocationFree) {
   ExecutiveCore core(prog, cfg, CostModel::free_of_charge());
   std::string overlap_text;
   std::uint64_t events = 0;
-  core.observer = [&](const ExecEvent& ev) {
+  FunctionEventSink sink([&](const ExecEvent& ev) {
     ++events;
     if (ev.kind == ExecEvent::Kind::kOverlapSetUp)
       overlap_text.assign(ev.text);  // must copy to retain
-  };
+  });
+  core.set_event_sink(&sink);
   core.start();
   std::vector<Assignment> out;
   std::vector<Ticket> done;

@@ -234,10 +234,11 @@ TEST(ExecutiveConflicts, DynamicallySubmittedWorkWaitsForBlocker) {
 
   // Grab the blocker run's id through the observer.
   RunId blocker = kNoRun;
-  core.observer = [&](const ExecEvent& ev) {
+  FunctionEventSink sink([&](const ExecEvent& ev) {
     if (ev.kind == ExecEvent::Kind::kRunCreated && blocker == kNoRun)
       blocker = ev.run;
-  };
+  });
+  core.set_event_sink(&sink);
   auto first = core.request_work(0);
   ASSERT_TRUE(first.has_value());
   blocker = first->run;
@@ -326,10 +327,11 @@ TEST(ExecutiveBranch, PhaseIndependentBranchIsPreprocessedForOverlap) {
   cfg.grain = 8;
   bool b_created_early = false;
   ExecutiveCore core(prog, cfg, CostModel{});
-  core.observer = [&](const ExecEvent& ev) {
+  FunctionEventSink sink([&](const ExecEvent& ev) {
     if (ev.kind == ExecEvent::Kind::kOverlapSetUp && ev.phase == 1)
       b_created_early = true;
-  };
+  });
+  core.set_event_sink(&sink);
   core.start();
   EXPECT_TRUE(b_created_early);
 
@@ -712,9 +714,10 @@ TEST(BatchedProtocol, BatchCompletionCoalescesEnablementEvents) {
     cfg.defer_map_build = false;  // map exists before the first completion
     ExecutiveCore core(prog, cfg, CostModel{});
     std::uint64_t enable_events = 0;
-    core.observer = [&](const ExecEvent& ev) {
+    FunctionEventSink sink([&](const ExecEvent& ev) {
       if (ev.kind == ExecEvent::Kind::kGranulesEnabled) ++enable_events;
-    };
+    });
+    core.set_event_sink(&sink);
     core.start();
     std::size_t spins = 0;
     while (!core.finished() || core.work_available()) {
