@@ -188,7 +188,9 @@ int main(int argc, char** argv) {
   ModeMetrics off, on;
   for (int attempt = 0; attempt < kAttempts && !gate2; ++attempt) {
     // Interleave the repetitions (off,on,off,on,...) so slow host-load drift
-    // hits both modes evenly instead of biasing whichever ran last.
+    // hits both modes evenly instead of biasing whichever ran last. Both
+    // arms ride the shipped (lock-free) shard engine — the engine is held
+    // equal so this gate keeps isolating tracing; bench_t12 gates engines.
     std::vector<rt::RtResult> off_reps, on_reps;
     for (int i = 0; i < kReps; ++i) {
       off_reps.push_back(run_t9_protocol(workers, kAutoShards));

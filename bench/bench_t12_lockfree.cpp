@@ -1,0 +1,391 @@
+// bench_t12_lockfree — Experiment T12.
+//
+// PR 4 sharded the executive's worker-facing state behind per-shard mutexes;
+// this bench gates the layer that retires those mutexes from the warm path:
+// the bounded MPMC ring engine (core/mpmc_ring.hpp, DESIGN.md §13). A warm
+// acquire is now a lock-free pop from the home ready ring (plus a lock-free
+// sibling probe and a lock-free deposit push) — no mutex of any kind — while
+// the control sweep keeps every slow-path duty it had: drain deposit rings,
+// coalesced retire, scatter with overflow spill, elevated releases.
+//
+// Both arms run bench_util's shared T9 protocol at 16+ workers so the
+// comparison can never drift onto a different workload:
+//   baseline arm: ShardConfig.lockfree = false — the PR 4 mutex shards,
+//     their warm shard-mutex sections counted by ShardLockTimer into
+//     shard_lock_acquisitions / shard_lock_hold_ns;
+//   lock-free arm: ShardConfig.lockfree = true — the shipped default.
+//
+// The gated metric is TOTAL scheduler-lock traffic, control mutex + shard
+// mutexes combined: (refill + shard lock acquisitions)/granule and
+// (control + shard hold ns)/granule. Counting only the control mutex would
+// let the rings win by shuffling cost into the shard mutexes (or vice
+// versa); the combined totals close that loophole.
+//
+// Exit status: non-zero when, at the full worker count (medians of 3, up to
+// 4 attempts, interleaved), the lock-free arm fails to hold BOTH combined
+// metrics strictly below the mutex baseline, or fails rundown-window
+// utilization >= baseline, or its warm-path heap traffic misses the T10
+// bar (>= 10x below the pre-rework 0.123 allocs/granule, measured over the
+// same deterministic warm window discipline as bench_t10_alloc), or the
+// warm acquire cost stops being O(taken) — cost at ring depth 4096 must
+// stay within 4x of depth 64 (the old erase-from-front was O(buffer), and
+// ran away with depth; this pins the fix of that defect), or granule
+// counts drift.
+//
+// `--check` runs the correctness matrix instead — bench_t9_shard's matrix
+// on the lock-free engine (shard geometries x mid-run elevated conflicting
+// submission x census cross-checks) — the mode the TSAN CI job executes so
+// ring publish/consume races surface under ThreadSanitizer.
+#define PAX_ALLOC_STATS_IMPLEMENT
+#include "common/alloc_stats.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/sharded_executive.hpp"
+#include "runtime/threaded_runtime.hpp"
+
+namespace {
+
+using namespace pax;
+
+constexpr std::uint64_t kTotal = pax::bench::kT9Total;
+constexpr std::uint32_t kBatch = pax::bench::kT9Batch;
+
+using pax::bench::RundownProbe;
+using pax::bench::fixed;
+using pax::bench::run_t9_protocol;
+using pax::bench::spin;
+
+struct RunOut {
+  rt::RtResult res;
+  double rundown_util = 0.0;
+};
+
+RunOut run_once(std::uint32_t workers, bool lockfree) {
+  RundownProbe probe(kTotal);
+  RunOut out;
+  // Both arms at kAutoShards: same geometry, same workload — the engine is
+  // the only variable.
+  out.res = run_t9_protocol(workers, kAutoShards, &probe, nullptr, lockfree);
+  out.rundown_util = probe.window_utilization(workers);
+  return out;
+}
+
+/// Combined scheduler-lock acquisitions per granule: control-mutex refill
+/// sections plus warm shard-mutex sections. The lock-free arm's shard term
+/// is structurally zero; the baseline pays both.
+double total_locks_per_granule(const rt::RtResult& r) {
+  return static_cast<double>(r.refill_lock_acquisitions +
+                             r.shard_lock_acquisitions) /
+         static_cast<double>(r.granules_executed);
+}
+
+/// Combined acquire-to-release hold ns per granule, same two terms.
+double total_hold_ns_per_granule(const rt::RtResult& r) {
+  return static_cast<double>(r.exec_lock_hold_ns + r.shard_lock_hold_ns) /
+         static_cast<double>(r.granules_executed);
+}
+
+/// Median of repetitions by the given key.
+template <typename Key>
+const RunOut& median_by(std::vector<RunOut>& reps, Key key) {
+  std::sort(reps.begin(), reps.end(),
+            [&](const RunOut& x, const RunOut& y) { return key(x) < key(y); });
+  return reps[reps.size() / 2];
+}
+
+struct ModeMetrics {
+  double lpg = 0.0;   // combined lock acquisitions / granule
+  double hold = 0.0;  // combined lock hold ns / granule
+  double util = 0.0;  // rundown-window utilization
+  RunOut mid;         // utilization-median repetition, for table rows
+  bool granules_ok = true;
+};
+
+ModeMetrics metrics_of(std::vector<RunOut> r) {
+  ModeMetrics m;
+  for (const RunOut& x : r)
+    if (x.res.granules_executed != kTotal) m.granules_ok = false;
+  m.lpg = total_locks_per_granule(
+      median_by(r, [](const RunOut& x) { return total_locks_per_granule(x.res); })
+          .res);
+  m.hold = total_hold_ns_per_granule(
+      median_by(r,
+                [](const RunOut& x) { return total_hold_ns_per_granule(x.res); })
+          .res);
+  const RunOut& mid = median_by(r, [](const RunOut& x) { return x.rundown_util; });
+  m.util = mid.rundown_util;
+  m.mid = mid;
+  return m;
+}
+
+// --- warm-window heap traffic on the lock-free engine ------------------------
+// Same discipline as bench_t10_alloc's gate 1 (skip the first 500 cycles of
+// map build and high-water growth, then count), but driven through the
+// sharded executive's acquire protocol so the rings themselves — pops,
+// deposit pushes, sweeps, spill — are the measured path. Deterministic:
+// one thread plays the worker protocol against the lock-free engine.
+
+struct SteadyState {
+  double allocs_per_granule = 0.0;
+  double bytes_per_granule = 0.0;
+  std::uint64_t granules = 0;
+};
+
+SteadyState steady_state_allocs_lockfree() {
+  const GranuleId n = 200000;
+  PhaseProgram prog;
+  prog.define_phase(make_phase("a", n).writes("X"));
+  prog.define_phase(make_phase("b", n).reads("X").writes("Y"));
+  EnableClause clause{"b", MappingKind::kReverseIndirect, {}};
+  clause.indirection.requires_of = [n](GranuleId r, std::vector<GranuleId>& out) {
+    out.insert(out.end(), {r, (r * 7 + 3) % n, (r * 13 + 11) % n});
+  };
+  prog.dispatch(0, {clause});
+  prog.dispatch(1);
+  prog.halt();
+
+  ExecConfig cfg;
+  cfg.grain = 16;
+  cfg.defer_map_build = false;
+  ShardConfig sc;
+  sc.shards = 2;
+  sc.workers = 2;
+  sc.batch = 16;  // lockfree defaults true: rings are the measured engine
+  ShardedExecutive exec(prog, cfg, CostModel::free_of_charge(), sc);
+  exec.start();
+
+  std::vector<Assignment> out;
+  out.reserve(64);
+  std::vector<Ticket> done;
+  done.reserve(64);
+  SteadyState res;
+  std::uint64_t measured_allocs = 0, measured_bytes = 0;
+  int cycles = 0, dry = 0;
+  while (!exec.finished() && dry < 10000) {
+    out.clear();
+    const AllocTotals t0 = alloc_stats::thread_totals();
+    const ShardAcquire r = exec.acquire(0, 16, done, out);
+    // acquire() consumed `done` (deposited or retired); refill it with this
+    // cycle's tickets for the next call — the worker protocol verbatim.
+    done.clear();
+    for (const Assignment& a : out) done.push_back(a.ticket);
+    ++cycles;
+    if (cycles > 500) {
+      const AllocTotals d = alloc_stats::delta(t0, alloc_stats::thread_totals());
+      measured_allocs += d.allocs;
+      measured_bytes += d.bytes;
+      for (const Assignment& a : out) res.granules += a.range.size();
+    }
+    dry = r.taken == 0 ? dry + 1 : 0;
+  }
+  if (!done.empty()) {
+    out.clear();
+    exec.acquire(0, 0, done, out);  // retire the final batch
+  }
+  if (res.granules > 0) {
+    res.allocs_per_granule =
+        static_cast<double>(measured_allocs) / static_cast<double>(res.granules);
+    res.bytes_per_granule =
+        static_cast<double>(measured_bytes) / static_cast<double>(res.granules);
+  }
+  return res;
+}
+
+// --- correctness matrix (--check; runs in the TSAN CI job) -------------------
+// bench_t9_shard's matrix with the engine flipped to lock-free: the same
+// shard geometries, the same mid-run elevated conflicting submission, the
+// same census/total cross-checks — TSAN watches the ring publish edges.
+
+bool check_mode() {
+  bool ok = true;
+  auto expect = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::fprintf(stderr, "t12 check FAILED: %s\n", what);
+      ok = false;
+    }
+  };
+
+  for (std::uint32_t shards : {1u, 2u, 7u, kAutoShards}) {
+    const GranuleId n = 224;
+    PhaseProgram prog;
+    const PhaseId a = prog.define_phase(make_phase("a", n).writes("X"));
+    const PhaseId b = prog.define_phase(make_phase("b", n).reads("X").writes("Y"));
+    const PhaseId c = prog.define_phase(make_phase("c", 16).reads("X").writes("Z"));
+    prog.dispatch(a, {EnableClause{"b", MappingKind::kIdentity, {}}});
+    prog.dispatch(b);
+    prog.halt();
+
+    std::atomic<std::uint64_t> a_done{0}, b_done{0}, c_done{0};
+    std::atomic<bool> submitted{false};
+    rt::ThreadedRuntime* rt_ptr = nullptr;
+    rt::BodyTable bodies;
+    bodies.set(a, [&](GranuleRange r, WorkerId) {
+      if (!submitted.exchange(true))
+        rt_ptr->submit_conflicting(/*blocker=*/0, c, {0, 16});
+      spin(200);
+      a_done.fetch_add(r.size(), std::memory_order_relaxed);
+    });
+    bodies.set(b, [&](GranuleRange r, WorkerId) {
+      expect(a_done.load(std::memory_order_relaxed) > 0, "b ran before any a");
+      b_done.fetch_add(r.size(), std::memory_order_relaxed);
+    });
+    bodies.set(c, [&](GranuleRange r, WorkerId) {
+      expect(a_done.load(std::memory_order_relaxed) == n,
+             "conflicting c ran before its blocker completed");
+      c_done.fetch_add(r.size(), std::memory_order_relaxed);
+    });
+
+    ExecConfig cfg;
+    cfg.grain = 4;
+    rt::RtConfig rc;
+    rc.workers = 4;
+    rc.batch = 4;
+    rc.shards = shards;
+    rc.lockfree = true;  // the engine under test (t9 --check pins the mutex one)
+    rt::ThreadedRuntime runtime(prog, cfg, CostModel::free_of_charge(), bodies, rc);
+    rt_ptr = &runtime;
+    const rt::RtResult res = runtime.run();
+    // run() already validated the ring-aware shard census; cross-check totals.
+    expect(res.granules_executed == 2ull * n + 16, "granule total drifted");
+    expect(a_done.load() == n && b_done.load() == n && c_done.load() == 16,
+           "per-phase counts drifted");
+    expect(res.exec_lock_acquisitions ==
+               res.refill_lock_acquisitions + res.wait_lock_acquisitions,
+           "lock-split identity broken");
+    // Warm handouts must be lock-free: the shard-mutex warm sections the
+    // ShardLockTimer counts exist only in the mutex engine.
+    expect(res.shard_lock_acquisitions == 0 && res.shard_lock_hold_ns == 0,
+           "lock-free engine took a warm shard mutex");
+    // shard_hits/sibling_hits count served CALLS, ring_pops counts popped
+    // ASSIGNMENTS — every warm hit pops at least one, so pops >= hits, and
+    // warm pops happen only through acquire_lockfree (never sweeps).
+    if (shards > 1)
+      expect(res.shard_ring_pops >= res.shard_hits + res.shard_sibling_hits,
+             "ring pops fewer than the warm hits they served");
+  }
+  std::printf("t12 correctness matrix: %s\n", ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pax;
+  using namespace pax::bench;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--check") == 0) return check_mode() ? 0 : 1;
+
+  JsonReport json = JsonReport::from_args(argc, argv);
+  print_banner("T12 — lock-free shard handout: MPMC rings vs mutex shards",
+               "the warm worker protocol — pop work, probe a sibling, park "
+               "finished tickets — takes no mutex at all; every mutex that "
+               "remains is a slow-path control sweep");
+
+  const std::uint32_t workers =
+      std::max(16u, std::min(32u, std::thread::hardware_concurrency()));
+  json.set_meta("workers", workers);
+  json.set_meta("batch", kBatch);
+  json.set_meta("engines", "mutex baseline vs lock-free rings");
+  constexpr int kReps = 3;
+  constexpr int kAttempts = 4;  // whole-measurement retries against host noise
+
+  // --- gate: combined lock traffic, hold time, rundown utilization -----------
+  bool gate1 = false;
+  ModeMetrics base, lf;
+  for (int attempt = 0; attempt < kAttempts && !gate1; ++attempt) {
+    // Interleave the repetitions (m,l,m,l,...) so slow host-load drift hits
+    // both engines evenly instead of biasing whichever ran last.
+    std::vector<RunOut> base_reps, lf_reps;
+    for (int i = 0; i < kReps; ++i) {
+      base_reps.push_back(run_once(workers, /*lockfree=*/false));
+      lf_reps.push_back(run_once(workers, /*lockfree=*/true));
+    }
+    base = metrics_of(std::move(base_reps));
+    lf = metrics_of(std::move(lf_reps));
+    gate1 = base.granules_ok && lf.granules_ok && lf.lpg < base.lpg &&
+            lf.hold < base.hold && lf.util >= base.util;
+  }
+
+  Table t("T12 — mutex-shard (PR 4) baseline vs lock-free rings");
+  t.header({"workers", "engine", "shards", "granules", "locks/g", "hold ns/g",
+            "ring pops", "dry probes", "push full", "cas retries",
+            "rundown util", "wall ms"});
+  for (const ModeMetrics* m : {&base, &lf}) {
+    const rt::RtResult& r = m->mid.res;
+    t.row({std::to_string(workers), m == &base ? "mutex" : "lock-free",
+           std::to_string(r.shards_used), Table::count(r.granules_executed),
+           fixed(m->lpg, 4), fixed(m->hold, 1), Table::count(r.shard_ring_pops),
+           Table::count(r.shard_ring_pop_empty),
+           Table::count(r.shard_ring_push_full),
+           Table::count(r.shard_ring_cas_retries), Table::pct(m->util, 1),
+           fixed(static_cast<double>(r.wall.count()) / 1e6, 1)});
+    const std::string config = "workers=" + std::to_string(workers) +
+                               " batch=" + std::to_string(kBatch) + " engine=" +
+                               (m == &base ? "mutex" : "lockfree");
+    json.add("t12_lockfree", "total_locks_per_granule", m->lpg, config);
+    json.add("t12_lockfree", "total_hold_ns_per_granule", m->hold, config);
+    json.add("t12_lockfree", "rundown_utilization", m->util, config);
+    json.add("t12_lockfree", "ring_pops",
+             static_cast<double>(r.shard_ring_pops), config);
+    json.add("t12_lockfree", "ring_push_full",
+             static_cast<double>(r.shard_ring_push_full), config);
+  }
+  t.print(std::cout);
+
+  // --- gate: warm-window heap traffic still at the T10 bar --------------------
+  const SteadyState ss = steady_state_allocs_lockfree();
+  const bool gate2 = ss.granules > 0 &&
+                     ss.allocs_per_granule * bench::kT10RequiredReduction <=
+                         bench::kT10PreReworkAllocsPerGranule;
+  Table t2("T12b — lock-free warm window heap traffic (T10 discipline)");
+  t2.header({"granules", "allocs/granule", "bytes/granule", "t10 bar"});
+  t2.row({Table::count(ss.granules), fixed(ss.allocs_per_granule, 4),
+          fixed(ss.bytes_per_granule, 1),
+          fixed(bench::kT10PreReworkAllocsPerGranule /
+                    bench::kT10RequiredReduction,
+                4)});
+  t2.print(std::cout);
+  json.add("t12_lockfree", "steady_allocs_per_granule", ss.allocs_per_granule,
+           "grain=16 batch=16 reverse-indirect fan=3 lockfree");
+
+  // --- gate: warm acquire cost is O(taken), not O(buffer) ---------------------
+  // The mutex engine's take_from erased from the front of a vector: each
+  // single-assignment acquire paid O(resident buffer), so cost at depth 4096
+  // ran away from cost at depth 64. The ring pop is O(taken); the ratio
+  // between a deep and a shallow ring must stay flat.
+  const double cost_shallow = warm_acquire_cost_ns(64);
+  const double cost_deep = warm_acquire_cost_ns(4096);
+  const double ratio = cost_shallow > 0.0 ? cost_deep / cost_shallow : 1e9;
+  const bool gate3 = cost_shallow > 0.0 && ratio < 4.0;
+  Table t3("T12c — warm single-assignment acquire vs resident ring depth");
+  t3.header({"depth 64 ns", "depth 4096 ns", "ratio", "bound"});
+  t3.row({fixed(cost_shallow, 1), fixed(cost_deep, 1), fixed(ratio, 2), "< 4"});
+  t3.print(std::cout);
+  json.add("t12_lockfree", "warm_acquire_ns_depth64", cost_shallow, "lockfree");
+  json.add("t12_lockfree", "warm_acquire_ns_depth4096", cost_deep, "lockfree");
+
+  const bool pass = gate1 && gate2 && gate3;
+  std::printf(
+      "\nacceptance at %u workers (medians of %d, up to %d attempts): combined "
+      "locks/granule %.4f vs mutex baseline %.4f (need <), combined hold "
+      "ns/granule %.1f vs %.1f (need <), rundown-window utilization %.1f%% vs "
+      "%.1f%% (need >=): %s; warm allocs/granule %.4f vs bar %.4f (need <=): "
+      "%s; acquire cost ratio %.2f (need < 4): %s => %s\n",
+      workers, kReps, kAttempts, lf.lpg, base.lpg, lf.hold, base.hold,
+      100.0 * lf.util, 100.0 * base.util, gate1 ? "PASS" : "FAIL",
+      ss.allocs_per_granule,
+      bench::kT10PreReworkAllocsPerGranule / bench::kT10RequiredReduction,
+      gate2 ? "PASS" : "FAIL", ratio, gate3 ? "PASS" : "FAIL",
+      pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

@@ -61,7 +61,11 @@ struct RunOut {
 RunOut run_once(std::uint32_t workers, std::uint32_t shards) {
   RundownProbe probe(kTotal);
   RunOut out;
-  out.res = run_t9_protocol(workers, shards, &probe);
+  // lockfree pinned OFF on BOTH arms: this gate isolates the sharding layer
+  // (PR 4's mutex shards vs the 1-shard protocol), and must keep doing so
+  // now that the shipped default is the PR 8 lock-free engine — which has
+  // its own gate (bench_t12_lockfree) against this bench's sharded arm.
+  out.res = run_t9_protocol(workers, shards, &probe, nullptr, /*lockfree=*/false);
   out.rundown_util = probe.window_utilization(workers);
   return out;
 }
@@ -157,6 +161,10 @@ bool check_mode() {
     rc.workers = 4;
     rc.batch = 4;
     rc.shards = shards;
+    // Mutex engine, matching the perf arms above: with the shipped default
+    // now lock-free, this matrix is what keeps the retained baseline under
+    // TSAN (bench_t12_lockfree --check covers the lock-free engine).
+    rc.lockfree = false;
     rt::ThreadedRuntime runtime(prog, cfg, CostModel::free_of_charge(), bodies, rc);
     rt_ptr = &runtime;
     const rt::RtResult res = runtime.run();

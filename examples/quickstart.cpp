@@ -120,6 +120,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.shard_sibling_hits),
               static_cast<unsigned long long>(result.shard_scattered),
               static_cast<double>(result.exec_lock_hold_ns) / 1e3);
+  // Lock-free/slow-path split (DESIGN.md §13): warm assignments popped from
+  // the shard rings with no mutex vs. control sweeps; dry probes and refused
+  // pushes show how often the slow path absorbed an edge case.
+  std::printf("lock-free handout : %llu ring pops (dry probes %llu, "
+              "push overflows %llu, cas retries %llu)\n",
+              static_cast<unsigned long long>(result.shard_ring_pops),
+              static_cast<unsigned long long>(result.shard_ring_pop_empty),
+              static_cast<unsigned long long>(result.shard_ring_push_full),
+              static_cast<unsigned long long>(result.shard_ring_cas_retries));
   // Heap traffic of the whole run (alloc_stats hooks): the steady-state
   // scheduling path allocates nothing, so this amortizes toward zero.
   std::printf("heap traffic      : %.4f allocs/granule (%llu allocs, %llu KiB)\n",

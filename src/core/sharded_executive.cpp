@@ -45,6 +45,29 @@ class ControlTimer {
   std::uint64_t t0_;
 };
 
+/// Same span discipline for the mutex engine's warm-path shard sections
+/// (deposit, home take, sibling take) — the traffic the lock-free rings
+/// retire. Deliberately NOT placed on the shard locks a sweep takes while
+/// it already holds the control mutex: those are inside control_hold_ns
+/// already, and double-counting them would flatter the rings in bench_t12's
+/// total-lock-cost comparison.
+class ShardLockTimer {
+ public:
+  explicit ShardLockTimer(ShardStats& stats) : stats_(stats), t0_(now_ns()) {
+    stats_.shard_lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ShardLockTimer() {
+    stats_.shard_lock_hold_ns.fetch_add(now_ns() - t0_,
+                                        std::memory_order_relaxed);
+  }
+  ShardLockTimer(const ShardLockTimer&) = delete;
+  ShardLockTimer& operator=(const ShardLockTimer&) = delete;
+
+ private:
+  ShardStats& stats_;
+  std::uint64_t t0_;
+};
+
 }  // namespace
 
 std::uint32_t ShardConfig::resolve(GranuleId max_granules) const {
@@ -72,6 +95,7 @@ ShardedExecutive::ShardedExecutive(const PhaseProgram& program,
       nshards_(config.resolve(max_phase_granules(program))),
       depth_(config.effective_depth()),
       flush_(config.effective_flush()),
+      lockfree_(config.lockfree),
       trace_(config.trace),
       trace_job_(config.trace_job),
       core_(program, exec_config, costs) {
@@ -84,13 +108,29 @@ ShardedExecutive::ShardedExecutive(const PhaseProgram& program,
   shards_.reserve(nshards_);
   for (std::uint32_t s = 0; s < nshards_; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->ready.reserve(depth_);
-    shard->deposits.reserve(std::max<std::size_t>(flush_, max_outstanding));
+    if (lockfree_) {
+      // Rings sized like the vectors they replace: the ready ring holds one
+      // scatter depth, the deposit ring the worst-case outstanding tickets.
+      // Allocated here, once — the warm path never allocates (t10/t12).
+      shard->ready_ring = std::make_unique<MpmcRing<Assignment>>(depth_);
+      shard->deposit_ring = std::make_unique<MpmcRing<Ticket>>(
+          std::max<std::size_t>(flush_, max_outstanding));
+    } else {
+      shard->ready.reserve(depth_);
+      shard->deposits.reserve(std::max<std::size_t>(flush_, max_outstanding));
+    }
     shards_.push_back(std::move(shard));
   }
   sweep_tickets_.reserve(
       std::max<std::size_t>(static_cast<std::size_t>(flush_) * nshards_,
                             max_outstanding));
+  if (lockfree_) {
+    scatter_buf_.reserve(depth_);
+    // The spill only ever holds assignments a full ring refused; one depth
+    // per shard is far beyond what the transient-full window can park, so
+    // growth past this reserve is effectively unreachable.
+    scatter_spill_.reserve(static_cast<std::size_t>(depth_) * nshards_);
+  }
 }
 
 void ShardedExecutive::publish_core_census() {
@@ -133,26 +173,121 @@ std::size_t ShardedExecutive::take_from(Shard& s, std::size_t max_n,
   return n;
 }
 
+std::size_t ShardedExecutive::pop_from(Shard& s, std::size_t max_n,
+                                       std::vector<Assignment>& out) {
+  // Hint gate: don't touch (and cache-bounce) an empty ring's cursors. A
+  // stale hint costs one probe, never correctness — the pop re-checks.
+  if (s.ready_n.load(std::memory_order_relaxed) == 0) return 0;
+  std::size_t got = 0;
+  Assignment a;
+  // FIFO pops preserve handout order per scatter batch (the ring is the
+  // order; partial takes leave the remainder in place by construction).
+  while (got < max_n && s.ready_ring->try_pop(a)) {
+    out.push_back(a);
+    ++got;
+  }
+  if (got == 0) {
+    // The hint said non-empty but the ring came up dry: a racing consumer
+    // beat us (or a scatter's publish is in flight). Counted so the
+    // hint-quality signal is visible in the stats split.
+    stats_.ring_pop_empty.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  s.ready_n.fetch_sub(static_cast<std::uint32_t>(got), std::memory_order_relaxed);
+  ready_.fetch_sub(static_cast<std::int64_t>(got), std::memory_order_relaxed);
+  stats_.ring_pops.fetch_add(got, std::memory_order_relaxed);
+  return got;
+}
+
+std::uint64_t ShardedExecutive::scatter_spill(WorkerId w, ShardAcquire& res) {
+  if (scatter_spill_.empty()) return 0;
+  // Oldest first: spilled assignments were carved before anything a later
+  // sweep scatters, and rundown fairness wants old work back in circulation
+  // before fresh work piles behind it.
+  std::size_t idx = 0;
+  std::uint64_t touched = 0;
+  for (std::uint32_t i = 0; idx < scatter_spill_.size() && i < nshards_; ++i) {
+    Shard& s = *shards_[(home_of(w) + 1 + i) % nshards_];
+    std::size_t room =
+        depth_ - std::min<std::size_t>(depth_, s.ready_ring->approx_size());
+    if (room == 0) continue;
+    std::size_t pushed = 0;
+    while (room > 0 && idx < scatter_spill_.size()) {
+      if (!s.ready_ring->try_push(scatter_spill_[idx])) {
+        stats_.ring_push_full.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      ++idx;
+      --room;
+      ++pushed;
+    }
+    if (pushed > 0) {
+      s.ready_n.fetch_add(static_cast<std::uint32_t>(pushed),
+                          std::memory_order_relaxed);
+      stats_.scattered.fetch_add(pushed, std::memory_order_relaxed);
+      ++touched;
+      res.new_work = true;
+    }
+  }
+  if (idx > 0) {
+    // ready_ is NOT adjusted: spilled assignments already count in the
+    // census (they became reachable work the moment they were carved).
+    scatter_spill_.erase(scatter_spill_.begin(),
+                         scatter_spill_.begin() + static_cast<std::ptrdiff_t>(idx));
+    spill_n_.store(static_cast<std::uint32_t>(scatter_spill_.size()),
+                   std::memory_order_relaxed);
+  }
+  return touched;
+}
+
 void ShardedExecutive::sweep_locked(ShardAcquire& res, WorkerId w,
                                     std::size_t max_n,
-                                    std::vector<Assignment>& out) {
-  // Collect the deposit boxes (shard locks nest inside the control mutex —
-  // rank control < shard, enforced by the lock-rank validator in debug
-  // builds). The occupancy hint skips empty shards without locking them — a
-  // deposit racing past the hint read is simply retired by the next sweep.
+                                    std::vector<Assignment>& out,
+                                    std::vector<Ticket>* direct) {
+  // Collect the deposit boxes. Mutex engine: shard locks nest inside the
+  // control mutex (rank control < shard, enforced by the lock-rank validator
+  // in debug builds). Lock-free engine: multi-consumer pops — no lock, the
+  // control mutex only serializes sweeps against each other. Either way the
+  // occupancy hint skips empty shards; a deposit racing past the hint read
+  // is simply retired by the next sweep.
   sweep_tickets_.clear();
-  for (auto& shard : shards_) {
-    if (shard->deposit_n.load(std::memory_order_relaxed) == 0) continue;
-    RankedLock sl(shard->mu);
-    sweep_tickets_.insert(sweep_tickets_.end(), shard->deposits.begin(),
-                          shard->deposits.end());
-    shard->deposits.clear();
-    shard->deposit_n.store(0, std::memory_order_relaxed);
+  if (lockfree_) {
+    for (auto& shard : shards_) {
+      if (shard->deposit_n.load(std::memory_order_relaxed) == 0) continue;
+      Ticket t;
+      std::uint64_t popped = 0;
+      while (shard->deposit_ring->try_pop(t)) {
+        sweep_tickets_.push_back(t);
+        ++popped;
+      }
+      // fetch_sub, not store(0): workers push new deposits concurrently with
+      // this drain, and their hint increments must not be wiped.
+      if (popped > 0)
+        shard->deposit_n.fetch_sub(static_cast<std::uint32_t>(popped),
+                                   std::memory_order_relaxed);
+    }
+  } else {
+    for (auto& shard : shards_) {
+      if (shard->deposit_n.load(std::memory_order_relaxed) == 0) continue;
+      RankedLock sl(shard->mu);
+      sweep_tickets_.insert(sweep_tickets_.end(), shard->deposits.begin(),
+                            shard->deposits.end());
+      shard->deposits.clear();
+      shard->deposit_n.store(0, std::memory_order_relaxed);
+    }
+  }
+  // Only drained tickets leave the deposit census; `direct` tickets (refused
+  // by a full deposit ring) never entered it.
+  const std::size_t drained = sweep_tickets_.size();
+  if (direct != nullptr && !direct->empty()) {
+    sweep_tickets_.insert(sweep_tickets_.end(), direct->begin(), direct->end());
+    direct->clear();
   }
   if (!sweep_tickets_.empty()) {
     res.retired = sweep_tickets_.size();
-    deposited_.fetch_sub(static_cast<std::int64_t>(sweep_tickets_.size()),
-                         std::memory_order_relaxed);
+    if (drained > 0)
+      deposited_.fetch_sub(static_cast<std::int64_t>(drained),
+                           std::memory_order_relaxed);
     stats_.sweeps.fetch_add(1, std::memory_order_relaxed);
     // One coalesced retire: indirect enablements fired by tickets deposited
     // on *different* shards merge into maximal ranges and are flushed once.
@@ -162,35 +297,179 @@ void ShardedExecutive::sweep_locked(ShardAcquire& res, WorkerId w,
   }
 
   // Serve the caller first so a pending elevated release goes to the worker
-  // that is about to execute, not into a buffer.
+  // that is about to execute, not into a buffer. Core before spill: the
+  // core pops elevated entries first, and topping up from parked *normal*
+  // spill work ahead of it would invert the release priority.
   if (max_n > 0) res.taken += core_.request_work_batch(w, max_n, out);
+
+  std::uint64_t touched = 0;
+  if (lockfree_) {
+    if (res.taken < max_n && !scatter_spill_.empty()) {
+      const std::size_t n =
+          std::min(max_n - res.taken, scatter_spill_.size());
+      out.insert(out.end(), scatter_spill_.begin(),
+                 scatter_spill_.begin() + static_cast<std::ptrdiff_t>(n));
+      scatter_spill_.erase(scatter_spill_.begin(),
+                           scatter_spill_.begin() + static_cast<std::ptrdiff_t>(n));
+      spill_n_.store(static_cast<std::uint32_t>(scatter_spill_.size()),
+                     std::memory_order_relaxed);
+      ready_.fetch_sub(static_cast<std::int64_t>(n), std::memory_order_relaxed);
+      res.taken += n;
+    }
+    // Parked overflow re-enters the rings before fresh work is carved
+    // behind it (oldest first).
+    touched += scatter_spill(w, res);
+  }
 
   // Re-scatter: top up every shard buffer to `depth_` while the core still
   // has waiting work, starting after the caller's home so siblings fill
   // evenly. Bill one kShardFlush per shard touched — publishing a slice of
   // the coalesced flush is a real management cost the sim charges per shard.
-  std::uint64_t touched = 0;
   for (std::uint32_t i = 0; core_.work_available() && i < nshards_; ++i) {
     Shard& s = *shards_[(home_of(w) + 1 + i) % nshards_];
-    RankedLock sl(s.mu);
-    const std::size_t room = depth_ - std::min<std::size_t>(depth_, s.ready.size());
-    if (room == 0) continue;
-    // Carve straight into the buffer: appended entries extend the handout
-    // order the front-first take preserves.
-    const std::size_t got = core_.request_work_batch(w, room, s.ready);
-    if (got == 0) break;
-    s.ready_n.store(static_cast<std::uint32_t>(s.ready.size()),
-                    std::memory_order_relaxed);
-    ready_.fetch_add(static_cast<std::int64_t>(got), std::memory_order_relaxed);
-    stats_.scattered.fetch_add(got, std::memory_order_relaxed);
-    ++touched;
-    res.new_work = true;
+    if (lockfree_) {
+      const std::size_t room =
+          depth_ - std::min<std::size_t>(depth_, s.ready_ring->approx_size());
+      if (room == 0) continue;
+      // Carve into the control-plane staging buffer, then publish into the
+      // ring one assignment at a time (appends extend the handout order the
+      // FIFO pop preserves). approx_size is conservative (see mpmc_ring),
+      // so `room` never over-fills a ring a sweep owns the producing side
+      // of; a refused push can still happen through the transient lapped-
+      // cell window, and the remainder parks in the spill.
+      scatter_buf_.clear();
+      const std::size_t got = core_.request_work_batch(w, room, scatter_buf_);
+      if (got == 0) break;
+      // Census first: the assignments are reachable work from this moment,
+      // whether they land in the ring or the spill.
+      ready_.fetch_add(static_cast<std::int64_t>(got), std::memory_order_relaxed);
+      std::size_t pushed = 0;
+      while (pushed < got && s.ready_ring->try_push(scatter_buf_[pushed]))
+        ++pushed;
+      if (pushed > 0) {
+        s.ready_n.fetch_add(static_cast<std::uint32_t>(pushed),
+                            std::memory_order_relaxed);
+        stats_.scattered.fetch_add(pushed, std::memory_order_relaxed);
+      }
+      if (pushed < got) {
+        stats_.ring_push_full.fetch_add(1, std::memory_order_relaxed);
+        scatter_spill_.insert(scatter_spill_.end(),
+                              scatter_buf_.begin() + static_cast<std::ptrdiff_t>(pushed),
+                              scatter_buf_.end());
+        spill_n_.store(static_cast<std::uint32_t>(scatter_spill_.size()),
+                       std::memory_order_relaxed);
+      }
+      ++touched;
+      res.new_work = true;
+    } else {
+      RankedLock sl(s.mu);
+      const std::size_t room = depth_ - std::min<std::size_t>(depth_, s.ready.size());
+      if (room == 0) continue;
+      // Carve straight into the buffer: appended entries extend the handout
+      // order the front-first take preserves.
+      const std::size_t got = core_.request_work_batch(w, room, s.ready);
+      if (got == 0) break;
+      s.ready_n.store(static_cast<std::uint32_t>(s.ready.size()),
+                      std::memory_order_relaxed);
+      ready_.fetch_add(static_cast<std::int64_t>(got), std::memory_order_relaxed);
+      stats_.scattered.fetch_add(got, std::memory_order_relaxed);
+      ++touched;
+      res.new_work = true;
+    }
   }
   if (touched > 0) core_.ledger().charge(MgmtOp::kShardFlush, costs_, touched);
 
   publish_core_census();
   res.program_finished = core_.finished();
   res.swept = true;
+}
+
+ShardAcquire ShardedExecutive::acquire_lockfree(WorkerId w, std::size_t max_n,
+                                                std::vector<Ticket>& done,
+                                                std::vector<Assignment>& out) {
+  ShardAcquire res;
+  Shard& home = *shards_[home_of(w)];
+
+  // Deposit: lock-free pushes into the home shard's deposit ring. A refused
+  // push (ring full, or the transient lapped-cell window) leaves the
+  // remainder in `done` and forces a sweep that retires it directly — the
+  // dispatcher's contract that `done` is cleared on return holds either way.
+  bool overflow = false;
+  if (!done.empty()) {
+    std::size_t pushed = 0;
+    while (pushed < done.size() && home.deposit_ring->try_push(done[pushed]))
+      ++pushed;
+    if (pushed > 0) {
+      home.deposit_n.fetch_add(static_cast<std::uint32_t>(pushed),
+                               std::memory_order_relaxed);
+      deposited_.fetch_add(static_cast<std::int64_t>(pushed),
+                           std::memory_order_relaxed);
+      stats_.deposits.fetch_add(pushed, std::memory_order_relaxed);
+      done.erase(done.begin(), done.begin() + static_cast<std::ptrdiff_t>(pushed));
+      trace_event(w, obs::TraceKind::kDepositFlush,
+                  static_cast<std::uint32_t>(pushed));
+    }
+    if (!done.empty()) {
+      overflow = true;
+      stats_.ring_push_full.fetch_add(1, std::memory_order_relaxed);
+      trace_event(w, obs::TraceKind::kRingOverflow,
+                  static_cast<std::uint32_t>(done.size()));
+    }
+  }
+
+  // Straight to a sweep when deposits crossed the flush threshold (bounds
+  // enablement latency) or an elevated release is pending in the core
+  // (buffered normal work must not outrank it). Relaxed loads: both are
+  // wake-signal heuristics — a stale read delays one sweep by one acquire,
+  // it cannot lose work (the census is re-derived under the control mutex).
+  const bool flush_due =
+      deposited_.load(std::memory_order_relaxed) >=
+      static_cast<std::int64_t>(flush_);
+  const bool elevated_pending =
+      core_elevated_.load(std::memory_order_relaxed) > 0;
+
+  if (max_n > 0 && !overflow && !flush_due && !elevated_pending) {
+    res.taken = pop_from(home, max_n, out);
+    if (res.taken > 0) {
+      stats_.shard_hits.fetch_add(1, std::memory_order_relaxed);
+      return res;
+    }
+    for (std::uint32_t i = 1; i < nshards_; ++i) {
+      Shard& sib = *shards_[(home_of(w) + i) % nshards_];
+      const std::uint32_t hint = sib.ready_n.load(std::memory_order_relaxed);
+      if (hint == 0) continue;
+      // Steal-style bite: at most half the sibling's buffer (rounded up) —
+      // same rundown fat-tail rationale as the mutex engine. The hint is a
+      // moment stale, which only changes the bite size, never correctness.
+      const std::size_t bite =
+          std::min(max_n, (static_cast<std::size_t>(hint) + 1) / 2);
+      res.taken = pop_from(sib, bite, out);
+      if (res.taken > 0) {
+        stats_.sibling_hits.fetch_add(1, std::memory_order_relaxed);
+        return res;
+      }
+    }
+  }
+
+  // Every ring dry (or an overflow/flush/elevation forces it): the control
+  // plane. The spill term keeps parked overflow work reachable — it is
+  // counted in ready_, so sleep predicates stay true, and this is the path
+  // that serves it. Skip when the plane has nothing for us, so rundown
+  // probing stays off the control mutex.
+  if (overflow || deposited_.load(std::memory_order_relaxed) > 0 ||
+      core_waiting_.load(std::memory_order_relaxed) > 0 ||
+      spill_n_.load(std::memory_order_relaxed) > 0) {
+    {
+      ControlTimer timer(stats_);
+      RankedLock lock(control_mu_);
+      sweep_locked(res, w, max_n, out, overflow ? &done : nullptr);
+    }
+    // Emitted after the section ends so the record's clock read never lands
+    // inside the timed hold span (the t11 overhead gate).
+    trace_event(w, obs::TraceKind::kShardSweep,
+                static_cast<std::uint32_t>(res.retired));
+  }
+  return res;
 }
 
 ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
@@ -205,7 +484,8 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
 
   if (nshards_ == 1) {
     // Single shard: the PR 3 protocol verbatim — one control section that
-    // retires the worker's batch and refills it.
+    // retires the worker's batch and refills it. Identical under both
+    // engines (neither rings nor shard locks are touched).
     {
       ControlTimer timer(stats_);
       RankedLock lock(control_mu_);
@@ -227,10 +507,13 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
     return res;
   }
 
+  if (lockfree_) return acquire_lockfree(w, max_n, done, out);
+
   Shard& home = *shards_[home_of(w)];
   if (!done.empty()) {
     const std::size_t parked = done.size();
     {
+      ShardLockTimer st(stats_);
       RankedLock sl(home.mu);
       home.deposits.insert(home.deposits.end(), done.begin(), done.end());
       home.deposit_n.store(static_cast<std::uint32_t>(home.deposits.size()),
@@ -257,6 +540,7 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
 
   if (max_n > 0 && !flush_due && !elevated_pending) {
     if (home.ready_n.load(std::memory_order_relaxed) > 0) {
+      ShardLockTimer st(stats_);
       RankedLock sl(home.mu);
       res.taken = take_from(home, max_n, out);
     }
@@ -267,6 +551,7 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
     for (std::uint32_t i = 1; i < nshards_; ++i) {
       Shard& sib = *shards_[(home_of(w) + i) % nshards_];
       if (sib.ready_n.load(std::memory_order_relaxed) == 0) continue;
+      ShardLockTimer st(stats_);
       RankedLock sl(sib.mu);
       // Steal-style bite: at most half the sibling's buffer (rounded up).
       // Draining a whole sibling in one take would concentrate the tail in
@@ -290,7 +575,7 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
     {
       ControlTimer timer(stats_);
       RankedLock lock(control_mu_);
-      sweep_locked(res, w, max_n, out);
+      sweep_locked(res, w, max_n, out, nullptr);
     }
     // Emitted after the section ends, for the same t11-gate reason as the
     // single-shard path above.
@@ -337,30 +622,65 @@ ShardStatsView ShardedExecutive::stats() const {
   v.sibling_hits = stats_.sibling_hits.load(std::memory_order_relaxed);
   v.scattered = stats_.scattered.load(std::memory_order_relaxed);
   v.deposits = stats_.deposits.load(std::memory_order_relaxed);
+  v.ring_pops = stats_.ring_pops.load(std::memory_order_relaxed);
+  v.ring_pop_empty = stats_.ring_pop_empty.load(std::memory_order_relaxed);
+  v.ring_push_full = stats_.ring_push_full.load(std::memory_order_relaxed);
+  v.shard_lock_acquisitions =
+      stats_.shard_lock_acquisitions.load(std::memory_order_relaxed);
+  v.shard_lock_hold_ns =
+      stats_.shard_lock_hold_ns.load(std::memory_order_relaxed);
+  if (lockfree_) {
+    for (const auto& shard : shards_)
+      v.ring_cas_retries += shard->ready_ring->cas_retries() +
+                            shard->deposit_ring->cas_retries();
+  }
   return v;
 }
 
 // SAFETY: opted out of the static analysis because it freezes a *dynamic*
 // set of shard locks in a loop, which TSA cannot track. The discipline is
 // manual and checked dynamically instead: the control mutex is taken first
-// (rank control), then every shard lock in ascending index order — a total
-// order, declared to the rank validator with kSameRank — and all comparisons
-// happen with the full set held, so the sums are exact at one instant.
-// Workers only ever hold one shard lock at a time, so the batch acquisition
-// cannot deadlock against them.
+// (rank control), then — mutex engine only — every shard lock in ascending
+// index order (a total order, declared to the rank validator with kSameRank)
+// so the sums are exact at one instant. Workers only ever hold one shard
+// lock at a time, so the batch acquisition cannot deadlock against them.
+// The lock-free engine has no shard locks to freeze: the ring cursor deltas
+// are exact under the documented quiescence contract (see the header), and
+// the control mutex still excludes a concurrent sweep.
 void ShardedExecutive::check_census() const PAX_NO_THREAD_SAFETY_ANALYSIS {
   RankedLock lock(control_mu_);
-  for (const auto& shard : shards_) shard->mu.lock(kSameRank);
   std::int64_t ready = 0, deposits = 0;
-  for (const auto& shard : shards_) {
-    ready += static_cast<std::int64_t>(shard->ready.size());
-    deposits += static_cast<std::int64_t>(shard->deposits.size());
-    PAX_CHECK_MSG(shard->ready_n.load(std::memory_order_relaxed) ==
-                      shard->ready.size(),
-                  "shard occupancy hint drifted from its buffer");
-    PAX_CHECK_MSG(shard->deposit_n.load(std::memory_order_relaxed) ==
-                      shard->deposits.size(),
-                  "shard deposit hint drifted from its box");
+  if (lockfree_) {
+    for (const auto& shard : shards_) {
+      const std::uint64_t ready_occ =
+          shard->ready_ring->pushed() - shard->ready_ring->popped();
+      const std::uint64_t dep_occ =
+          shard->deposit_ring->pushed() - shard->deposit_ring->popped();
+      PAX_CHECK_MSG(shard->ready_n.load(std::memory_order_relaxed) == ready_occ,
+                    "shard occupancy hint drifted from its ring cursors");
+      PAX_CHECK_MSG(shard->deposit_n.load(std::memory_order_relaxed) == dep_occ,
+                    "shard deposit hint drifted from its ring cursors");
+      ready += static_cast<std::int64_t>(ready_occ);
+      deposits += static_cast<std::int64_t>(dep_occ);
+    }
+    PAX_CHECK_MSG(spill_n_.load(std::memory_order_relaxed) ==
+                      scatter_spill_.size(),
+                  "spill occupancy mirror drifted from the spill");
+    // Spilled assignments count as ready work (that is what keeps sleepers
+    // honest while the overflow is parked).
+    ready += static_cast<std::int64_t>(scatter_spill_.size());
+  } else {
+    for (const auto& shard : shards_) shard->mu.lock(kSameRank);
+    for (const auto& shard : shards_) {
+      ready += static_cast<std::int64_t>(shard->ready.size());
+      deposits += static_cast<std::int64_t>(shard->deposits.size());
+      PAX_CHECK_MSG(shard->ready_n.load(std::memory_order_relaxed) ==
+                        shard->ready.size(),
+                    "shard occupancy hint drifted from its buffer");
+      PAX_CHECK_MSG(shard->deposit_n.load(std::memory_order_relaxed) ==
+                        shard->deposits.size(),
+                    "shard deposit hint drifted from its box");
+    }
   }
   PAX_CHECK_MSG(ready == ready_.load(std::memory_order_relaxed),
                 "ready census drifted from the shard buffers");
@@ -369,7 +689,9 @@ void ShardedExecutive::check_census() const PAX_NO_THREAD_SAFETY_ANALYSIS {
   PAX_CHECK_MSG(core_waiting_.load(std::memory_order_relaxed) ==
                     core_.waiting_size(),
                 "waiting-queue census drifted from the core");
-  for (const auto& shard : shards_) shard->mu.unlock();
+  if (!lockfree_) {
+    for (const auto& shard : shards_) shard->mu.unlock();
+  }
 }
 
 }  // namespace pax

@@ -59,6 +59,7 @@ enum class TraceKind : std::uint8_t {
   kStealSuccess,  ///< stole aux assignments from the most-loaded peer
   kShardSweep,    ///< control sweep entered (aux = tickets retired)
   kDepositFlush,  ///< tickets parked in the home shard (aux = tickets)
+  kRingOverflow,  ///< deposit ring refused a push (aux = tickets going direct)
   kSleep,         ///< worker parked on the sleep condition variable
   kWake,          ///< ... and resumed
   // Pool job lifecycle (job = pool job id).
@@ -81,6 +82,7 @@ enum class TraceKind : std::uint8_t {
     case TraceKind::kStealSuccess: return "steal_success";
     case TraceKind::kShardSweep: return "shard_sweep";
     case TraceKind::kDepositFlush: return "deposit_flush";
+    case TraceKind::kRingOverflow: return "ring_overflow";
     case TraceKind::kSleep: return "sleep";
     case TraceKind::kWake: return "wake";
     case TraceKind::kJobOpen: return "job_open";

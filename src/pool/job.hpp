@@ -152,6 +152,12 @@ struct Job {
     out.exec_control_acquisitions = ss.control_acquisitions;
     out.exec_lock_hold_ns = ss.control_hold_ns;
     out.shard_hits = ss.shard_hits + ss.sibling_hits;
+    out.shard_ring_pops = ss.ring_pops;
+    out.shard_ring_pop_empty = ss.ring_pop_empty;
+    out.shard_ring_push_full = ss.ring_push_full;
+    out.shard_ring_cas_retries = ss.ring_cas_retries;
+    out.shard_lock_acquisitions = ss.shard_lock_acquisitions;
+    out.shard_lock_hold_ns = ss.shard_lock_hold_ns;
     out.shards = exec.shards();
     const auto now = std::chrono::steady_clock::now();
     const auto end =

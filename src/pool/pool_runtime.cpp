@@ -61,6 +61,7 @@ JobHandle PoolRuntime::submit(const PhaseProgram& program,
       .shards = shards != kAutoShards ? shards : config_.shards,
       .workers = config_.workers,
       .batch = config_.batch,
+      .lockfree = config_.lockfree,
       .trace = config_.trace,
       .trace_job = id};
   sched::DispatchConfig dispatch = dispatch_config();
@@ -110,6 +111,12 @@ PoolStats PoolRuntime::stats() const {
   s.exec_control_acquisitions = exec_control_acquisitions_;
   s.exec_lock_hold_ns = exec_lock_hold_ns_;
   s.shard_hits = shard_hits_;
+  s.shard_ring_pops = shard_ring_pops_;
+  s.shard_ring_pop_empty = shard_ring_pop_empty_;
+  s.shard_ring_push_full = shard_ring_push_full_;
+  s.shard_ring_cas_retries = shard_ring_cas_retries_;
+  s.shard_lock_acquisitions = shard_lock_acquisitions_;
+  s.shard_lock_hold_ns = shard_lock_hold_ns_;
   s.rotations = rotations_;
   s.steals = steals_;
   s.steal_fail_spins = steal_fail_spins_;
@@ -128,6 +135,12 @@ PoolStats PoolRuntime::stats() const {
   s.metrics.push("exec.control_acquisitions", exec_control_acquisitions_);
   s.metrics.push("exec.control_hold_ns", exec_lock_hold_ns_);
   s.metrics.push("shard.hits", shard_hits_);
+  s.metrics.push("shard.ring.pop", shard_ring_pops_);
+  s.metrics.push("shard.ring.pop_empty", shard_ring_pop_empty_);
+  s.metrics.push("shard.ring.push_full", shard_ring_push_full_);
+  s.metrics.push("shard.ring.cas_retries", shard_ring_cas_retries_);
+  s.metrics.push("shard.lock.acquisitions", shard_lock_acquisitions_);
+  s.metrics.push("shard.lock.hold_ns", shard_lock_hold_ns_);
   s.metrics.push("queue.peak_occupancy", peak_local_queue_);
   s.metrics.push("heap.allocs", heap.allocs);
   s.metrics.push("heap.bytes", heap.bytes);
@@ -349,6 +362,12 @@ void PoolRuntime::worker_main(WorkerId id) {
           exec_control_acquisitions_ += ss.control_acquisitions;
           exec_lock_hold_ns_ += ss.control_hold_ns;
           shard_hits_ += ss.shard_hits + ss.sibling_hits;
+          shard_ring_pops_ += ss.ring_pops;
+          shard_ring_pop_empty_ += ss.ring_pop_empty;
+          shard_ring_push_full_ += ss.ring_push_full;
+          shard_ring_cas_retries_ += ss.ring_cas_retries;
+          shard_lock_acquisitions_ += ss.shard_lock_acquisitions;
+          shard_lock_hold_ns_ += ss.shard_lock_hold_ns;
           peak_local_queue_ = std::max(peak_local_queue_, finished_peak);
         }
         cv_.notify_all();  // wake drain()ers and rotating workers

@@ -55,6 +55,10 @@ struct PoolConfig {
   /// invalid and fails at pool construction. A per-job override passed to
   /// submit() must agree with an explicit pool-level value.
   std::uint32_t shards = kAutoShards;
+  /// Warm-path shard engine per job: true (default) = lock-free MPMC rings
+  /// (DESIGN.md §13); false = the PR 4 mutex-guarded shard buffers (the
+  /// pinned bench baseline).
+  bool lockfree = true;
   /// Rundown work stealing between peer local queues of the resident job.
   bool steal = true;
   /// Steal-rate signal halves a job's effective grain during its rundown.
@@ -165,6 +169,12 @@ class PoolRuntime {
   std::uint64_t exec_control_acquisitions_ PAX_GUARDED_BY(mu_) = 0;
   std::uint64_t exec_lock_hold_ns_ PAX_GUARDED_BY(mu_) = 0;
   std::uint64_t shard_hits_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t shard_ring_pops_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t shard_ring_pop_empty_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t shard_ring_push_full_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t shard_ring_cas_retries_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t shard_lock_acquisitions_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t shard_lock_hold_ns_ PAX_GUARDED_BY(mu_) = 0;
   std::uint64_t rotations_ PAX_GUARDED_BY(mu_) = 0;
   std::uint64_t steals_ PAX_GUARDED_BY(mu_) = 0;
   std::uint64_t steal_fail_spins_ PAX_GUARDED_BY(mu_) = 0;

@@ -48,6 +48,7 @@ ThreadedRuntime::ThreadedRuntime(const PhaseProgram& program, ExecConfig config,
             ShardConfig{.shards = rt_config_.shards,
                         .workers = rt_config_.workers,
                         .batch = rt_config_.batch,
+                        .lockfree = rt_config_.lockfree,
                         .trace = rt_config_.trace}),
       dispatcher_(sched::DispatchConfig{.workers = rt_config_.workers,
                                         .batch = rt_config_.batch,
@@ -260,6 +261,12 @@ RtResult ThreadedRuntime::run() {
   res.shard_hits = ss.shard_hits;
   res.shard_sibling_hits = ss.sibling_hits;
   res.shard_scattered = ss.scattered;
+  res.shard_ring_pops = ss.ring_pops;
+  res.shard_ring_pop_empty = ss.ring_pop_empty;
+  res.shard_ring_push_full = ss.ring_push_full;
+  res.shard_ring_cas_retries = ss.ring_cas_retries;
+  res.shard_lock_acquisitions = ss.shard_lock_acquisitions;
+  res.shard_lock_hold_ns = ss.shard_lock_hold_ns;
   res.shards_used = exec_.shards();
   res.peak_local_queue = dispatcher_.peak_occupancy();
   const AllocTotals heap1 = alloc_stats::delta(heap0, alloc_stats::totals());
@@ -281,6 +288,12 @@ RtResult ThreadedRuntime::run() {
   res.metrics.push("shard.sibling_hits", ss.sibling_hits);
   res.metrics.push("shard.scattered", ss.scattered);
   res.metrics.push("shard.count", res.shards_used);
+  res.metrics.push("shard.ring.pop", ss.ring_pops);
+  res.metrics.push("shard.ring.pop_empty", ss.ring_pop_empty);
+  res.metrics.push("shard.ring.push_full", ss.ring_push_full);
+  res.metrics.push("shard.ring.cas_retries", ss.ring_cas_retries);
+  res.metrics.push("shard.lock.acquisitions", ss.shard_lock_acquisitions);
+  res.metrics.push("shard.lock.hold_ns", ss.shard_lock_hold_ns);
   res.metrics.push("queue.peak_occupancy", res.peak_local_queue);
   res.metrics.push("heap.allocs", res.heap_allocs);
   res.metrics.push("heap.bytes", res.heap_bytes);

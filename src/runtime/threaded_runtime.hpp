@@ -69,6 +69,11 @@ struct RtConfig {
   /// worker); 1 = the PR 3 single-mutex protocol; 0 is invalid and fails at
   /// construction.
   std::uint32_t shards = kAutoShards;
+  /// Warm-path shard engine: true (default) = lock-free MPMC rings — no
+  /// mutex anywhere on a warm acquire (DESIGN.md §13); false = the PR 4
+  /// mutex-guarded shard buffers, kept as the measurable baseline
+  /// (bench_t9_shard pins it, bench_t12_lockfree gates against it).
+  bool lockfree = true;
   /// Rundown work stealing between workers' local queues.
   bool steal = true;
   /// Steal-rate signal halves the effective grain during rundown.
@@ -115,6 +120,21 @@ struct RtResult {
   std::uint64_t shard_scattered = 0;
   /// Resolved shard count of the run (after kAutoShards resolution).
   std::uint32_t shards_used = 0;
+  /// Lock-free engine split (zero when RtConfig::lockfree was false):
+  /// assignments popped lock-free from shard rings, probes that found a
+  /// hinted ring dry, pushes a full ring refused (each one a forced control
+  /// sweep or a spill), and CAS cursor-claim retries — the ring's contention
+  /// signal. Together with the control counters these show the warm/slow
+  /// split bench_t12 and quickstart print.
+  std::uint64_t shard_ring_pops = 0;
+  std::uint64_t shard_ring_pop_empty = 0;
+  std::uint64_t shard_ring_push_full = 0;
+  std::uint64_t shard_ring_cas_retries = 0;
+  /// Mutex engine split (zero when lockfree): warm-path shard-mutex sections
+  /// and their acquire-to-release ns — the traffic the rings retire. Added
+  /// to the control totals this is bench_t12's total-scheduler-lock metric.
+  std::uint64_t shard_lock_acquisitions = 0;
+  std::uint64_t shard_lock_hold_ns = 0;
   /// Assignments obtained by stealing from a peer's local queue (no
   /// executive round-trip involved).
   std::uint64_t steals = 0;

@@ -111,11 +111,13 @@ class Dispatcher {
 
   /// Sharded refill: deposit `done` and pull from the sharded executive's
   /// home/sibling shard buffers (control-plane sweep only as a fallback —
-  /// see ShardedExecutive::acquire). All locking is internal to `ex`; the
-  /// caller holds nothing. The adaptive grain limit is published through the
-  /// core's atomic before the pull, which is exactly why the limit had to
-  /// stop being a plain field: this store races with a sweeping peer's
-  /// request path.
+  /// see ShardedExecutive::acquire). Under the default lock-free engine
+  /// (DESIGN.md §13) the warm case of this call takes no mutex anywhere:
+  /// ring pops and pushes only. Any locking that does happen is internal
+  /// to `ex`; the caller holds nothing. The adaptive grain limit is
+  /// published through the core's atomic before the pull, which is exactly
+  /// why the limit had to stop being a plain field: this store races with
+  /// a sweeping peer's request path.
   RefillOutcome refill(ShardedExecutive& ex, WorkerId w, std::vector<Ticket>& done);
 
   /// Owner pop from `w`'s local queue (LIFO end; executive handout order).

@@ -55,6 +55,10 @@ struct GeneratedProgram {
   std::uint32_t workers = 2;
   std::uint32_t batch = 1;
   std::uint32_t shards = kAutoShards;
+  /// Shard warm-path engine: lock-free rings (the default) or the retained
+  /// mutex baseline — seeded so the stress sweep keeps both engines (and
+  /// their differing census disciplines) under TSAN and the rank validator.
+  bool lockfree = true;
   bool steal = true;
   bool adaptive_grain = true;
   /// Pool cancel point: also submit a throwaway job and cancel it.
@@ -163,6 +167,9 @@ inline GeneratedProgram generate_program(std::uint64_t seed) {
     g.shards = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(pick(2, 6), max_n));
   }  // else: kAutoShards
+  // Lock-free engine on ~3 of 4 seeds (it is the shipped default); the rest
+  // keep the mutex baseline exercised.
+  g.lockfree = pick(0, 3) != 0;
   g.steal = pick(0, 3) != 0;
   g.adaptive_grain = pick(0, 1) == 1;
   g.cancel_second_job = pick(0, 2) == 0;
@@ -234,6 +241,7 @@ inline rt::RtResult run_threaded_checked(const GeneratedProgram& g) {
   rc.workers = g.workers;
   rc.batch = g.batch;
   rc.shards = g.shards;
+  rc.lockfree = g.lockfree;
   rc.steal = g.steal;
   rc.adaptive_grain = g.adaptive_grain;
   // run() PAX_CHECKs program completion and the shard census internally.
@@ -264,6 +272,7 @@ inline void run_pool_checked(const GeneratedProgram& g) {
   pc.workers = g.workers;
   pc.batch = g.batch;
   pc.shards = g.shards;
+  pc.lockfree = g.lockfree;
   pc.steal = g.steal;
   pc.adaptive_grain = g.adaptive_grain;
 

@@ -11,7 +11,10 @@ malformed export before anyone loads it into Perfetto:
   * every (pid, tid) that appears on a non-metadata event is named by
     process_name/thread_name metadata;
   * timestamps are non-negative and start at zero (the exporter normalizes
-    to the run's earliest record).
+    to the run's earliest record);
+  * instant events the exporter renders through its generic branch (refill,
+    steal, shard sweep/flush, ring_overflow, enablement, ...) carry the
+    record's aux payload as a non-negative integer args["aux"].
 
 Usage: check_trace.py <trace.json> [more.json ...]; exits non-zero with a
 message on the first violation.
@@ -23,6 +26,25 @@ import sys
 def fail(path, msg):
     print(f"check_trace: {path}: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+# Instant names the exporter's generic branch emits with an "aux" arg
+# (obs/trace_export.cpp default case; names from TraceKind to_string).
+# ring_overflow is the lock-free deposit path going direct-to-sweep — its
+# aux (tickets retired directly) is what the t12 diagnosis reads.
+AUX_INSTANTS = {
+    "refill",
+    "steal_attempt",
+    "steal_success",
+    "shard_sweep",
+    "deposit_flush",
+    "ring_overflow",
+    "job_open",
+    "job_drain",
+    "job_finalize",
+    "granules_enabled",
+    "program_finished",
+}
 
 
 def check(path):
@@ -75,6 +97,11 @@ def check(path):
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 fail(path, f"{where} 'X' event without non-negative dur")
+        if ph == "i" and ev["name"] in AUX_INSTANTS:
+            aux = (ev.get("args") or {}).get("aux")
+            if not isinstance(aux, int) or isinstance(aux, bool) or aux < 0:
+                fail(path, f"{where} instant {ev['name']!r} without a "
+                           "non-negative integer args['aux']")
         if ev.get("s") != "g":  # global instants live on no track
             used_tracks.add((ev["pid"], ev["tid"]))
 
