@@ -352,6 +352,20 @@ inline double warm_acquire_cost_ns(std::uint32_t depth,
   return static_cast<double>(warm_ns) / static_cast<double>(warm_n);
 }
 
+/// Végh's effective parallelization (PAPERS.md: "the case of the parallelized
+/// sequential processing"): invert Amdahl's law around a measured speedup S
+/// on k workers to get the single-number figure of merit
+///     alpha_eff = (k / (k - 1)) * (1 - 1 / S),
+/// the parallel fraction an ideal Amdahl machine would need to show this S.
+/// alpha_eff -> 1 means the harness (here: the pool's serving plane) adds no
+/// effective serial fraction; the gap 1 - alpha_eff is the scheduling tax.
+/// Degenerate inputs (k <= 1, S <= 0) return 0.
+[[nodiscard]] inline double vegh_alpha_eff(double speedup, std::uint32_t workers) {
+  if (workers <= 1 || speedup <= 0.0) return 0.0;
+  const double k = static_cast<double>(workers);
+  return (k / (k - 1.0)) * (1.0 - 1.0 / speedup);
+}
+
 /// Rundown window of phase-1 under a given result: [first idle-onset
 /// candidate, phase completion]. We approximate the onset as `window_frac`
 /// of the phase's span before its completion.

@@ -28,9 +28,26 @@ int main(int argc, char** argv) {
   // `--trace out.trace.json` records the whole job stream into per-worker
   // rings and exports a Chrome/Perfetto trace; each job gets its own
   // process lane (open at https://ui.perfetto.dev).
+  //
+  // Strict parse: the old `i + 1 < argc` loop skipped the *last* argument
+  // entirely, so a trailing `--trace` (missing its value) and any unknown
+  // flag were silently ignored — the run proceeded untraced and the user
+  // only found out when the trace file never appeared.
   const char* trace_path = nullptr;
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pool_server: --trace requires a file path\n");
+        std::fprintf(stderr, "usage: %s [--trace out.trace.json]\n", argv[0]);
+        return 2;
+      }
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "pool_server: unknown argument '%s'\n", argv[i]);
+      std::fprintf(stderr, "usage: %s [--trace out.trace.json]\n", argv[0]);
+      return 2;
+    }
+  }
 
   obs::TraceBuffer trace(4);
   pool::PoolRuntime pool({.workers = 4,
@@ -127,7 +144,10 @@ int main(int argc, char** argv) {
                                          : pool::JobState::kComplete);
 
   const pool::PoolStats ps = pool.stats();
-  std::uint64_t job_sum = cancelled.stats().granules;  // 0 when cancel won
+  // A pre-open cancel contributes 0; a mid-run cancel contributes the
+  // granules it actually executed before draining — either way the per-job
+  // sum matches the pool total.
+  std::uint64_t job_sum = cancelled.stats().granules;
   for (auto& s : stream) job_sum += s.handle.stats().granules;
   std::printf(
       "pool: %llu jobs (%llu cancelled), %llu granules (per-job sum %llu), "

@@ -359,6 +359,7 @@ void ExecutiveCore::start() {
 
 std::optional<Assignment> ExecutiveCore::request_work(WorkerId) {
   PAX_CHECK_MSG(started_, "request_work before start");
+  if (stop_requested_) return std::nullopt;  // cancelled: no new handouts
   ledger_.charge(MgmtOp::kRequestWork, costs_);
   Descriptor* d = waiting_.peek();
   if (d == nullptr) return std::nullopt;
@@ -486,6 +487,7 @@ CompletionResult ExecutiveCore::complete_batch(std::span<const Ticket> tickets) 
   PAX_DCHECK(ws_->deferred_n == 0);
   for (const Ticket t : tickets) complete_one(t, res);
   flush_deferred();
+  maybe_finish_stopped();
   res.new_work = waiting_.size() > waiting_before;
   res.program_finished = finished_;
   return res;
@@ -552,6 +554,7 @@ void ExecutiveCore::on_run_complete(Run& r) {
 }
 
 bool ExecutiveCore::idle_work() {
+  if (stop_requested_) return false;  // cancelled: no speculative work
   // 0. Composite granule maps awaiting construction — one bounded slice per
   //    call so worker requests interleave with the build.
   while (!pending_map_builds_.empty()) {
@@ -596,6 +599,36 @@ bool ExecutiveCore::idle_work() {
   return false;
 }
 
+void ExecutiveCore::request_stop() {
+  if (finished_ || stop_requested_) return;
+  stop_requested_ = true;
+  maybe_finish_stopped();
+}
+
+void ExecutiveCore::abandon(Ticket ticket) {
+  PAX_CHECK(ticket < assignments_.size() && assignments_[ticket] != nullptr);
+  PAX_CHECK_MSG(stop_requested_, "abandon outside a stop");
+  Descriptor* d = assignments_[ticket];
+  assignments_[ticket] = nullptr;
+  free_tickets_.push_back(ticket);
+  PAX_CHECK(d->state == DescState::kAssigned);
+  // The granules were never executed: no run-completion accounting and no
+  // enablement decrements. Split linkage and conflict queues still unwind so
+  // no descriptor leaks — released successors land in waiting_, where the
+  // stop gate keeps them from ever being handed out.
+  if (d->pending_split != nullptr) force_pending_split(*d);
+  release_conflicts(*d);
+  retire_desc(*d);
+  maybe_finish_stopped();
+}
+
+void ExecutiveCore::maybe_finish_stopped() {
+  if (!stop_requested_ || finished_) return;
+  if (assignments_.size() != free_tickets_.size()) return;  // tickets in flight
+  finished_ = true;
+  emit({ExecEvent::Kind::kProgramFinished, kNoRun, kNoPhase, {}, "cancelled"});
+}
+
 void ExecutiveCore::submit_conflicting(RunId blocker, PhaseId phase,
                                        GranuleRange range) {
   Run& b = run_of(blocker);
@@ -616,6 +649,10 @@ void ExecutiveCore::submit_conflicting(RunId blocker, PhaseId phase,
 // Program advance, lookahead, overlap setup
 
 void ExecutiveCore::advance_program() {
+  // A stop request freezes the program counter: no further serial nodes,
+  // branches, or dispatches run for a cancelled program. finished_ flips
+  // via maybe_finish_stopped() once outstanding tickets drain instead.
+  if (stop_requested_) return;
   while (!finished_) {
     const ProgramNode& n = program_.node(pc_);
     if (const auto* d = std::get_if<DispatchNode>(&n)) {

@@ -171,8 +171,32 @@ class ExecutiveCore {
   /// released — at elevated priority — when the blocking run completes.
   void submit_conflicting(RunId blocker, PhaseId phase, GranuleRange range);
 
+  /// Cooperative mid-run stop (job cancellation). After this call the core
+  /// hands out no new assignments, runs no further program nodes, and does
+  /// no idle-time work; outstanding tickets still retire normally through
+  /// complete/complete_batch (their enablement bookkeeping must balance) or
+  /// are recalled via abandon(). The core flips finished() once the last
+  /// outstanding ticket returns — immediately, when none are outstanding.
+  /// Idempotent; a no-op after normal completion.
+  void request_stop();
+  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+
+  /// Retire a recalled ticket WITHOUT completing its granules: no run
+  /// accounting, no enablement decrements, no ledger completion charge. For
+  /// assignments handed out but never executed (drained from shard buffers
+  /// and local queues after request_stop). Releases any conflict queue the
+  /// descriptor guards so held work is not leaked.
+  void abandon(Ticket ticket);
+
+  /// Tickets currently handed out and not yet retired.
+  [[nodiscard]] std::size_t outstanding_tickets() const {
+    return assignments_.size() - free_tickets_.size();
+  }
+
   [[nodiscard]] bool finished() const { return finished_; }
-  [[nodiscard]] bool work_available() const { return !waiting_.empty(); }
+  [[nodiscard]] bool work_available() const {
+    return !stop_requested_ && !waiting_.empty();
+  }
   [[nodiscard]] std::size_t waiting_size() const { return waiting_.size(); }
   /// Elevated-class entries in the waiting queue (conflict releases and
   /// enabling splits). The sharded front-end snapshots this after every
@@ -206,7 +230,8 @@ class ExecutiveCore {
   /// for dead map builds or retired split tasks; idle_work() is the exact
   /// answer and erases such entries as it scans.
   [[nodiscard]] bool has_idle_work() const {
-    return !pending_map_builds_.empty() || !split_tasks_.empty();
+    return !stop_requested_ &&
+           (!pending_map_builds_.empty() || !split_tasks_.empty());
   }
 
   /// Cheap probe for cross-job scheduling (pool runtime): can a worker make
@@ -214,7 +239,7 @@ class ExecutiveCore {
   /// may be outstanding on other workers whose completions will enable more.
   /// A core that has not start()ed yet also reports false.
   [[nodiscard]] bool runnable() const {
-    return !finished_ && (!waiting_.empty() || has_idle_work());
+    return !finished_ && (work_available() || has_idle_work());
   }
 
   [[nodiscard]] const MgmtLedger& ledger() const { return ledger_; }
@@ -306,6 +331,10 @@ class ExecutiveCore {
   void run_serial(std::uint32_t node_index, const SerialNode& s);
   void emit(const ExecEvent& ev);
   void diagnose(std::string msg);
+  /// After a stop request, flip finished() once every ticket has retired
+  /// (completion or abandonment). The kProgramFinished event fires exactly
+  /// once, from whichever retirement drains the last outstanding ticket.
+  void maybe_finish_stopped();
 
   const PhaseProgram& program_;
   ExecConfig config_;
@@ -361,6 +390,7 @@ class ExecutiveCore {
   RunId node_pc_run_ = kNoRun;   ///< run produced by the last dispatch node
   bool started_ = false;
   bool finished_ = false;
+  bool stop_requested_ = false;  ///< cooperative cancel; see request_stop()
   std::vector<std::string> diagnostics_;
 };
 

@@ -137,8 +137,17 @@ void ShardedExecutive::publish_core_census() {
   // Relaxed stores: these feed the heuristic probes; the sleep predicates
   // that must not miss a flip re-read them under the sleeper's mutex after
   // wake_all() passes through it.
-  core_waiting_.store(core_.waiting_size(), std::memory_order_relaxed);
-  core_elevated_.store(core_.waiting_elevated_size(), std::memory_order_relaxed);
+  //
+  // A stopped core publishes zero waiting work even though its waiting
+  // queue may be non-empty (recalled/released descriptors park there until
+  // teardown): that work can never be handed out again, and advertising it
+  // would spin sleepers and attract pool adopters to a job with nothing to
+  // do. core_idle_ is already stop-gated inside has_idle_work().
+  const bool stopped = core_.stop_requested();
+  core_waiting_.store(stopped ? 0 : core_.waiting_size(),
+                      std::memory_order_relaxed);
+  core_elevated_.store(stopped ? 0 : core_.waiting_elevated_size(),
+                       std::memory_order_relaxed);
   core_idle_.store(core_.has_idle_work(), std::memory_order_relaxed);
   // Release: pairs with the acquire load in finished() — post-run readers of
   // the core (ledger, diagnostics) synchronize on this flag alone.
@@ -482,6 +491,30 @@ ShardAcquire ShardedExecutive::acquire(WorkerId w, std::size_t max_n,
     return res;
   }
 
+  // Stop drain path (both engines, any shard count): never hand out work;
+  // retire the caller's in-flight tickets (as `direct` — they were never
+  // deposited) plus any straggler deposits in one sweep. Gated so a worker
+  // with nothing to retire does not spin on the control mutex while a peer
+  // finishes its last granules.
+  // Acquire: pairs with the exchange in request_stop() — a worker routed
+  // here must observe the recalled buffers behind the flag.
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    if (!done.empty() || deposited_.load(std::memory_order_relaxed) > 0 ||
+        ready_.load(std::memory_order_relaxed) > 0 ||
+        spill_n_.load(std::memory_order_relaxed) > 0) {
+      {
+        ControlTimer timer(stats_);
+        RankedLock lock(control_mu_);
+        sweep_locked(res, w, /*max_n=*/0, out,
+                     done.empty() ? nullptr : &done);
+      }
+      trace_event(w, obs::TraceKind::kShardSweep,
+                  static_cast<std::uint32_t>(res.retired));
+    }
+    res.program_finished = finished();
+    return res;
+  }
+
   if (nshards_ == 1) {
     // Single shard: the PR 3 protocol verbatim — one control section that
     // retires the worker's batch and refills it. Identical under both
@@ -613,6 +646,53 @@ void ShardedExecutive::submit_conflicting(RunId blocker, PhaseId phase,
   publish_core_census();
 }
 
+void ShardedExecutive::recall_abandon_locked() {
+  std::size_t recalled = 0;
+  if (lockfree_) {
+    Assignment a;
+    for (auto& shard : shards_) {
+      if (shard->ready_ring == nullptr) continue;
+      std::uint32_t popped = 0;
+      while (shard->ready_ring->try_pop(a)) {
+        core_.abandon(a.ticket);
+        ++popped;
+      }
+      // fetch_sub, not store(0): a worker that raced past the stop flag may
+      // be mid-pop on this ring; its own decrement must not be wiped.
+      if (popped > 0) {
+        shard->ready_n.fetch_sub(popped, std::memory_order_relaxed);
+        recalled += popped;
+      }
+    }
+    for (const Assignment& sa : scatter_spill_) core_.abandon(sa.ticket);
+    recalled += scatter_spill_.size();
+    scatter_spill_.clear();
+    spill_n_.store(0, std::memory_order_relaxed);
+  } else {
+    for (auto& shard : shards_) {
+      RankedLock sl(shard->mu);
+      for (const Assignment& sa : shard->ready) core_.abandon(sa.ticket);
+      recalled += shard->ready.size();
+      shard->ready.clear();
+      shard->ready_n.store(0, std::memory_order_relaxed);
+    }
+  }
+  if (recalled > 0)
+    ready_.fetch_sub(static_cast<std::int64_t>(recalled),
+                     std::memory_order_relaxed);
+}
+
+void ShardedExecutive::request_stop() {
+  // The exchange makes the call idempotent and is the release edge the
+  // acquire() drain path pairs with.
+  if (stop_requested_.exchange(true, std::memory_order_acq_rel)) return;
+  ControlTimer timer(stats_);
+  RankedLock lock(control_mu_);
+  core_.request_stop();
+  recall_abandon_locked();
+  publish_core_census();
+}
+
 ShardStatsView ShardedExecutive::stats() const {
   ShardStatsView v;
   v.control_acquisitions = stats_.control_acquisitions.load(std::memory_order_relaxed);
@@ -687,7 +767,7 @@ void ShardedExecutive::check_census() const PAX_NO_THREAD_SAFETY_ANALYSIS {
   PAX_CHECK_MSG(deposits == deposited_.load(std::memory_order_relaxed),
                 "deposit census drifted from the shard deposit boxes");
   PAX_CHECK_MSG(core_waiting_.load(std::memory_order_relaxed) ==
-                    core_.waiting_size(),
+                    (core_.stop_requested() ? 0 : core_.waiting_size()),
                 "waiting-queue census drifted from the core");
   if (!lockfree_) {
     for (const auto& shard : shards_) shard->mu.unlock();

@@ -223,6 +223,21 @@ class ShardedExecutive {
   void submit_conflicting(RunId blocker, PhaseId phase, GranuleRange range)
       PAX_EXCLUDES(control_mu_);
 
+  /// Cooperative mid-run stop (job cancellation), callable from any thread —
+  /// including non-workers. One control section: stops the core, recalls
+  /// every buffered-but-unexecuted assignment from the shard buffers (both
+  /// engines) and abandons their tickets. Workers racing past the flag may
+  /// still execute at most one local queue's worth of in-flight granules;
+  /// their deposits retire through normal sweeps, and finished() flips once
+  /// the last outstanding ticket drains. Idempotent. Safe before start():
+  /// the core finishes immediately and a later start() runs no program node.
+  void request_stop() PAX_EXCLUDES(control_mu_);
+  [[nodiscard]] bool stop_requested() const {
+    // Relaxed: a heuristic gate, same contract as the census probes — the
+    // authoritative stop is the core's flag under the control mutex.
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
+
   /// Forwarded to the core's atomic grain limit — no lock required (that is
   /// the point of the grain-limit fix: the steal-rate signal publishes it
   /// from outside every control section).
@@ -271,7 +286,16 @@ class ShardedExecutive {
   }
   /// Cross-job probe (pool rotation pick): can a worker make progress here?
   [[nodiscard]] bool runnable() const {
-    return !finished() && (work_available() || has_idle_work());
+    if (finished()) return false;
+    // After a stop request the only remaining "progress" is draining
+    // straggler deposits/buffers from workers that raced past the flag —
+    // phantom core_waiting_ work must not attract adopters (the stop gate
+    // would hand them nothing and they would spin).
+    if (stop_requested_.load(std::memory_order_relaxed)) {
+      return deposited_.load(std::memory_order_relaxed) > 0 ||
+             ready_.load(std::memory_order_relaxed) > 0;
+    }
+    return work_available() || has_idle_work();
   }
 
   [[nodiscard]] ShardStatsView stats() const;
@@ -355,6 +379,10 @@ class ShardedExecutive {
   /// Returns the number of shards touched (for the kShardFlush charge).
   std::uint64_t scatter_spill(WorkerId w, ShardAcquire& res)
       PAX_REQUIRES(control_mu_);
+  /// Stop path: drain every shard ready buffer/ring and the scatter spill,
+  /// abandoning the recalled tickets in the core (no granule completion).
+  /// Cold path by definition — runs once per cancellation.
+  void recall_abandon_locked() PAX_REQUIRES(control_mu_);
   /// Refresh the core-side census after a control section.
   void publish_core_census() PAX_REQUIRES(control_mu_);
   /// Emit a worker-track record onto the trace buffer (no-op when tracing
@@ -397,6 +425,11 @@ class ShardedExecutive {
   std::atomic<bool> core_idle_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> finished_{false};
+  /// Stop flag mirror (authoritative copy lives in the core, under the
+  /// control mutex). Set once by request_stop(); read by acquire() to route
+  /// workers into the drain path and by runnable() to stop advertising
+  /// phantom core work.
+  std::atomic<bool> stop_requested_{false};
   /// Lock-free engine: occupancy of scatter_spill_ (relaxed mirror, written
   /// under the control mutex) so acquire() can route a worker into a sweep
   /// when only spilled work remains — without taking the mutex to look.

@@ -1,13 +1,69 @@
 #include "pool/job.hpp"
 
+#include <chrono>
+#include <memory>
+
 #include "common/check.hpp"
-#include "pool/pool_runtime.hpp"
 
 namespace pax::pool {
 
 bool JobHandle::cancel() {
-  PAX_CHECK_MSG(pool_ != nullptr && job_ != nullptr, "cancel on empty handle");
-  return pool_->cancel_job(job_);
+  PAX_CHECK_MSG(job_ != nullptr, "cancel on empty handle");
+  detail::Job& job = *job_;
+
+  // Decide under the job mutex which of the three cases applies. The
+  // pre-open flip is the terminal transition itself (release store after
+  // the final bookkeeping writes, per the done() ⇒ stats()-final contract);
+  // the mid-run path only latches cancel_requested here — the terminal flip
+  // happens in the worker finalize path once the executive has drained.
+  bool pre_open = false;
+  bool mid_run = false;
+  {
+    RankedLock lock(job.mu);
+    const JobState s = job.state.load(std::memory_order_relaxed);
+    if (s == JobState::kQueued) {
+      const auto now = std::chrono::steady_clock::now();
+      job.finished_at = now;
+      if (job.has_deadline()) {
+        job.stats.has_deadline = true;
+        job.stats.deadline_slack =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(job.deadline -
+                                                                 now);
+        // Cancelled jobs never count as deadline misses.
+      }
+      job.state.store(JobState::kCancelled, std::memory_order_release);
+      pre_open = true;
+    } else if (s == JobState::kRunning && !job.cancel_requested) {
+      job.cancel_requested = true;
+      mid_run = true;
+    }
+  }
+
+  if (pre_open) {
+    job.done_cv.notify_all();
+    if (auto ctl = job.ctl.lock()) {
+      {
+        RankedLock lock(ctl->mu);
+        ctl->remove_job_locked(job_);
+        ++ctl->jobs_cancelled;
+      }
+      ctl->cv.notify_all();
+    }
+    return true;
+  }
+
+  if (mid_run) {
+    // Stop the executive: no more granule handouts, buffered assignments are
+    // recalled, in-flight granules drain. A worker observes exec.finished()
+    // on its next adoption round and finalizes the job as kCancelled. Wake
+    // the pool in case every worker is asleep (the finalize probe treats a
+    // finished executive as runnable work).
+    job.exec.request_stop();
+    if (auto ctl = job.ctl.lock()) ctl->wake();
+    return true;
+  }
+
+  return false;  // already terminal, cancel already in flight, or racing
 }
 
 }  // namespace pax::pool

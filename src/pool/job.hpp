@@ -27,6 +27,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/lock_rank.hpp"
@@ -34,6 +35,7 @@
 #include "core/executive.hpp"
 #include "core/sharded_executive.hpp"
 #include "pool/pool_stats.hpp"
+#include "pool/scheduler_policy.hpp"
 #include "runtime/body_table.hpp"
 #include "sched/dispatcher.hpp"
 
@@ -42,8 +44,10 @@ namespace pax::pool {
 enum class JobState : std::uint8_t {
   kQueued,     ///< submitted; no worker has adopted it yet
   kRunning,    ///< its executive has start()ed
-  kCancelled,  ///< cancelled before open (terminal)
+  kCancelled,  ///< cancelled — before open, or mid-run after the cooperative
+               ///< stop drained its in-flight granules (terminal)
   kComplete,   ///< program finished (terminal)
+  kRejected,   ///< refused by admission control; never executed (terminal)
 };
 
 [[nodiscard]] inline const char* to_string(JobState s) {
@@ -52,23 +56,37 @@ enum class JobState : std::uint8_t {
     case JobState::kRunning: return "running";
     case JobState::kCancelled: return "cancelled";
     case JobState::kComplete: return "complete";
+    case JobState::kRejected: return "rejected";
   }
   return "?";
+}
+
+[[nodiscard]] inline bool is_terminal(JobState s) {
+  return s == JobState::kComplete || s == JobState::kCancelled ||
+         s == JobState::kRejected;
 }
 
 class PoolRuntime;
 
 namespace detail {
 
+struct PoolCtl;
+
 /// Pool-internal job record. Lifetime is shared between the pool's runnable
 /// list and any JobHandles. The submitted program and bodies are borrowed:
 /// the caller keeps them alive until the job reaches a terminal state.
 struct Job {
+  /// Sentinel deadline for "no deadline".
+  static constexpr std::chrono::steady_clock::time_point kNoDeadlineTp =
+      std::chrono::steady_clock::time_point::max();
+
   Job(std::uint64_t id_in, int priority_in, const PhaseProgram& program,
       const rt::BodyTable& bodies_in, ExecConfig config, CostModel costs,
-      const sched::DispatchConfig& dispatch, const ShardConfig& shard_config)
+      const sched::DispatchConfig& dispatch, const ShardConfig& shard_config,
+      std::chrono::steady_clock::time_point deadline_in = kNoDeadlineTp)
       : id(id_in),
         priority(priority_in),
+        deadline(deadline_in),
         bodies(bodies_in),
         dispatcher(dispatch),
         exec(program, config, costs, shard_config),
@@ -76,6 +94,9 @@ struct Job {
 
   const std::uint64_t id;
   const int priority;
+  /// Absolute completion deadline (kNoDeadlineTp = none). Drives the EDF
+  /// pick and the met/missed accounting at finalize.
+  const std::chrono::steady_clock::time_point deadline;
   const rt::BodyTable& bodies;
   /// Per-job dispatch layer: one local run-queue per pool worker, refilled
   /// from this job's sharded executive. Steals stay within the job (tickets
@@ -85,11 +106,21 @@ struct Job {
   /// control mutex), so workers call it without holding `mu`.
   ShardedExecutive exec;
 
+  /// Back-reference to the pool's shared control block, set by submit()
+  /// before the job is published anywhere (then never written again — the
+  /// shared_ptr publication carries it). Weak: handles hold the job alive,
+  /// but must not keep a destroyed pool's bookkeeping alive with it —
+  /// lock() failing is how cancel() learns the pool is gone.
+  std::weak_ptr<PoolCtl> ctl;
+
   // --- guarded by mu (job bookkeeping only) --------------------------------
   /// Rank: job — held alone (never across executive calls, never under the
   /// pool mutex; the rank validator aborts if either slips).
   RankedMutex<LockRank::kJob> mu;
   JobStats stats PAX_GUARDED_BY(mu);
+  /// Set by a mid-run cancel (the one that wins returns true); read at
+  /// finalize to pick the terminal state. Under mu so cancel/finalize agree.
+  bool cancel_requested PAX_GUARDED_BY(mu) = false;
   /// Set once at construction, read-only afterwards — no guard needed.
   const std::chrono::steady_clock::time_point submitted_at;
   std::chrono::steady_clock::time_point opened_at PAX_GUARDED_BY(mu){};
@@ -135,13 +166,28 @@ struct Job {
   }
 
   /// Probe: could a rotating worker make progress here? Queued jobs count
-  /// (adoption start()s them). May be stale — the adopting worker verifies
-  /// and simply rotates on if the work evaporated.
+  /// (adoption start()s them). A finished-but-unfinalized executive counts
+  /// too: a mid-run cancel can flip the core finished from a *non-worker*
+  /// thread with nobody resident, and only an adopting worker can run the
+  /// finalize election — without this term the job would hang unfinalized.
+  /// May be stale — the adopting worker verifies and rotates on if the work
+  /// evaporated.
   [[nodiscard]] bool runnable_probe() const {
     const JobState s = state.load(std::memory_order_relaxed);
     if (s == JobState::kQueued) return true;
     if (s != JobState::kRunning) return false;
-    return core_runnable.load(std::memory_order_relaxed);
+    return core_runnable.load(std::memory_order_relaxed) || exec.finished();
+  }
+
+  [[nodiscard]] bool has_deadline() const { return deadline != kNoDeadlineTp; }
+
+  /// This job's deadline as the JobView encoding (ns since the steady-clock
+  /// epoch; kNoDeadline when none) for the EDF comparator.
+  [[nodiscard]] std::int64_t deadline_view_ns() const {
+    if (!has_deadline()) return kNoDeadline;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               deadline.time_since_epoch())
+        .count();
   }
 
   /// Snapshot of the stats. Caller holds mu (the executive-side counters are
@@ -171,11 +217,103 @@ struct Job {
   }
 };
 
+/// The pool's shared control block: the bookkeeping mutex, the non-terminal
+/// job list, and every pool-plane counter. The PoolRuntime owns it through a
+/// shared_ptr and each Job holds it weakly, so a JobHandle that outlives the
+/// pool degrades gracefully (cancel() finds the control block gone and
+/// returns false) instead of dereferencing a dangling runtime pointer.
+struct PoolCtl {
+  /// Pool bookkeeping mutex — guards everything below. Rank: pool (above
+  /// the job rank: a thread never holds a job mutex and this together; the
+  /// rank validator turns that documented rule into an abort).
+  mutable RankedMutex<LockRank::kPool> mu;
+  /// Workers sleep; drain() waits here too. _any variant: waits go through
+  /// RankedUniqueLock's annotated lock()/unlock().
+  std::condition_variable_any cv;
+
+  std::vector<std::shared_ptr<Job>> jobs PAX_GUARDED_BY(mu);  ///< non-terminal
+  std::uint64_t next_id PAX_GUARDED_BY(mu) = 0;
+  bool stop PAX_GUARDED_BY(mu) = false;
+
+  // Live job counters (valid mid-run).
+  std::uint64_t jobs_submitted PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t jobs_completed PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t jobs_cancelled PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t jobs_rejected PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t jobs_deadline_missed PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t jobs_deadline_met PAX_GUARDED_BY(mu) = 0;
+
+  // Worker-side totals, published at worker exit / job completion.
+  std::uint64_t tasks PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t granules PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t lock_acquisitions PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t exec_control_acquisitions PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t exec_lock_hold_ns PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t shard_hits PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t shard_ring_pops PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t shard_ring_pop_empty PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t shard_ring_push_full PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t shard_ring_cas_retries PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t shard_lock_acquisitions PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t shard_lock_hold_ns PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t rotations PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t steals PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t steal_fail_spins PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t peak_local_queue PAX_GUARDED_BY(mu) = 0;
+  std::vector<std::chrono::nanoseconds> busy PAX_GUARDED_BY(mu);
+  std::vector<std::chrono::nanoseconds> worker_wall PAX_GUARDED_BY(mu);
+
+  [[nodiscard]] bool any_runnable_locked() const PAX_REQUIRES(mu) {
+    for (const auto& j : jobs)
+      if (j->runnable_probe()) return true;
+    return false;
+  }
+
+  /// Policy pick over the runnable jobs' atomic probes.
+  [[nodiscard]] std::shared_ptr<Job> pick_job_locked(SchedPolicy policy) const
+      PAX_REQUIRES(mu) {
+    std::shared_ptr<Job> best;
+    JobView best_view;
+    for (const auto& j : jobs) {
+      if (!j->runnable_probe()) continue;
+      const JobView v{j->id, j->priority,
+                      j->granules_done.load(std::memory_order_relaxed),
+                      j->deadline_view_ns()};
+      if (best == nullptr || schedules_before(v, best_view, policy)) {
+        best = j;
+        best_view = v;
+      }
+    }
+    return best;
+  }
+
+  /// Erase `job` from the runnable list if present.
+  void remove_job_locked(const std::shared_ptr<Job>& job) PAX_REQUIRES(mu) {
+    for (auto it = jobs.begin(); it != jobs.end(); ++it) {
+      if (*it == job) {
+        jobs.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Empty mu critical section + notify: makes probe flips (done under a job
+  /// mutex or inside an executive) visible to sleepers without ever nesting
+  /// the locks.
+  void wake() PAX_EXCLUDES(mu) {
+    { RankedLock lock(mu); }
+    cv.notify_all();
+  }
+};
+
 }  // namespace detail
 
-/// Caller-side view of a submitted job: poll, wait, cancel-before-open,
-/// stats. Copyable; all copies refer to the same job. Handles must not
-/// outlive the PoolRuntime that issued them (cancel() calls back into it).
+/// Caller-side view of a submitted job: poll, wait (with timeout), cancel,
+/// stats. Copyable; all copies refer to the same job. Handles may outlive
+/// the PoolRuntime that issued them: the job record is shared-owned, and
+/// cancel() reaches the pool through a weak reference, so after shutdown a
+/// handle still answers state()/stats() and cancel() simply returns false
+/// (shutdown drains every job to a terminal state first).
 class JobHandle {
  public:
   JobHandle() = default;
@@ -192,28 +330,50 @@ class JobHandle {
     return job_->state.load(std::memory_order_acquire);
   }
 
-  /// True when the job reached a terminal state (complete or cancelled).
-  [[nodiscard]] bool done() const {
-    const JobState s = state();
-    return s == JobState::kComplete || s == JobState::kCancelled;
-  }
+  /// True when the job reached a terminal state (complete, cancelled, or
+  /// rejected). Implies stats() is final (the terminal flip is a release
+  /// store made under the job mutex AFTER the final bookkeeping writes).
+  [[nodiscard]] bool done() const { return is_terminal(state()); }
 
   /// Block until the job reaches a terminal state; returns it.
   JobState wait() {
     PAX_CHECK_MSG(job_ != nullptr, "empty JobHandle");
     RankedUniqueLock lock(job_->mu);
     job_->done_cv.wait(lock, [&] {
-      // acquire: pairs with the release store in the finalize/cancel paths
-      // so the terminal stats written before the flip are visible after it.
-      const JobState s = job_->state.load(std::memory_order_acquire);
-      return s == JobState::kComplete || s == JobState::kCancelled;
+      // acquire: pairs with the release store in the finalize/cancel/reject
+      // paths so the terminal stats written before the flip are visible.
+      return is_terminal(job_->state.load(std::memory_order_acquire));
     });
     return job_->state.load(std::memory_order_acquire);
   }
 
-  /// Cancel the job if no worker has opened it yet. True exactly when this
-  /// call cancelled it; false when it already opened (or already ended) —
-  /// in-flight programs run to completion, there is no mid-run abort.
+  /// Block until the job reaches a terminal state or `tp` passes; returns
+  /// the state observed at return (non-terminal on timeout — the job keeps
+  /// running; pair with cancel() for a hard timeout).
+  JobState wait_until(std::chrono::steady_clock::time_point tp) {
+    PAX_CHECK_MSG(job_ != nullptr, "empty JobHandle");
+    RankedUniqueLock lock(job_->mu);
+    while (true) {
+      const JobState s = job_->state.load(std::memory_order_acquire);
+      if (is_terminal(s)) return s;
+      if (job_->done_cv.wait_until(lock, tp) == std::cv_status::timeout)
+        return job_->state.load(std::memory_order_acquire);
+    }
+  }
+
+  JobState wait_for(std::chrono::nanoseconds d) {
+    return wait_until(std::chrono::steady_clock::now() + d);
+  }
+
+  /// Request cancellation. True exactly when this call will be the reason
+  /// the job ends kCancelled: either it was still queued (cancelled on the
+  /// spot, never runs) or it was running and this call won the mid-run
+  /// cancel — the executive stops handing out granules, recalls buffered
+  /// work, drains what is in flight, and a worker finalizes the job as
+  /// kCancelled with consistent partial stats. False when the job already
+  /// ended, a cancel is already in flight, or the pool is gone. NOTE: a
+  /// winning mid-run cancel can race the final granule retiring — the job
+  /// still finalizes kCancelled, possibly with fully-complete stats.
   bool cancel();
 
   /// Stats snapshot (final once done()).
@@ -225,10 +385,8 @@ class JobHandle {
 
  private:
   friend class PoolRuntime;
-  JobHandle(PoolRuntime* pool, std::shared_ptr<detail::Job> job)
-      : pool_(pool), job_(std::move(job)) {}
+  explicit JobHandle(std::shared_ptr<detail::Job> job) : job_(std::move(job)) {}
 
-  PoolRuntime* pool_ = nullptr;
   std::shared_ptr<detail::Job> job_;
 };
 

@@ -14,8 +14,7 @@ constexpr std::uint64_t kNoJobId = ~std::uint64_t{0};
 PoolRuntime::PoolRuntime(PoolConfig config)
     : config_(config),
       heap0_(alloc_stats::totals()),
-      busy_(config.workers, std::chrono::nanoseconds{0}),
-      worker_wall_(config.workers, std::chrono::nanoseconds{0}) {
+      ctl_(std::make_shared<detail::PoolCtl>()) {
   PAX_CHECK_MSG(config_.workers > 0, "pool needs at least one worker");
   PAX_CHECK_MSG(config_.batch > 0, "pool batch must be at least 1");
   // Fail at construction, not inside the first submit()'s Dispatcher.
@@ -24,6 +23,11 @@ PoolRuntime::PoolRuntime(PoolConfig config)
                 "local queue capacity below the retire batch");
   PAX_CHECK_MSG(config_.shards != 0,
                 "shards must be at least 1 (pass kAutoShards for the default)");
+  {
+    RankedLock lock(ctl_->mu);
+    ctl_->busy.assign(config_.workers, std::chrono::nanoseconds{0});
+    ctl_->worker_wall.assign(config_.workers, std::chrono::nanoseconds{0});
+  }
   mid_.tasks = metrics_.register_counter("worker.tasks");
   mid_.granules = metrics_.register_counter("worker.granules");
   mid_.busy_ns = metrics_.register_counter("worker.busy_ns");
@@ -42,23 +46,28 @@ PoolRuntime::~PoolRuntime() { shutdown(); }
 
 JobHandle PoolRuntime::submit(const PhaseProgram& program,
                               const rt::BodyTable& bodies, ExecConfig config,
-                              int priority, CostModel costs,
-                              std::uint32_t shards) {
+                              const SubmitOptions& opts) {
   // A per-job shard override must agree with an explicit pool-level count:
   // the pool's home-shard geometry is shared machinery, not a per-job knob.
-  PAX_CHECK_MSG(shards == kAutoShards || config_.shards == kAutoShards ||
-                    shards == config_.shards,
+  PAX_CHECK_MSG(opts.shards == kAutoShards || config_.shards == kAutoShards ||
+                    opts.shards == config_.shards,
                 "job shard count mismatches the pool's shard configuration");
+  // Resolve the relative deadline against the submit instant before any
+  // setup work, so executive construction time counts against the budget.
+  const auto deadline_tp =
+      opts.deadline.count() > 0
+          ? std::chrono::steady_clock::now() + opts.deadline
+          : detail::Job::kNoDeadlineTp;
   std::uint64_t id = 0;
   {
-    RankedLock lock(mu_);
-    PAX_CHECK_MSG(!stop_, "submit on a stopped pool");
-    id = next_id_++;
+    RankedLock lock(ctl_->mu);
+    PAX_CHECK_MSG(!ctl_->stop, "submit on a stopped pool");
+    id = ctl_->next_id++;
   }
   // Trace records from this job's executive/dispatcher carry its id, so the
   // exporter can lane them per job even though the rings are per worker.
   const ShardConfig shard_config{
-      .shards = shards != kAutoShards ? shards : config_.shards,
+      .shards = opts.shards != kAutoShards ? opts.shards : config_.shards,
       .workers = config_.workers,
       .batch = config_.batch,
       .lockfree = config_.lockfree,
@@ -67,81 +76,121 @@ JobHandle PoolRuntime::submit(const PhaseProgram& program,
   sched::DispatchConfig dispatch = dispatch_config();
   dispatch.trace_job = id;
   // Job construction (executive setup) happens outside the pool lock.
-  auto job = std::make_shared<detail::Job>(id, priority, program, bodies, config,
-                                           costs, dispatch, shard_config);
+  auto job = std::make_shared<detail::Job>(id, opts.priority, program, bodies,
+                                           config, opts.costs, dispatch,
+                                           shard_config, deadline_tp);
+  // Back-reference set before the job is published anywhere (handle or job
+  // list); never written again.
+  job->ctl = ctl_;
+  bool rejected = false;
   {
-    RankedLock lock(mu_);
-    PAX_CHECK_MSG(!stop_, "submit on a stopped pool");
-    jobs_.push_back(job);
-    ++jobs_submitted_;
+    RankedLock lock(ctl_->mu);
+    PAX_CHECK_MSG(!ctl_->stop, "submit on a stopped pool");
+    ++ctl_->jobs_submitted;
+    // Admission control: bound the non-terminal set. Rejecting here — not
+    // after queueing — keeps submit() non-blocking and the pending latency
+    // budget intact; a rejected deadline job is by definition a miss.
+    if (config_.max_pending != 0 &&
+        ctl_->jobs.size() >= config_.max_pending) {
+      ++ctl_->jobs_rejected;
+      if (job->has_deadline()) ++ctl_->jobs_deadline_missed;
+      rejected = true;
+    } else {
+      ctl_->jobs.push_back(job);
+    }
+  }
+  if (rejected) {
+    {
+      // Terminal contract: bookkeeping first, release flip last, all under
+      // the job mutex — done() implies stats() is final.
+      RankedLock jlock(job->mu);
+      const auto now = std::chrono::steady_clock::now();
+      job->finished_at = now;
+      if (job->has_deadline()) {
+        job->stats.has_deadline = true;
+        job->stats.deadline_missed = true;
+        job->stats.deadline_slack =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                job->deadline - now);
+      }
+      job->state.store(JobState::kRejected, std::memory_order_release);
+    }
+    job->done_cv.notify_all();
+    return JobHandle(std::move(job));
   }
   // notify_all, not notify_one: drain() waits on the same cv and a
   // notify_one could land on a drainer instead of an idle worker.
-  cv_.notify_all();
-  return JobHandle(this, std::move(job));
+  ctl_->cv.notify_all();
+  return JobHandle(std::move(job));
 }
 
 void PoolRuntime::drain() {
-  RankedUniqueLock lock(mu_);
+  RankedUniqueLock lock(ctl_->mu);
   // Explicit wait loop rather than the predicate overload: the predicate
-  // reads mu_-guarded state, and the thread-safety analysis cannot see that
+  // reads guarded state, and the thread-safety analysis cannot see that
   // a lambda body runs with the capability held.
-  while (!jobs_.empty()) cv_.wait(lock);
+  while (!ctl_->jobs.empty()) ctl_->cv.wait(lock);
 }
 
 void PoolRuntime::shutdown() {
   drain();
   {
-    RankedLock lock(mu_);
-    stop_ = true;
+    RankedLock lock(ctl_->mu);
+    ctl_->stop = true;
   }
-  cv_.notify_all();
+  ctl_->cv.notify_all();
   workers_.clear();  // jthread destructors join
 }
 
 PoolStats PoolRuntime::stats() const {
-  RankedLock lock(mu_);
+  RankedLock lock(ctl_->mu);
   PoolStats s;
-  s.jobs_submitted = jobs_submitted_;
-  s.jobs_completed = jobs_completed_;
-  s.jobs_cancelled = jobs_cancelled_;
-  s.tasks_executed = tasks_;
-  s.granules_executed = granules_;
-  s.exec_lock_acquisitions = lock_acquisitions_;
-  s.exec_control_acquisitions = exec_control_acquisitions_;
-  s.exec_lock_hold_ns = exec_lock_hold_ns_;
-  s.shard_hits = shard_hits_;
-  s.shard_ring_pops = shard_ring_pops_;
-  s.shard_ring_pop_empty = shard_ring_pop_empty_;
-  s.shard_ring_push_full = shard_ring_push_full_;
-  s.shard_ring_cas_retries = shard_ring_cas_retries_;
-  s.shard_lock_acquisitions = shard_lock_acquisitions_;
-  s.shard_lock_hold_ns = shard_lock_hold_ns_;
-  s.rotations = rotations_;
-  s.steals = steals_;
-  s.steal_fail_spins = steal_fail_spins_;
-  s.peak_local_queue = peak_local_queue_;
+  s.jobs_submitted = ctl_->jobs_submitted;
+  s.jobs_completed = ctl_->jobs_completed;
+  s.jobs_cancelled = ctl_->jobs_cancelled;
+  s.jobs_rejected = ctl_->jobs_rejected;
+  s.jobs_deadline_missed = ctl_->jobs_deadline_missed;
+  s.jobs_deadline_met = ctl_->jobs_deadline_met;
+  s.tasks_executed = ctl_->tasks;
+  s.granules_executed = ctl_->granules;
+  s.exec_lock_acquisitions = ctl_->lock_acquisitions;
+  s.exec_control_acquisitions = ctl_->exec_control_acquisitions;
+  s.exec_lock_hold_ns = ctl_->exec_lock_hold_ns;
+  s.shard_hits = ctl_->shard_hits;
+  s.shard_ring_pops = ctl_->shard_ring_pops;
+  s.shard_ring_pop_empty = ctl_->shard_ring_pop_empty;
+  s.shard_ring_push_full = ctl_->shard_ring_push_full;
+  s.shard_ring_cas_retries = ctl_->shard_ring_cas_retries;
+  s.shard_lock_acquisitions = ctl_->shard_lock_acquisitions;
+  s.shard_lock_hold_ns = ctl_->shard_lock_hold_ns;
+  s.rotations = ctl_->rotations;
+  s.steals = ctl_->steals;
+  s.steal_fail_spins = ctl_->steal_fail_spins;
+  s.peak_local_queue = ctl_->peak_local_queue;
   const AllocTotals heap = alloc_stats::delta(heap0_, alloc_stats::totals());
   s.heap_allocs = heap.allocs;
   s.heap_bytes = heap.bytes;
-  s.worker_busy = busy_;
-  s.worker_wall = worker_wall_;
+  s.worker_busy = ctl_->busy;
+  s.worker_wall = ctl_->worker_wall;
   // Unified metrics surface: worker-cell sums (live; final after shutdown)
-  // plus the pool-plane values pushed as plain entries under mu_.
+  // plus the pool-plane values pushed as plain entries under the pool mutex.
   s.metrics = metrics_.snapshot();
-  s.metrics.push("pool.jobs_submitted", jobs_submitted_);
-  s.metrics.push("pool.jobs_completed", jobs_completed_);
-  s.metrics.push("pool.jobs_cancelled", jobs_cancelled_);
-  s.metrics.push("exec.control_acquisitions", exec_control_acquisitions_);
-  s.metrics.push("exec.control_hold_ns", exec_lock_hold_ns_);
-  s.metrics.push("shard.hits", shard_hits_);
-  s.metrics.push("shard.ring.pop", shard_ring_pops_);
-  s.metrics.push("shard.ring.pop_empty", shard_ring_pop_empty_);
-  s.metrics.push("shard.ring.push_full", shard_ring_push_full_);
-  s.metrics.push("shard.ring.cas_retries", shard_ring_cas_retries_);
-  s.metrics.push("shard.lock.acquisitions", shard_lock_acquisitions_);
-  s.metrics.push("shard.lock.hold_ns", shard_lock_hold_ns_);
-  s.metrics.push("queue.peak_occupancy", peak_local_queue_);
+  s.metrics.push("pool.jobs_submitted", ctl_->jobs_submitted);
+  s.metrics.push("pool.jobs_completed", ctl_->jobs_completed);
+  s.metrics.push("pool.jobs_cancelled", ctl_->jobs_cancelled);
+  s.metrics.push("pool.jobs_rejected", ctl_->jobs_rejected);
+  s.metrics.push("pool.deadline_missed", ctl_->jobs_deadline_missed);
+  s.metrics.push("pool.deadline_met", ctl_->jobs_deadline_met);
+  s.metrics.push("exec.control_acquisitions", ctl_->exec_control_acquisitions);
+  s.metrics.push("exec.control_hold_ns", ctl_->exec_lock_hold_ns);
+  s.metrics.push("shard.hits", ctl_->shard_hits);
+  s.metrics.push("shard.ring.pop", ctl_->shard_ring_pops);
+  s.metrics.push("shard.ring.pop_empty", ctl_->shard_ring_pop_empty);
+  s.metrics.push("shard.ring.push_full", ctl_->shard_ring_push_full);
+  s.metrics.push("shard.ring.cas_retries", ctl_->shard_ring_cas_retries);
+  s.metrics.push("shard.lock.acquisitions", ctl_->shard_lock_acquisitions);
+  s.metrics.push("shard.lock.hold_ns", ctl_->shard_lock_hold_ns);
+  s.metrics.push("queue.peak_occupancy", ctl_->peak_local_queue);
   s.metrics.push("heap.allocs", heap.allocs);
   s.metrics.push("heap.bytes", heap.bytes);
   if (config_.trace != nullptr) {
@@ -149,65 +198,6 @@ PoolStats PoolRuntime::stats() const {
     s.metrics.push("trace.dropped", config_.trace->total_dropped());
   }
   return s;
-}
-
-bool PoolRuntime::any_runnable_locked() const {
-  return std::any_of(jobs_.begin(), jobs_.end(),
-                     [](const auto& j) { return j->runnable_probe(); });
-}
-
-std::shared_ptr<detail::Job> PoolRuntime::pick_job_locked() {
-  std::shared_ptr<detail::Job> best;
-  JobView best_view;
-  for (const auto& j : jobs_) {
-    if (!j->runnable_probe()) continue;
-    const JobView v{j->id, j->priority,
-                    j->granules_done.load(std::memory_order_relaxed)};
-    if (best == nullptr || schedules_before(v, best_view, config_.policy)) {
-      best = j;
-      best_view = v;
-    }
-  }
-  return best;
-}
-
-void PoolRuntime::wake_pool() {
-  // The probe that turned the sleep predicate true was flipped under a job
-  // mutex, not mu_. Passing through mu_ orders that flip against any
-  // sleeper's predicate evaluation, closing the lost-wakeup window.
-  { RankedLock lock(mu_); }
-  cv_.notify_all();
-}
-
-void PoolRuntime::remove_job_locked(const std::shared_ptr<detail::Job>& job) {
-  auto it = std::find(jobs_.begin(), jobs_.end(), job);
-  if (it != jobs_.end()) jobs_.erase(it);
-}
-
-bool PoolRuntime::cancel_job(const std::shared_ptr<detail::Job>& job) {
-  JobState expected = JobState::kQueued;
-  // acq_rel: the release half publishes everything the canceller wrote
-  // before the flip to handle-side acquire readers; the acquire half is for
-  // the failure path's read of the current state.
-  if (!job->state.compare_exchange_strong(expected, JobState::kCancelled,
-                                          std::memory_order_acq_rel)) {
-    return false;  // already opened, completed, or cancelled
-  }
-  {
-    RankedLock lock(mu_);
-    remove_job_locked(job);
-    ++jobs_cancelled_;
-  }
-  cv_.notify_all();  // drain()ers re-check the (shrunk) job list
-  {
-    // Job mutex taken after the pool mutex was *released* — the two are
-    // never held together (acquiring a job mutex while holding the pool
-    // mutex trips the rank validator: job ranks below pool).
-    RankedLock jlock(job->mu);
-    job->finished_at = std::chrono::steady_clock::now();
-  }
-  job->done_cv.notify_all();
-  return true;
 }
 
 void PoolRuntime::worker_main(WorkerId id) {
@@ -227,17 +217,17 @@ void PoolRuntime::worker_main(WorkerId id) {
   while (true) {
     if (job == nullptr) {
       PAX_DCHECK(done.empty());
-      RankedUniqueLock lock(mu_);
-      // Explicit wait loop: the predicate touches mu_-guarded state, which
+      RankedUniqueLock lock(ctl_->mu);
+      // Explicit wait loop: the predicate touches guarded state, which
       // the analysis cannot track through a lambda.
-      if (!stop_ && !any_runnable_locked()) {
+      if (!ctl_->stop && !ctl_->any_runnable_locked()) {
         trace_event(id, kNoJobId, obs::TraceKind::kSleep);
-        while (!stop_ && !any_runnable_locked()) cv_.wait(lock);
+        while (!ctl_->stop && !ctl_->any_runnable_locked()) ctl_->cv.wait(lock);
         trace_event(id, kNoJobId, obs::TraceKind::kWake);
       }
-      job = pick_job_locked();
+      job = ctl_->pick_job_locked(config_.policy);
       if (job == nullptr) {
-        if (stop_) break;
+        if (ctl_->stop) break;
         continue;  // stale probe; re-evaluate
       }
       if (job->id != last_resident) {
@@ -260,9 +250,12 @@ void PoolRuntime::worker_main(WorkerId id) {
     Outcome out;
     JobState st;
     bool must_start = false;
-    // Peak-queue high-water mark captured under the job mutex in the
-    // finalize path below, republished under the pool mutex in kFinished.
+    // Finalize facts captured under the job mutex, republished under the
+    // pool mutex in the kFinished arm (the two locks are never nested).
     std::uint64_t finished_peak = 0;
+    bool fin_cancelled = false;
+    bool fin_has_deadline = false;
+    bool fin_missed = false;
     {
       RankedLock jlock(job->mu);
       ++locks;
@@ -307,23 +300,43 @@ void PoolRuntime::worker_main(WorkerId id) {
       if (job->dispatcher.occupancy(id) > 0) {
         out = Outcome::kExecute;
       } else if (job->exec.finished()) {
-        // A finished executive has retired every ticket, so no shard buffer
-        // or peer queue can still hold assignments of this job. Several
-        // workers can observe the finished census concurrently — the CAS
-        // elects the finalizer, the losers rotate on.
+        // A finished executive has retired every ticket (a stopped one
+        // recalled its buffers and drained what was in flight), so no shard
+        // buffer or peer queue can still hold assignments of this job.
+        // Several workers can observe the finished census concurrently —
+        // the job mutex elects the finalizer: the first one in sees
+        // kRunning, writes the final bookkeeping, and flips the terminal
+        // state (release, flip LAST — done() must imply stats() is final);
+        // the losers see a terminal state and rotate on. The old protocol
+        // CASed the state *before* taking the mutex, leaving a window where
+        // a handle saw done() but stats() without finished_at — the race
+        // this path exists to close.
         PAX_DCHECK(!job->exec.work_available());
-        JobState fin_expected = JobState::kRunning;
-        // acq_rel: release publishes the job's final bookkeeping to
-        // handle-side acquire loads; acquire orders the losers' view.
-        if (job->state.compare_exchange_strong(fin_expected, JobState::kComplete,
-                                               std::memory_order_acq_rel)) {
-          RankedLock jlock(job->mu);
-          job->finished_at = std::chrono::steady_clock::now();
+        RankedLock jlock(job->mu);
+        if (job->state.load(std::memory_order_relaxed) == JobState::kRunning) {
+          const bool was_cancelled = job->cancel_requested;
+          const auto now = std::chrono::steady_clock::now();
+          job->finished_at = now;
           job->stats.peak_local_queue = job->dispatcher.peak_occupancy();
           // Guard gap surfaced by the annotation pass: the kFinished arm
           // below runs under the *pool* mutex and must not read the
-          // job-mutex-guarded stats there — capture the value here instead.
+          // job-mutex-guarded stats there — capture the values here.
           finished_peak = job->stats.peak_local_queue;
+          if (job->has_deadline()) {
+            job->stats.has_deadline = true;
+            job->stats.deadline_slack =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    job->deadline - now);
+            // Cancelled jobs never count as misses: the caller withdrew the
+            // deadline along with the work.
+            job->stats.deadline_missed = !was_cancelled && now > job->deadline;
+          }
+          fin_cancelled = was_cancelled;
+          fin_has_deadline = job->has_deadline();
+          fin_missed = job->stats.deadline_missed;
+          job->state.store(
+              was_cancelled ? JobState::kCancelled : JobState::kComplete,
+              std::memory_order_release);
           out = Outcome::kFinished;
         } else {
           out = Outcome::kGone;  // a peer won the finalize
@@ -339,7 +352,7 @@ void PoolRuntime::worker_main(WorkerId id) {
     // Probe flips cover every enqueue source of this round (retire
     // enablements, start(), idle work, shard refill): wake only on
     // not-runnable -> runnable, when a sleeper could actually be stuck.
-    if (job->refresh_probes()) wake_pool();
+    if (job->refresh_probes()) ctl_->wake();
 
     switch (out) {
       case Outcome::kExecute: {
@@ -356,21 +369,32 @@ void PoolRuntime::worker_main(WorkerId id) {
         job->done_cv.notify_all();
         {
           const ShardStatsView ss = job->exec.stats();
-          RankedLock lock(mu_);
-          remove_job_locked(job);
-          ++jobs_completed_;
-          exec_control_acquisitions_ += ss.control_acquisitions;
-          exec_lock_hold_ns_ += ss.control_hold_ns;
-          shard_hits_ += ss.shard_hits + ss.sibling_hits;
-          shard_ring_pops_ += ss.ring_pops;
-          shard_ring_pop_empty_ += ss.ring_pop_empty;
-          shard_ring_push_full_ += ss.ring_push_full;
-          shard_ring_cas_retries_ += ss.ring_cas_retries;
-          shard_lock_acquisitions_ += ss.shard_lock_acquisitions;
-          shard_lock_hold_ns_ += ss.shard_lock_hold_ns;
-          peak_local_queue_ = std::max(peak_local_queue_, finished_peak);
+          RankedLock lock(ctl_->mu);
+          ctl_->remove_job_locked(job);
+          if (fin_cancelled) {
+            ++ctl_->jobs_cancelled;
+          } else {
+            ++ctl_->jobs_completed;
+            if (fin_has_deadline) {
+              if (fin_missed)
+                ++ctl_->jobs_deadline_missed;
+              else
+                ++ctl_->jobs_deadline_met;
+            }
+          }
+          ctl_->exec_control_acquisitions += ss.control_acquisitions;
+          ctl_->exec_lock_hold_ns += ss.control_hold_ns;
+          ctl_->shard_hits += ss.shard_hits + ss.sibling_hits;
+          ctl_->shard_ring_pops += ss.ring_pops;
+          ctl_->shard_ring_pop_empty += ss.ring_pop_empty;
+          ctl_->shard_ring_push_full += ss.ring_push_full;
+          ctl_->shard_ring_cas_retries += ss.ring_cas_retries;
+          ctl_->shard_lock_acquisitions += ss.shard_lock_acquisitions;
+          ctl_->shard_lock_hold_ns += ss.shard_lock_hold_ns;
+          ctl_->peak_local_queue =
+              std::max(ctl_->peak_local_queue, finished_peak);
         }
-        cv_.notify_all();  // wake drain()ers and rotating workers
+        ctl_->cv.notify_all();  // wake drain()ers and rotating workers
         job.reset();
         break;
       }
@@ -418,15 +442,15 @@ void PoolRuntime::worker_main(WorkerId id) {
   metrics_.add(mid_.steal_fails, id, steal_fails);
   metrics_.add(mid_.rotations, id, rotations);
   metrics_.add(mid_.job_locks, id, locks);
-  RankedLock lock(mu_);
-  busy_[id] += totals.busy;
-  worker_wall_[id] = wall;
-  tasks_ += totals.tasks;
-  granules_ += totals.granules;
-  lock_acquisitions_ += locks;
-  rotations_ += rotations;
-  steals_ += steals;
-  steal_fail_spins_ += steal_fails;
+  RankedLock lock(ctl_->mu);
+  ctl_->busy[id] += totals.busy;
+  ctl_->worker_wall[id] = wall;
+  ctl_->tasks += totals.tasks;
+  ctl_->granules += totals.granules;
+  ctl_->lock_acquisitions += locks;
+  ctl_->rotations += rotations;
+  ctl_->steals += steals;
+  ctl_->steal_fail_spins += steal_fails;
 }
 
 void PoolRuntime::trace_event(WorkerId w, std::uint64_t job_id,

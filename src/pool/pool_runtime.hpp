@@ -63,6 +63,13 @@ struct PoolConfig {
   bool steal = true;
   /// Steal-rate signal halves a job's effective grain during its rundown.
   bool adaptive_grain = true;
+  /// Admission control: maximum number of non-terminal jobs the pool holds
+  /// at once (queued + running). 0 = unbounded (the batch default). When the
+  /// bound is hit, submit() returns a handle already in JobState::kRejected
+  /// — the job never executes, and the caller's program/bodies borrow ends
+  /// immediately. Bounding the pending set is what keeps latency finite
+  /// under overload in serve mode (DESIGN.md §14).
+  std::uint32_t max_pending = 0;
   /// Optional trace buffer (non-owning; must outlive the pool and be sized
   /// for >= `workers`). Null = tracing off. When set, workers write exec/
   /// refill/steal records tagged with the resident job's id plus job
@@ -85,16 +92,41 @@ class PoolRuntime {
   PoolRuntime(const PoolRuntime&) = delete;
   PoolRuntime& operator=(const PoolRuntime&) = delete;
 
+  /// Per-job submission options (the serve-mode surface).
+  struct SubmitOptions {
+    /// Higher schedules earlier under SchedPolicy::kPriority.
+    int priority = 0;
+    /// Relative completion deadline, measured from submit(); <= 0 = none.
+    /// Drives the EDF pick under SchedPolicy::kDeadline and the met/missed
+    /// accounting in JobStats/PoolStats — advisory, never enforced by
+    /// killing the job.
+    std::chrono::nanoseconds deadline{0};
+    CostModel costs{};
+    /// Overrides the pool-level executive shard count for this job
+    /// (kAutoShards = inherit); an override that disagrees with an explicit
+    /// pool-level count fails at submit time.
+    std::uint32_t shards = kAutoShards;
+  };
+
   /// Submit a program for execution. `program` and `bodies` are borrowed
   /// until the returned handle reports done(). Thread-safe; callable from
-  /// inside phase bodies (they run with no executive lock held). Higher
-  /// `priority` schedules earlier under SchedPolicy::kPriority. `shards`
-  /// overrides the pool-level executive shard count for this job
-  /// (kAutoShards = inherit); an override that disagrees with an explicit
-  /// pool-level count fails at submit time.
+  /// inside phase bodies (they run with no executive lock held).
+  /// Non-blocking: under admission control (PoolConfig::max_pending) an
+  /// over-budget submit returns immediately with a handle already in
+  /// JobState::kRejected instead of queueing or blocking.
+  JobHandle submit(const PhaseProgram& program, const rt::BodyTable& bodies,
+                   ExecConfig config, const SubmitOptions& opts);
+
+  /// Legacy positional overload (batch callers).
   JobHandle submit(const PhaseProgram& program, const rt::BodyTable& bodies,
                    ExecConfig config, int priority = 0, CostModel costs = {},
-                   std::uint32_t shards = kAutoShards);
+                   std::uint32_t shards = kAutoShards) {
+    return submit(program, bodies, config,
+                  SubmitOptions{.priority = priority,
+                                .deadline = std::chrono::nanoseconds{0},
+                                .costs = costs,
+                                .shards = shards});
+  }
 
   /// Block until every submitted job has completed or been cancelled.
   void drain();
@@ -108,8 +140,6 @@ class PoolRuntime {
   [[nodiscard]] const PoolConfig& config() const { return config_; }
 
  private:
-  friend class JobHandle;
-
   /// The per-job dispatch-layer configuration this pool submits with.
   [[nodiscard]] sched::DispatchConfig dispatch_config() const {
     return {.workers = config_.workers,
@@ -123,17 +153,6 @@ class PoolRuntime {
   void worker_main(WorkerId id);
   /// Emit a worker-track job-lifecycle record (no-op when tracing is off).
   void trace_event(WorkerId w, std::uint64_t job_id, obs::TraceKind kind);
-  /// Policy pick over the runnable jobs' atomic probes.
-  std::shared_ptr<detail::Job> pick_job_locked() PAX_REQUIRES(mu_);
-  [[nodiscard]] bool any_runnable_locked() const PAX_REQUIRES(mu_);
-  /// Empty mu_ critical section + notify: makes probe flips (done under a
-  /// job mutex only) visible to sleepers without ever nesting the locks.
-  void wake_pool() PAX_EXCLUDES(mu_);
-  /// Erase `job` from the runnable list if present.
-  void remove_job_locked(const std::shared_ptr<detail::Job>& job)
-      PAX_REQUIRES(mu_);
-  /// JobHandle::cancel backend.
-  bool cancel_job(const std::shared_ptr<detail::Job>& job);
 
   PoolConfig config_;
   /// Heap-traffic snapshot at construction (alloc_stats; zeros without the
@@ -148,39 +167,11 @@ class PoolRuntime {
         rotations, job_locks;
   } mid_{};
 
-  /// Pool bookkeeping mutex — guards everything below. Rank: pool (above
-  /// the job rank: a thread never holds a job mutex and mu_ together; the
-  /// rank validator turns that documented rule into an abort).
-  mutable RankedMutex<LockRank::kPool> mu_;
-  /// Workers sleep; drain() waits here too. _any variant: waits go through
-  /// RankedUniqueLock's annotated lock()/unlock().
-  std::condition_variable_any cv_;
-  std::vector<std::shared_ptr<detail::Job>> jobs_
-      PAX_GUARDED_BY(mu_);  ///< non-terminal jobs
-  std::uint64_t next_id_ PAX_GUARDED_BY(mu_) = 0;
-  bool stop_ PAX_GUARDED_BY(mu_) = false;
-  std::uint64_t jobs_submitted_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t jobs_completed_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t jobs_cancelled_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t tasks_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t granules_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t lock_acquisitions_ PAX_GUARDED_BY(mu_) = 0;
-  /// summed at job completion
-  std::uint64_t exec_control_acquisitions_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t exec_lock_hold_ns_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t shard_hits_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t shard_ring_pops_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t shard_ring_pop_empty_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t shard_ring_push_full_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t shard_ring_cas_retries_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t shard_lock_acquisitions_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t shard_lock_hold_ns_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t rotations_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t steals_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t steal_fail_spins_ PAX_GUARDED_BY(mu_) = 0;
-  std::uint64_t peak_local_queue_ PAX_GUARDED_BY(mu_) = 0;
-  std::vector<std::chrono::nanoseconds> busy_ PAX_GUARDED_BY(mu_);
-  std::vector<std::chrono::nanoseconds> worker_wall_ PAX_GUARDED_BY(mu_);
+  /// Shared control block (detail::PoolCtl, job.hpp): the pool mutex, the
+  /// non-terminal job list, and every pool-plane counter. Shared-owned here,
+  /// weakly referenced from each Job, so JobHandles degrade gracefully when
+  /// they outlive the pool instead of dereferencing a dangling pointer.
+  std::shared_ptr<detail::PoolCtl> ctl_;
 
   std::vector<std::jthread> workers_;  ///< last member: joins before teardown
 };

@@ -60,6 +60,16 @@ struct JobStats {
   /// High-water mark of this job's per-worker local run-queues (recorded at
   /// job completion).
   std::uint64_t peak_local_queue = 0;
+  /// Deadline accounting (serving layer, DESIGN.md §14). Set at the terminal
+  /// transition, under the job mutex, so done() implies these are final.
+  bool has_deadline = false;
+  /// True when the job reached its terminal state after its deadline — or
+  /// was rejected by admission control (a rejected deadline job has, by
+  /// definition, missed). Cancelled jobs never count as missed.
+  bool deadline_missed = false;
+  /// deadline − terminal time: positive = finished with this much headroom,
+  /// negative = this far past the deadline. Zero when has_deadline is false.
+  std::chrono::nanoseconds deadline_slack{0};
 };
 
 /// Pool-wide accounting. All worker-side totals (tasks, granules, lock
@@ -72,6 +82,13 @@ struct PoolStats {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_cancelled = 0;
+  /// Jobs refused by admission control (PoolConfig::max_pending): terminal
+  /// state kRejected, zero execution. Counted in jobs_submitted too.
+  std::uint64_t jobs_rejected = 0;
+  /// Deadline-carrying jobs that completed past their deadline or were
+  /// rejected (see JobStats::deadline_missed) / completed within it.
+  std::uint64_t jobs_deadline_missed = 0;
+  std::uint64_t jobs_deadline_met = 0;
   std::uint64_t tasks_executed = 0;     ///< worker-side totals
   std::uint64_t granules_executed = 0;  ///< worker-side totals
   /// Job-bookkeeping critical sections across workers (adoption rounds).

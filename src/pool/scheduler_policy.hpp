@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 namespace pax::pool {
 
@@ -16,6 +17,7 @@ enum class SchedPolicy : std::uint8_t {
   kFifo,       ///< submission order (lowest job id first)
   kPriority,   ///< highest submit-time priority, fifo within a priority
   kFairShare,  ///< fewest granules executed so far, fifo on ties
+  kDeadline,   ///< earliest absolute deadline first (EDF), no-deadline last
 };
 
 [[nodiscard]] inline const char* to_string(SchedPolicy p) {
@@ -23,9 +25,15 @@ enum class SchedPolicy : std::uint8_t {
     case SchedPolicy::kFifo: return "fifo";
     case SchedPolicy::kPriority: return "priority";
     case SchedPolicy::kFairShare: return "fair-share";
+    case SchedPolicy::kDeadline: return "deadline";
   }
   return "?";
 }
+
+/// JobView::deadline_ns for a job with no deadline: sorts after every real
+/// deadline under EDF, so deadline-free batch work fills leftover capacity.
+inline constexpr std::int64_t kNoDeadline =
+    std::numeric_limits<std::int64_t>::max();
 
 /// Scheduling-relevant snapshot of a runnable job, read from cheap atomic
 /// probes (no job lock taken during the pick).
@@ -33,6 +41,8 @@ struct JobView {
   std::uint64_t id = 0;         ///< submission order, dense from 0
   int priority = 0;             ///< larger = more urgent
   std::uint64_t granules = 0;   ///< granules executed so far
+  /// Absolute deadline (steady-clock ns since epoch); kNoDeadline = none.
+  std::int64_t deadline_ns = kNoDeadline;
 };
 
 /// True when a rotating worker should adopt `a` ahead of `b` under `policy`.
@@ -47,6 +57,9 @@ struct JobView {
       break;
     case SchedPolicy::kFairShare:
       if (a.granules != b.granules) return a.granules < b.granules;
+      break;
+    case SchedPolicy::kDeadline:
+      if (a.deadline_ns != b.deadline_ns) return a.deadline_ns < b.deadline_ns;
       break;
   }
   return a.id < b.id;

@@ -1,10 +1,15 @@
 // Pool runtime tests: K concurrent jobs complete with exact accounting,
-// scheduling policies order rotations as documented, cancel-before-open,
-// per-job stats sum to pool totals, and enablement order holds for a job
-// executed through the shared pool. Runs under ThreadSanitizer in CI.
+// scheduling policies (including EDF) order rotations as documented,
+// cancel-before-open and true mid-run cancellation on both shard engines,
+// admission control / kRejected, deadline accounting, timed waits, handles
+// that outlive the pool, the done() => stats()-final terminal contract, and
+// enablement order for a job executed through the shared pool. Runs under
+// ThreadSanitizer in CI.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -105,6 +110,29 @@ TEST(SchedPolicyPick, FairSharePicksLeastGranulesThenFifoTieBreak) {
   EXPECT_TRUE(schedules_before(behind, ahead, SchedPolicy::kFairShare));
   const JobView tied{7, 0, 10};
   EXPECT_TRUE(schedules_before(behind, tied, SchedPolicy::kFairShare));
+}
+
+TEST(SchedPolicyPick, DeadlinePicksEarliestThenFifoTieBreak) {
+  const JobView late{0, 9, 0, 5000};
+  const JobView soon{4, 0, 0, 1000};
+  // EDF: the earlier absolute deadline wins regardless of id or priority.
+  EXPECT_TRUE(schedules_before(soon, late, SchedPolicy::kDeadline));
+  EXPECT_FALSE(schedules_before(late, soon, SchedPolicy::kDeadline));
+  // Equal deadlines tie-break by id, like every policy.
+  const JobView tied{9, 0, 0, 1000};
+  EXPECT_TRUE(schedules_before(soon, tied, SchedPolicy::kDeadline));
+}
+
+TEST(SchedPolicyPick, DeadlineFreeJobsSortLast) {
+  const JobView batch{0, 0, 0};  // deadline_ns defaults to kNoDeadline
+  EXPECT_EQ(batch.deadline_ns, kNoDeadline);
+  const JobView urgent{7, 0, 0, std::numeric_limits<std::int64_t>::max() - 1};
+  // Even the latest representable real deadline outranks "no deadline":
+  // deadline-free batch work fills leftover capacity only.
+  EXPECT_TRUE(schedules_before(urgent, batch, SchedPolicy::kDeadline));
+  // Two deadline-free jobs degrade to fifo.
+  const JobView batch2{3, 0, 0};
+  EXPECT_TRUE(schedules_before(batch, batch2, SchedPolicy::kDeadline));
 }
 
 // --- config validation ------------------------------------------------------
@@ -421,6 +449,286 @@ TEST(PoolCancel, CancelBeforeOpenWinsOnceAndVictimNeverRuns) {
   EXPECT_EQ(ps.jobs_cancelled, 1u);
   EXPECT_EQ(ps.jobs_completed, 1u);
   EXPECT_EQ(ps.granules_executed, 1u);  // the blocker's single granule
+}
+
+/// True mid-run cancellation: every body execution parks on a gate, so the
+/// job is provably mid-run (opened, granules in flight, most of the phase
+/// still in the executive) when cancel() fires. The cooperative stop must
+/// recall the undistributed work — the job finalizes kCancelled with a
+/// strictly partial granule count — and the winning cancel is exclusive.
+void run_mid_run_cancel(bool lockfree) {
+  constexpr GranuleId kN = 64;
+  SinglePhase s = make_single_phase(kN);
+  std::atomic<bool> gate{false};
+  std::atomic<std::uint64_t> executed{0};
+  rt::BodyTable bodies;
+  bodies.set(s.p, [&](GranuleRange r, WorkerId) {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+    executed.fetch_add(r.size(), std::memory_order_relaxed);
+  });
+
+  PoolRuntime pool({.workers = 2, .batch = 4, .lockfree = lockfree});
+  ExecConfig cfg;
+  cfg.grain = 1;  // one granule per assignment: fine-grained recall coverage
+  JobHandle h = pool.submit(s.prog, bodies, cfg);
+
+  // Both workers are now (or will shortly be) parked inside bodies with
+  // granules resident in their local queues and the bulk still sharded in
+  // the executive.
+  while (h.state() != JobState::kRunning) std::this_thread::yield();
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.cancel());  // the mid-run cancel is won exactly once
+  EXPECT_FALSE(h.done());    // still draining: terminal comes from a worker
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(h.wait(), JobState::kCancelled);
+  pool.shutdown();
+
+  const JobStats js = h.stats();
+  // In-flight granules drained (each exactly once, none re-issued), but the
+  // recalled remainder never ran: strictly partial. With 2 workers x (2x4)
+  // local-queue slots + in-flight singles, the ceiling is far below kN.
+  EXPECT_EQ(js.granules, executed.load());
+  EXPECT_LT(js.granules, kN);
+  EXPECT_FALSE(js.deadline_missed);
+  const PoolStats ps = pool.stats();
+  EXPECT_EQ(ps.jobs_cancelled, 1u);
+  EXPECT_EQ(ps.jobs_completed, 0u);
+  EXPECT_EQ(ps.granules_executed, js.granules);
+}
+
+TEST(PoolCancel, MidRunCancelDrainsAndFinalizesCancelledLockfree) {
+  run_mid_run_cancel(/*lockfree=*/true);
+}
+
+TEST(PoolCancel, MidRunCancelDrainsAndFinalizesCancelledMutexEngine) {
+  run_mid_run_cancel(/*lockfree=*/false);
+}
+
+// --- terminal-state contract: done() implies stats() are final ---------------
+
+TEST(PoolTerminal, DoneImpliesStatsFinalSpinRegression) {
+  // Regression for the finalize race: the old protocol CASed the state to
+  // kComplete *before* taking the job mutex to write finished_at and
+  // peak_local_queue, so a handle spinning on done() could read stats()
+  // mid-write — span still growing (finished_at unset falls back to now())
+  // and peak_local_queue zero. The fix flips the terminal state LAST, under
+  // the job mutex, with release ordering. Spin-poll many small jobs and
+  // check the final bookkeeping is visible the instant done() is.
+  SinglePhase s = make_single_phase(16);
+  std::atomic<std::uint64_t> count{0};
+  const PhaseId ph[] = {s.p};
+  rt::BodyTable bodies = counting_bodies(ph, count);
+
+  PoolRuntime pool({.workers = 4, .batch = 2});
+  ExecConfig cfg;
+  cfg.grain = 1;
+  for (int iter = 0; iter < 50; ++iter) {
+    JobHandle h = pool.submit(s.prog, bodies, cfg);
+    while (!h.done()) std::this_thread::yield();
+    const JobStats first = h.stats();
+    // Every executed granule passed through a local run-queue, so the
+    // finalize-path peak write must already be visible.
+    EXPECT_EQ(first.granules, 16u) << "iter " << iter;
+    EXPECT_GT(first.peak_local_queue, 0u) << "iter " << iter;
+    // finished_at is set: span is frozen, not tracking now().
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+    EXPECT_EQ(h.stats().span, first.span) << "iter " << iter;
+  }
+  pool.shutdown();
+}
+
+// --- admission control --------------------------------------------------------
+
+TEST(PoolAdmission, OverBudgetSubmitRejectsWithoutExecuting) {
+  SinglePhase gate_prog = make_single_phase(1);
+  SinglePhase extra_prog = make_single_phase(8);
+  std::atomic<bool> gate{false};
+  std::atomic<bool> extra_ran{false};
+  rt::BodyTable gate_bodies;
+  gate_bodies.set(gate_prog.p, [&gate](GranuleRange, WorkerId) {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  rt::BodyTable extra_bodies;
+  extra_bodies.set(extra_prog.p, [&extra_ran](GranuleRange, WorkerId) {
+    extra_ran.store(true, std::memory_order_relaxed);
+  });
+
+  PoolRuntime pool({.workers = 1, .batch = 4, .max_pending = 1});
+  ExecConfig cfg;
+  JobHandle blocker = pool.submit(gate_prog.prog, gate_bodies, cfg);
+
+  // The blocker holds the whole pending budget: the next submit must come
+  // back already terminal, without blocking and without ever executing.
+  PoolRuntime::SubmitOptions opts;
+  opts.deadline = std::chrono::milliseconds{100};
+  JobHandle rejected = pool.submit(extra_prog.prog, extra_bodies, cfg, opts);
+  EXPECT_EQ(rejected.state(), JobState::kRejected);
+  EXPECT_TRUE(rejected.done());
+  EXPECT_EQ(rejected.wait(), JobState::kRejected);  // returns immediately
+  EXPECT_FALSE(rejected.cancel());                  // terminal: nothing to do
+  const JobStats rs = rejected.stats();
+  EXPECT_EQ(rs.granules, 0u);
+  EXPECT_TRUE(rs.has_deadline);
+  EXPECT_TRUE(rs.deadline_missed);  // a rejected deadline job is a miss
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.wait(), JobState::kComplete);
+  // wait() observes the terminal flip (job mutex), but the job leaves the
+  // pending set slightly later, under the pool mutex — in the same critical
+  // section that bumps jobs_completed. Spin on the counter so the budget is
+  // provably free before the re-admission submit.
+  while (pool.stats().jobs_completed < 1) std::this_thread::yield();
+  // The budget freed up: the same program is admitted now.
+  JobHandle admitted = pool.submit(extra_prog.prog, extra_bodies, cfg);
+  EXPECT_EQ(admitted.wait(), JobState::kComplete);
+  pool.shutdown();
+
+  EXPECT_TRUE(extra_ran.load());  // from the admitted run only
+  const PoolStats ps = pool.stats();
+  EXPECT_EQ(ps.jobs_submitted, 3u);  // rejected submissions still count
+  EXPECT_EQ(ps.jobs_completed, 2u);
+  EXPECT_EQ(ps.jobs_rejected, 1u);
+  EXPECT_EQ(ps.jobs_deadline_missed, 1u);
+  EXPECT_EQ(ps.jobs_deadline_met, 0u);
+}
+
+// --- deadline accounting ------------------------------------------------------
+
+TEST(PoolDeadline, MetAndMissedDeadlinesAccountedAtFinalize) {
+  SinglePhase a_prog = make_single_phase(8);
+  SinglePhase b_prog = make_single_phase(8);
+  std::atomic<std::uint64_t> count{0};
+  const PhaseId pa[] = {a_prog.p};
+  const PhaseId pb[] = {b_prog.p};
+  rt::BodyTable a_bodies = counting_bodies(pa, count);
+  rt::BodyTable b_bodies = counting_bodies(pb, count);
+
+  PoolRuntime pool({.workers = 2, .batch = 4,
+                    .policy = SchedPolicy::kDeadline});
+  ExecConfig cfg;
+  PoolRuntime::SubmitOptions generous;
+  generous.deadline = std::chrono::seconds{30};
+  PoolRuntime::SubmitOptions unmeetable;
+  unmeetable.deadline = std::chrono::nanoseconds{1};
+  JobHandle met = pool.submit(a_prog.prog, a_bodies, cfg, generous);
+  JobHandle missed = pool.submit(b_prog.prog, b_bodies, cfg, unmeetable);
+  EXPECT_EQ(met.wait(), JobState::kComplete);
+  EXPECT_EQ(missed.wait(), JobState::kComplete);
+  pool.shutdown();
+
+  const JobStats ms = met.stats();
+  EXPECT_TRUE(ms.has_deadline);
+  EXPECT_FALSE(ms.deadline_missed);
+  EXPECT_GT(ms.deadline_slack.count(), 0);
+  const JobStats xs = missed.stats();
+  EXPECT_TRUE(xs.has_deadline);
+  EXPECT_TRUE(xs.deadline_missed);
+  EXPECT_LT(xs.deadline_slack.count(), 0);
+  const PoolStats ps = pool.stats();
+  EXPECT_EQ(ps.jobs_deadline_met, 1u);
+  EXPECT_EQ(ps.jobs_deadline_missed, 1u);
+}
+
+TEST(PoolDeadline, EdfOrdersRotationsByDeadline) {
+  // Same single-worker gate scenario as the policy tests above, but ordered
+  // by deadline: submission order 0,1,2 with deadlines mid, late, early
+  // must execute 2, 0, 1.
+  SinglePhase gate_prog = make_single_phase(1);
+  SinglePhase jobs_prog[3] = {make_single_phase(4), make_single_phase(4),
+                              make_single_phase(4)};
+  std::atomic<bool> gate{false};
+  rt::BodyTable gate_bodies;
+  gate_bodies.set(gate_prog.p, [&gate](GranuleRange, WorkerId) {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  rt::BodyTable tag_bodies[3];
+  for (int i = 0; i < 3; ++i)
+    tag_bodies[i].set(jobs_prog[i].p,
+                      [i, &order_mu, &order](GranuleRange, WorkerId) {
+                        std::scoped_lock lock(order_mu);
+                        order.push_back(i);
+                      });
+
+  PoolRuntime pool({.workers = 1, .batch = 4,
+                    .policy = SchedPolicy::kDeadline});
+  ExecConfig cfg;
+  JobHandle blocker = pool.submit(gate_prog.prog, gate_bodies, cfg);
+  const std::chrono::seconds deadlines[3] = {std::chrono::seconds{200},
+                                             std::chrono::seconds{300},
+                                             std::chrono::seconds{100}};
+  JobHandle handles[3];
+  for (int i = 0; i < 3; ++i) {
+    PoolRuntime::SubmitOptions opts;
+    opts.deadline = deadlines[i];
+    handles[i] = pool.submit(jobs_prog[i].prog, tag_bodies[i], cfg, opts);
+  }
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(blocker.wait(), JobState::kComplete);
+  for (auto& h : handles) EXPECT_EQ(h.wait(), JobState::kComplete);
+  pool.shutdown();
+
+  ASSERT_EQ(order.size(), 12u);
+  const std::vector<int> want = {2, 2, 2, 2, 0, 0, 0, 0, 1, 1, 1, 1};
+  EXPECT_EQ(order, want);
+}
+
+// --- timed waits --------------------------------------------------------------
+
+TEST(PoolHandles, WaitForTimesOutOnRunningJobAndReturnsTerminalAfter) {
+  SinglePhase s = make_single_phase(1);
+  std::atomic<bool> gate{false};
+  rt::BodyTable bodies;
+  bodies.set(s.p, [&gate](GranuleRange, WorkerId) {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+
+  PoolRuntime pool({.workers = 1, .batch = 4});
+  ExecConfig cfg;
+  JobHandle h = pool.submit(s.prog, bodies, cfg);
+  // Gated body: the deadline passes with the job still non-terminal.
+  const JobState timed_out = h.wait_for(std::chrono::milliseconds{5});
+  EXPECT_FALSE(is_terminal(timed_out));
+  EXPECT_FALSE(h.done());
+
+  gate.store(true, std::memory_order_release);
+  EXPECT_EQ(h.wait(), JobState::kComplete);
+  // On an already-terminal job every timed wait returns immediately.
+  EXPECT_EQ(h.wait_for(std::chrono::nanoseconds{0}), JobState::kComplete);
+  EXPECT_EQ(h.wait_until(std::chrono::steady_clock::now()),
+            JobState::kComplete);
+  pool.shutdown();
+}
+
+// --- handle lifetime ----------------------------------------------------------
+
+TEST(PoolHandles, HandlesOutliveThePool) {
+  // Regression for the JobHandle use-after-free: cancel() used to call
+  // through a raw PoolRuntime*, so touching a handle after the pool's
+  // destruction dereferenced freed memory. Handles now share-own the job
+  // and reach the pool weakly: after shutdown they still answer
+  // state()/stats()/wait(), and cancel() degrades to false.
+  SinglePhase s = make_single_phase(16);
+  std::atomic<std::uint64_t> count{0};
+  const PhaseId ph[] = {s.p};
+  rt::BodyTable bodies = counting_bodies(ph, count);
+
+  JobHandle survivor;
+  {
+    PoolRuntime pool({.workers = 2, .batch = 4});
+    survivor = pool.submit(s.prog, bodies, ExecConfig{});
+    EXPECT_EQ(survivor.wait(), JobState::kComplete);
+  }  // pool destroyed; the handle remains
+  EXPECT_TRUE(survivor.valid());
+  EXPECT_TRUE(survivor.done());
+  EXPECT_EQ(survivor.state(), JobState::kComplete);
+  EXPECT_EQ(survivor.wait(), JobState::kComplete);
+  EXPECT_EQ(survivor.stats().granules, 16u);
+  EXPECT_FALSE(survivor.cancel());  // terminal AND the pool is gone
 }
 
 // --- enablement correctness through the pool ---------------------------------

@@ -52,6 +52,31 @@ void run_shard(std::uint64_t shard, std::uint64_t n_shards) {
   }
 }
 
+/// Serve-mode shard: the same seed space, but driven through the pool's
+/// serving surface (EDF deadlines, bounded admission, random pre-open and
+/// mid-run cancels — see testing_util.hpp run_serve_checked). Split into
+/// four cases for ctest -j, like the three-runtime sweep.
+void run_serve_shard(std::uint64_t shard, std::uint64_t n_shards) {
+  if (const char* replay = std::getenv("PAX_STRESS_SEED");
+      replay != nullptr && *replay != '\0') {
+    if (shard == 0)
+      pax::testing::run_serve_checked(pax::testing::generate_program(
+          std::strtoull(replay, nullptr, 10)));
+    return;
+  }
+  const std::uint64_t n = total_seeds();
+  const std::uint64_t lo = shard * n / n_shards;
+  const std::uint64_t hi = (shard + 1) * n / n_shards;
+  for (std::uint64_t s = lo; s < hi; ++s) {
+    SCOPED_TRACE("serve seed=" + std::to_string(kSeedBase + s) +
+                 " (replay: PAX_STRESS_SEED=" + std::to_string(kSeedBase + s) +
+                 " ctest -R stress_serve)");
+    pax::testing::run_serve_checked(
+        pax::testing::generate_program(kSeedBase + s));
+    if (::testing::Test::HasFatalFailure()) return;  // seed already traced
+  }
+}
+
 TEST(Stress, ThreeRuntimeSweepShard0) { run_shard(0, 8); }
 TEST(Stress, ThreeRuntimeSweepShard1) { run_shard(1, 8); }
 TEST(Stress, ThreeRuntimeSweepShard2) { run_shard(2, 8); }
@@ -60,6 +85,11 @@ TEST(Stress, ThreeRuntimeSweepShard4) { run_shard(4, 8); }
 TEST(Stress, ThreeRuntimeSweepShard5) { run_shard(5, 8); }
 TEST(Stress, ThreeRuntimeSweepShard6) { run_shard(6, 8); }
 TEST(Stress, ThreeRuntimeSweepShard7) { run_shard(7, 8); }
+
+TEST(Stress, ServeSweepShard0) { run_serve_shard(0, 4); }
+TEST(Stress, ServeSweepShard1) { run_serve_shard(1, 4); }
+TEST(Stress, ServeSweepShard2) { run_serve_shard(2, 4); }
+TEST(Stress, ServeSweepShard3) { run_serve_shard(3, 4); }
 
 // A handful of pinned seeds that exercised distinct machinery when the
 // harness was introduced (indirect subsets + elevation, deferred splits,
