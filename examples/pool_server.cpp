@@ -33,18 +33,30 @@ int main(int argc, char** argv) {
   // entirely, so a trailing `--trace` (missing its value) and any unknown
   // flag were silently ignored — the run proceeded untraced and the user
   // only found out when the trace file never appeared.
+  // `--inject-fault` adds a synthetic job whose body throws persistently on
+  // one granule: the exception barrier contains the throw, the retry budget
+  // exhausts, and the job lands in JobState::kFailed with its error summary
+  // printed — while every other tenant completes untouched. A contained,
+  // expected failure, so the demo still exits 0.
   const char* trace_path = nullptr;
+  bool inject_fault = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "pool_server: --trace requires a file path\n");
-        std::fprintf(stderr, "usage: %s [--trace out.trace.json]\n", argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [--trace out.trace.json] [--inject-fault]\n",
+                     argv[0]);
         return 2;
       }
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--inject-fault") == 0) {
+      inject_fault = true;
     } else {
       std::fprintf(stderr, "pool_server: unknown argument '%s'\n", argv[i]);
-      std::fprintf(stderr, "usage: %s [--trace out.trace.json]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--trace out.trace.json] [--inject-fault]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -114,6 +126,25 @@ int main(int argc, char** argv) {
   // the job first, in which case it legitimately runs to completion.
   const bool cancel_won = cancelled.cancel();
 
+  // --- optionally, a tenant with a persistent bug (--inject-fault) ---------
+  PhaseProgram buggy;
+  const PhaseId buggy_phase =
+      buggy.define_phase(make_phase("buggy", 48).writes("F"));
+  buggy.dispatch(buggy_phase);
+  buggy.halt();
+  rt::BodyTable buggy_bodies;
+  buggy_bodies.set(buggy_phase, [](GranuleRange r, WorkerId) {
+    for (GranuleId g = r.lo; g < r.hi; ++g)
+      if (g == 17) throw std::runtime_error("demo: granule 17 always throws");
+  });
+  pool::JobHandle faulty;
+  if (inject_fault) {
+    ExecConfig buggy_cfg;
+    buggy_cfg.grain = 4;
+    buggy_cfg.max_granule_retries = 2;
+    faulty = pool.submit(buggy, buggy_bodies, buggy_cfg, /*prio=*/1);
+  }
+
   // --- wait for the stream and report as jobs land -------------------------
   Table t("pool_server — job stream");
   t.header({"job", "kind", "state", "granules", "busy ms", "queued ms",
@@ -129,11 +160,26 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   for (auto& s : stream) ok &= s.handle.wait() == pool::JobState::kComplete;
+  // The buggy tenant is EXPECTED to fail — contained by the barrier, retried
+  // to budget, then degraded to kFailed with its siblings unharmed.
+  if (faulty.valid()) ok &= faulty.wait() == pool::JobState::kFailed;
   pool.shutdown();
 
   for (auto& s : stream) row(s.handle.id(), s.kind, s.handle);
   row(cancelled.id(), "synthetic", cancelled);
+  if (faulty.valid()) row(faulty.id(), "buggy", faulty);
   t.print(std::cout);
+
+  if (faulty.valid()) {
+    const pool::JobStats js = faulty.stats();
+    std::printf(
+        "job %llu failed (contained): %s — %llu faults, %llu retries, %llu "
+        "granules poisoned; other tenants unaffected\n",
+        static_cast<unsigned long long>(faulty.id()), js.fault_summary.c_str(),
+        static_cast<unsigned long long>(js.granule_faults),
+        static_cast<unsigned long long>(js.granule_retries),
+        static_cast<unsigned long long>(js.granules_poisoned));
+  }
 
   // SOR grids must match the sequential solver bitwise.
   for (const auto& g : sor_grids)
@@ -148,6 +194,7 @@ int main(int argc, char** argv) {
   // granules it actually executed before draining — either way the per-job
   // sum matches the pool total.
   std::uint64_t job_sum = cancelled.stats().granules;
+  if (faulty.valid()) job_sum += faulty.stats().granules;
   for (auto& s : stream) job_sum += s.handle.stats().granules;
   std::printf(
       "pool: %llu jobs (%llu cancelled), %llu granules (per-job sum %llu), "

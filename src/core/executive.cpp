@@ -361,6 +361,17 @@ std::optional<Assignment> ExecutiveCore::request_work(WorkerId) {
   PAX_CHECK_MSG(started_, "request_work before start");
   if (stop_requested_) return std::nullopt;  // cancelled: no new handouts
   ledger_.charge(MgmtOp::kRequestWork, costs_);
+  if (waiting_.empty() && !retry_queue_.empty()) {
+    // Nothing else to do: fast-forward the backoff clock to the earliest
+    // parked retry. Backoff defers retries relative to other progress; an
+    // otherwise-idle machine retries immediately (and never deadlocks on a
+    // backoff interval nobody is left to pump).
+    std::uint64_t min_tick = retry_queue_.front().ready_tick;
+    for (const RetryEntry& e : retry_queue_)
+      min_tick = std::min(min_tick, e.ready_tick);
+    fault_tick_ = std::max(fault_tick_, min_tick);
+    flush_retries();
+  }
   Descriptor* d = waiting_.peek();
   if (d == nullptr) return std::nullopt;
   if (d->pending_split != nullptr) force_pending_split(*d);
@@ -487,6 +498,10 @@ CompletionResult ExecutiveCore::complete_batch(std::span<const Ticket> tickets) 
   PAX_DCHECK(ws_->deferred_n == 0);
   for (const Ticket t : tickets) complete_one(t, res);
   flush_deferred();
+  if (!retry_queue_.empty()) {
+    ++fault_tick_;  // completion batches are the backoff clock
+    flush_retries();
+  }
   maybe_finish_stopped();
   res.new_work = waiting_.size() > waiting_before;
   res.program_finished = finished_;
@@ -626,7 +641,121 @@ void ExecutiveCore::maybe_finish_stopped() {
   if (!stop_requested_ || finished_) return;
   if (assignments_.size() != free_tickets_.size()) return;  // tickets in flight
   finished_ = true;
-  emit({ExecEvent::Kind::kProgramFinished, kNoRun, kNoPhase, {}, "cancelled"});
+  emit({ExecEvent::Kind::kProgramFinished, kNoRun, kNoPhase, {},
+        faulted_ ? "faulted" : "cancelled"});
+}
+
+std::uint32_t ExecutiveCore::bump_fault_attempts(Run& r, GranuleRange range) {
+  FaultAttempts* fa = nullptr;
+  for (FaultAttempts& e : fault_attempts_)
+    if (e.run == r.id) fa = &e;
+  if (fa == nullptr) {
+    fault_attempts_.push_back({r.id, {}});
+    fa = &fault_attempts_.back();
+  }
+  // Anonymous conflicting runs carry ranges not based at 0, so size the
+  // table to the range bound, not the run total.
+  if (fa->per_granule.size() < range.hi) fa->per_granule.resize(range.hi, 0);
+  std::uint32_t attempt = 0;
+  for (GranuleId g = range.lo; g < range.hi; ++g)
+    attempt = std::max(attempt, ++fa->per_granule[g]);
+  return attempt;
+}
+
+void ExecutiveCore::note_first_fault(PhaseId phase, GranuleRange range,
+                                     const char* what) {
+  if (fault_stats_.first_what[0] != '\0' || fault_stats_.first_phase != kNoPhase)
+    return;
+  fault_stats_.first_phase = phase;
+  fault_stats_.first_range = range;
+  std::size_t i = 0;
+  for (; what != nullptr && what[i] != '\0' &&
+         i + 1 < sizeof(fault_stats_.first_what);
+       ++i)
+    fault_stats_.first_what[i] = what[i];
+  fault_stats_.first_what[i] = '\0';
+}
+
+void ExecutiveCore::flush_retries() {
+  if (retry_queue_.empty() || stop_requested_) return;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < retry_queue_.size(); ++i) {
+    const RetryEntry e = retry_queue_[i];
+    if (e.ready_tick <= fault_tick_) {
+      waiting_.enqueue(*e.desc);
+      emit({ExecEvent::Kind::kGranulesEnabled, e.desc->run, e.desc->phase,
+            e.desc->range, "retry"});
+    } else {
+      retry_queue_[w++] = e;
+    }
+  }
+  retry_queue_.resize(w);
+}
+
+void ExecutiveCore::note_map_fault(Edge& edge, const char* what) {
+  ++fault_stats_.map_faults;
+  Run& succ = run_of(edge.succ);
+  note_first_fault(succ.phase, {0, succ.total}, what);
+  edge.build_pairs.clear();
+  edge.build_cursor = 0;
+  diagnose(std::string("enablement map callback threw ('") +
+           (what != nullptr ? what : "?") +
+           "'); overlap degraded to wholesale release for phase " +
+           std::to_string(succ.phase));
+}
+
+CompletionResult ExecutiveCore::fail(const GranuleFault& f) {
+  CompletionResult res;
+  const std::size_t waiting_before = waiting_.size();
+  PAX_CHECK(f.ticket < assignments_.size() && assignments_[f.ticket] != nullptr);
+  Descriptor* d = assignments_[f.ticket];
+  assignments_[f.ticket] = nullptr;
+  free_tickets_.push_back(f.ticket);
+  PAX_CHECK(d->state == DescState::kAssigned);
+
+  ++fault_stats_.faults;
+  note_first_fault(d->phase, d->range, f.what);
+  Run& r = run_of(d->run);
+
+  if (!stop_requested_) {
+    const std::uint32_t attempt = bump_fault_attempts(r, d->range);
+    if (attempt <= config_.max_granule_retries) {
+      // Park the descriptor itself for retry: its conflict queue (tracked
+      // successors) stays attached, so successor releases still require a
+      // real completion of this range.
+      ++fault_stats_.retries;
+      fault_stats_.retried_granules += d->range.size();
+      d->state = DescState::kHeld;
+      const std::uint64_t shift = attempt > 0 ? attempt - 1 : 0;
+      const std::uint64_t delay =
+          static_cast<std::uint64_t>(config_.retry_backoff_ticks) << shift;
+      retry_queue_.push_back({d, fault_tick_ + delay});
+      res.new_work = waiting_.size() > waiting_before;
+      res.program_finished = finished_;
+      return res;
+    }
+    // Retry budget exhausted: the granules are poisoned and the run can
+    // never complete — the dataflow is unsatisfiable. Enter the faulted
+    // terminal through the stop machinery (freeze the program counter, no
+    // new handouts, finish when outstanding tickets drain).
+    fault_stats_.poisoned += d->range.size();
+    faulted_ = true;
+    stop_requested_ = true;
+    diagnose("granule fault poisoned after retry budget: phase " +
+             std::to_string(d->phase) + " [" + std::to_string(d->range.lo) +
+             "," + std::to_string(d->range.hi) + ") — " + f.what);
+  }
+
+  // Poisoned (or failed after a stop was already requested): unwind exactly
+  // like abandon() — split linkage and conflict queues unwind so nothing
+  // leaks; released successors land behind the stop gate.
+  if (d->pending_split != nullptr) force_pending_split(*d);
+  release_conflicts(*d);
+  retire_desc(*d);
+  maybe_finish_stopped();
+  res.new_work = waiting_.size() > waiting_before;
+  res.program_finished = finished_;
+  return res;
 }
 
 void ExecutiveCore::submit_conflicting(RunId blocker, PhaseId phase,
@@ -917,14 +1046,31 @@ bool ExecutiveCore::map_build_step(Edge& edge) {
     while (edge.build_cursor < domain && added < config_.map_build_quantum) {
       const GranuleId i = edge.build_cursor++;
       out.clear();
+      // Exception barrier for user enablement callbacks: a throwing
+      // GranuleMapFn degrades this edge to wholesale release at completion
+      // instead of killing the process (the map stays unbuilt, which
+      // on_run_complete already handles as "never found idle time").
+      // note_map_fault must copy e.what() INSIDE the catch — the pointer
+      // dangles once the handler destroys the exception object.
+      try {
+        if (reverse) {
+          clause.indirection.requires_of(i, out);
+        } else {
+          clause.indirection.enables_of(i, out);
+        }
+      } catch (const std::exception& e) {
+        note_map_fault(edge, e.what());
+        return true;  // build over; edge degraded, cmap stays null
+      } catch (...) {
+        note_map_fault(edge, "unknown exception in GranuleMapFn");
+        return true;
+      }
       if (reverse) {
-        clause.indirection.requires_of(i, out);
         for (GranuleId p : out) {
           edge.build_pairs.emplace_back(p, i);
           ++added;
         }
       } else {
-        clause.indirection.enables_of(i, out);
         for (GranuleId r : out) {
           edge.build_pairs.emplace_back(i, r);
           ++added;

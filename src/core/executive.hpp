@@ -125,6 +125,40 @@ struct CompletionResult {
   bool program_finished = false;
 };
 
+/// A contained granule failure, recorded by the dispatch layer's exception
+/// barrier when a phase body throws. POD with a fixed-size message buffer so
+/// capturing one on the worker side never touches the heap.
+struct GranuleFault {
+  Ticket ticket = kNoTicket;
+  PhaseId phase = kNoPhase;
+  GranuleRange range{};
+  WorkerId worker = 0;
+  char what[96] = {};
+
+  void set_what(const char* msg) {
+    std::size_t i = 0;
+    for (; msg != nullptr && msg[i] != '\0' && i + 1 < sizeof(what); ++i)
+      what[i] = msg[i];
+    what[i] = '\0';
+  }
+};
+
+/// Failure accounting for one program execution. Written only under the
+/// driver's core serialization; final (and safe to read without it) once
+/// finished() is true.
+struct FaultStats {
+  std::uint64_t faults = 0;           ///< barrier-contained body throws
+  std::uint64_t retries = 0;          ///< fault-retire events that re-enqueued
+  std::uint64_t retried_granules = 0; ///< granules re-executed (work inflation)
+  std::uint64_t poisoned = 0;         ///< granules whose retry budget exhausted
+  std::uint64_t map_faults = 0;       ///< GranuleMapFn throws (edge degraded)
+  PhaseId first_phase = kNoPhase;     ///< site of the first recorded fault
+  GranuleRange first_range{};
+  char first_what[96] = {};
+
+  [[nodiscard]] bool any() const { return faults + map_faults > 0; }
+};
+
 class ExecutiveCore {
  public:
   ExecutiveCore(const PhaseProgram& program, ExecConfig config,
@@ -188,6 +222,31 @@ class ExecutiveCore {
   /// descriptor guards so held work is not leaked.
   void abandon(Ticket ticket);
 
+  /// Fail-retire a ticket whose body threw (reported by the dispatch
+  /// layer's exception barrier). The granules did NOT execute: no completion
+  /// accounting, no enablement decrements. While retry budget remains
+  /// (config.max_granule_retries per granule) the descriptor is parked and
+  /// re-enters the waiting queue after an exponential backoff — its conflict
+  /// queue stays attached, so tracked successors release only on a real
+  /// completion. Once the budget is exhausted the range's granules are
+  /// poisoned: the dataflow is unsatisfiable, and the core enters the
+  /// faulted terminal exactly like request_stop() — the program counter
+  /// freezes, no new work is handed out, and finished() flips when the last
+  /// outstanding ticket retires.
+  CompletionResult fail(const GranuleFault& f);
+
+  /// True once a poisoned granule (or a fail after stop) made the program
+  /// terminate without completing. Implies stop_requested(); final when
+  /// finished() is true.
+  [[nodiscard]] bool faulted() const { return faulted_; }
+
+  /// Failure accounting; final once finished() is true.
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// Granule ranges parked for retry backoff. Counted by work_available()
+  /// so drivers keep polling while a backoff interval drains.
+  [[nodiscard]] std::size_t retry_pending() const { return retry_queue_.size(); }
+
   /// Tickets currently handed out and not yet retired.
   [[nodiscard]] std::size_t outstanding_tickets() const {
     return assignments_.size() - free_tickets_.size();
@@ -195,7 +254,7 @@ class ExecutiveCore {
 
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] bool work_available() const {
-    return !stop_requested_ && !waiting_.empty();
+    return !stop_requested_ && (!waiting_.empty() || !retry_queue_.empty());
   }
   [[nodiscard]] std::size_t waiting_size() const { return waiting_.size(); }
   /// Elevated-class entries in the waiting queue (conflict releases and
@@ -335,6 +394,15 @@ class ExecutiveCore {
   /// (completion or abandonment). The kProgramFinished event fires exactly
   /// once, from whichever retirement drains the last outstanding ticket.
   void maybe_finish_stopped();
+  /// Record the fault in the ledger of firsts and bump counters (cold path —
+  /// may allocate for per-run attempt tables).
+  std::uint32_t bump_fault_attempts(Run& r, GranuleRange range);
+  void note_first_fault(PhaseId phase, GranuleRange range, const char* what);
+  /// Move backoff-expired retry parks back into the waiting queue.
+  void flush_retries();
+  /// A GranuleMapFn threw during map construction: degrade the edge to
+  /// wholesale release at completion (cmap stays null) and account the fault.
+  void note_map_fault(Edge& edge, const char* what);
 
   const PhaseProgram& program_;
   ExecConfig config_;
@@ -391,7 +459,24 @@ class ExecutiveCore {
   bool started_ = false;
   bool finished_ = false;
   bool stop_requested_ = false;  ///< cooperative cancel; see request_stop()
+  bool faulted_ = false;         ///< poisoned-granule terminal; see fail()
   std::vector<std::string> diagnostics_;
+
+  // Fault containment (all cold-path: empty and untouched on fault-free
+  // executions, so the warm-path allocation discipline is unaffected).
+  struct RetryEntry {
+    Descriptor* desc = nullptr;
+    std::uint64_t ready_tick = 0;
+  };
+  std::vector<RetryEntry> retry_queue_;  ///< parked kHeld descriptors
+  std::uint64_t fault_tick_ = 0;         ///< advances per completion batch
+  /// Per-run, per-granule fault attempt counts (created on first fault).
+  struct FaultAttempts {
+    RunId run = kNoRun;
+    std::vector<std::uint32_t> per_granule;
+  };
+  std::vector<FaultAttempts> fault_attempts_;
+  FaultStats fault_stats_;
 };
 
 }  // namespace pax

@@ -102,6 +102,19 @@ struct ExecConfig {
   bool branch_preprocess = true;
 
   ExecPlacement placement = ExecPlacement::kWorkerStealing;
+
+  /// Fault containment (DESIGN.md §15): how many times a faulted granule
+  /// range is re-enqueued before its granules are poisoned and the program
+  /// enters the faulted terminal. Drivers mirror this from
+  /// RtConfig::max_granule_retries.
+  std::uint32_t max_granule_retries = 2;
+
+  /// Base of the exponential retry backoff, in executive completion ticks:
+  /// the Nth failure of a granule parks its range for
+  /// `retry_backoff_ticks << (N-1)` completion batches before it re-enters
+  /// the waiting queue (an otherwise-idle executive fast-forwards the wait —
+  /// backoff only defers retries relative to other progress).
+  std::uint32_t retry_backoff_ticks = 1;
 };
 
 }  // namespace pax

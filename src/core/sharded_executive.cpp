@@ -144,7 +144,10 @@ void ShardedExecutive::publish_core_census() {
   // would spin sleepers and attract pool adopters to a job with nothing to
   // do. core_idle_ is already stop-gated inside has_idle_work().
   const bool stopped = core_.stop_requested();
-  core_waiting_.store(stopped ? 0 : core_.waiting_size(),
+  // Retry parks count as waiting work: the backoff clock is pumped by the
+  // very sweeps this census attracts, so hiding them would strand a parked
+  // retry with every worker asleep.
+  core_waiting_.store(stopped ? 0 : core_.waiting_size() + core_.retry_pending(),
                       std::memory_order_relaxed);
   core_elevated_.store(stopped ? 0 : core_.waiting_elevated_size(),
                        std::memory_order_relaxed);
@@ -693,6 +696,51 @@ void ShardedExecutive::request_stop() {
   publish_core_census();
 }
 
+ShardAcquire ShardedExecutive::fail_batch(WorkerId w,
+                                          std::span<const GranuleFault> faults) {
+  ShardAcquire res;
+  if (faults.empty()) return res;
+  std::uint64_t retries_before = 0, retries_after = 0;
+  std::uint64_t poisoned_before = 0, poisoned_after = 0;
+  {
+    ControlTimer timer(stats_);
+    RankedLock lock(control_mu_);
+    retries_before = core_.fault_stats().retries;
+    poisoned_before = core_.fault_stats().poisoned;
+    for (const GranuleFault& f : faults) {
+      const CompletionResult cr = core_.fail(f);
+      res.new_work |= cr.new_work;
+    }
+    retries_after = core_.fault_stats().retries;
+    poisoned_after = core_.fault_stats().poisoned;
+    if (core_.faulted()) {
+      // Release: pairs with the acquire load in faulted() — readers of the
+      // flag see the fault accounting written above.
+      faulted_flag_.store(true, std::memory_order_release);
+      // The core stopped itself; recall the shard buffers exactly like
+      // request_stop() so finished() can flip once stragglers drain. The
+      // exchange keeps a racing explicit cancel idempotent.
+      if (!stop_requested_.exchange(true, std::memory_order_acq_rel))
+        recall_abandon_locked();
+    }
+    publish_core_census();
+    res.program_finished = core_.finished();
+    res.swept = true;
+  }
+  if (retries_after > retries_before)
+    trace_event(w, obs::TraceKind::kGranuleRetry,
+                static_cast<std::uint32_t>(retries_after - retries_before));
+  if (poisoned_after > poisoned_before)
+    trace_event(w, obs::TraceKind::kGranulePoisoned,
+                static_cast<std::uint32_t>(poisoned_after - poisoned_before));
+  return res;
+}
+
+FaultStats ShardedExecutive::fault_stats() const {
+  RankedLock lock(control_mu_);
+  return core_.fault_stats();
+}
+
 ShardStatsView ShardedExecutive::stats() const {
   ShardStatsView v;
   v.control_acquisitions = stats_.control_acquisitions.load(std::memory_order_relaxed);
@@ -767,7 +815,9 @@ void ShardedExecutive::check_census() const PAX_NO_THREAD_SAFETY_ANALYSIS {
   PAX_CHECK_MSG(deposits == deposited_.load(std::memory_order_relaxed),
                 "deposit census drifted from the shard deposit boxes");
   PAX_CHECK_MSG(core_waiting_.load(std::memory_order_relaxed) ==
-                    (core_.stop_requested() ? 0 : core_.waiting_size()),
+                    (core_.stop_requested()
+                         ? 0
+                         : core_.waiting_size() + core_.retry_pending()),
                 "waiting-queue census drifted from the core");
   if (!lockfree_) {
     for (const auto& shard : shards_) shard->mu.unlock();

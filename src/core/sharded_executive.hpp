@@ -74,6 +74,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/lock_rank.hpp"
@@ -215,6 +216,26 @@ class ShardedExecutive {
   /// Returns what happened; `out` is appended in handout order.
   ShardAcquire acquire(WorkerId w, std::size_t max_n, std::vector<Ticket>& done,
                        std::vector<Assignment>& out) PAX_EXCLUDES(control_mu_);
+
+  /// Report barrier-contained granule faults (control section; cold by
+  /// definition — faults are exceptional). Retires each ticket through the
+  /// core's fail-retire path (bounded retry with backoff, poison after
+  /// exhaustion). When a poisoned granule flips the core into the faulted
+  /// terminal this also recalls the shard buffers, exactly like
+  /// request_stop(), so finished() can flip once stragglers drain.
+  ShardAcquire fail_batch(WorkerId w, std::span<const GranuleFault> faults)
+      PAX_EXCLUDES(control_mu_);
+
+  /// True once the program terminated because a poisoned granule made the
+  /// dataflow unsatisfiable. Final when finished() is true.
+  [[nodiscard]] bool faulted() const {
+    // Acquire: pairs with the release store in fail_batch() — a reader that
+    // sees the flag also sees the fault accounting written before it.
+    return faulted_flag_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of the core's failure accounting (control section; cold).
+  [[nodiscard]] FaultStats fault_stats() const PAX_EXCLUDES(control_mu_);
 
   /// Executive idle-time work (control section). True if something was done.
   bool idle_work() PAX_EXCLUDES(control_mu_);
@@ -430,6 +451,10 @@ class ShardedExecutive {
   /// workers into the drain path and by runnable() to stop advertising
   /// phantom core work.
   std::atomic<bool> stop_requested_{false};
+  /// Faulted-terminal mirror (authoritative copy is core_.faulted(), under
+  /// the control mutex). Written once by fail_batch(); read lock-free by the
+  /// pool's finalize election after finished() flips.
+  std::atomic<bool> faulted_flag_{false};
   /// Lock-free engine: occupancy of scatter_spill_ (relaxed mirror, written
   /// under the control mutex) so acquire() can route a worker into a sweep
   /// when only spilled work remains — without taking the mutex to look.

@@ -71,6 +71,11 @@ enum class TraceKind : std::uint8_t {
   kRunCompleted,
   kGranulesEnabled,  ///< aux = range size
   kProgramFinished,
+  // Fault containment (DESIGN.md §15).
+  kGranuleFault,     ///< a phase body threw; the barrier caught it (aux = faults)
+  kGranuleRetry,     ///< faulted range re-queued for another attempt (aux = retries)
+  kGranulePoisoned,  ///< retry budget exhausted; granules poisoned (aux = granules)
+  kWatchdogFlag,     ///< watchdog flagged a stuck granule (aux = worker flagged)
 };
 
 [[nodiscard]] inline const char* to_string(TraceKind k) {
@@ -92,6 +97,10 @@ enum class TraceKind : std::uint8_t {
     case TraceKind::kRunCompleted: return "run_completed";
     case TraceKind::kGranulesEnabled: return "granules_enabled";
     case TraceKind::kProgramFinished: return "program_finished";
+    case TraceKind::kGranuleFault: return "granule_fault";
+    case TraceKind::kGranuleRetry: return "granule_retry";
+    case TraceKind::kGranulePoisoned: return "granule_poisoned";
+    case TraceKind::kWatchdogFlag: return "watchdog_flag";
   }
   return "?";
 }

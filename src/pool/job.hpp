@@ -48,6 +48,11 @@ enum class JobState : std::uint8_t {
                ///< stop drained its in-flight granules (terminal)
   kComplete,   ///< program finished (terminal)
   kRejected,   ///< refused by admission control; never executed (terminal)
+  kFailed,     ///< faulted terminal (DESIGN.md §15): a poisoned granule made
+               ///< the dataflow unsatisfiable, or the stuck-granule watchdog
+               ///< escalated; remaining work was recalled and drained, the
+               ///< pool and sibling jobs are unaffected, and
+               ///< JobStats::fault_summary carries the first fault site
 };
 
 [[nodiscard]] inline const char* to_string(JobState s) {
@@ -57,13 +62,14 @@ enum class JobState : std::uint8_t {
     case JobState::kCancelled: return "cancelled";
     case JobState::kComplete: return "complete";
     case JobState::kRejected: return "rejected";
+    case JobState::kFailed: return "failed";
   }
   return "?";
 }
 
 [[nodiscard]] inline bool is_terminal(JobState s) {
   return s == JobState::kComplete || s == JobState::kCancelled ||
-         s == JobState::kRejected;
+         s == JobState::kRejected || s == JobState::kFailed;
 }
 
 class PoolRuntime;
@@ -83,10 +89,12 @@ struct Job {
   Job(std::uint64_t id_in, int priority_in, const PhaseProgram& program,
       const rt::BodyTable& bodies_in, ExecConfig config, CostModel costs,
       const sched::DispatchConfig& dispatch, const ShardConfig& shard_config,
-      std::chrono::steady_clock::time_point deadline_in = kNoDeadlineTp)
+      std::chrono::steady_clock::time_point deadline_in = kNoDeadlineTp,
+      std::chrono::nanoseconds granule_timeout_in = std::chrono::nanoseconds{0})
       : id(id_in),
         priority(priority_in),
         deadline(deadline_in),
+        granule_timeout(granule_timeout_in),
         bodies(bodies_in),
         dispatcher(dispatch),
         exec(program, config, costs, shard_config),
@@ -97,6 +105,10 @@ struct Job {
   /// Absolute completion deadline (kNoDeadlineTp = none). Drives the EDF
   /// pick and the met/missed accounting at finalize.
   const std::chrono::steady_clock::time_point deadline;
+  /// Stuck-granule bound (SubmitOptions::granule_timeout; <= 0 = none): a
+  /// single body invocation of this job exceeding it gets the job flagged
+  /// by the pool watchdog and escalated through the stop/recall machinery.
+  const std::chrono::nanoseconds granule_timeout;
   const rt::BodyTable& bodies;
   /// Per-job dispatch layer: one local run-queue per pool worker, refilled
   /// from this job's sharded executive. Steals stay within the job (tickets
@@ -121,6 +133,10 @@ struct Job {
   /// Set by a mid-run cancel (the one that wins returns true); read at
   /// finalize to pick the terminal state. Under mu so cancel/finalize agree.
   bool cancel_requested PAX_GUARDED_BY(mu) = false;
+  /// Set by the pool watchdog when a granule exceeded granule_timeout; read
+  /// at finalize (precedence: cancel > fault/watchdog > complete). Under mu
+  /// for the same agreement reason as cancel_requested.
+  bool watchdog_expired PAX_GUARDED_BY(mu) = false;
   /// Set once at construction, read-only afterwards — no guard needed.
   const std::chrono::steady_clock::time_point submitted_at;
   std::chrono::steady_clock::time_point opened_at PAX_GUARDED_BY(mu){};
@@ -242,6 +258,16 @@ struct PoolCtl {
   std::uint64_t jobs_rejected PAX_GUARDED_BY(mu) = 0;
   std::uint64_t jobs_deadline_missed PAX_GUARDED_BY(mu) = 0;
   std::uint64_t jobs_deadline_met PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t jobs_failed PAX_GUARDED_BY(mu) = 0;
+  // Fault containment (DESIGN.md §15): executive-side sums accumulated at
+  // each job's finalize; worker_faults is the independent worker-side count
+  // (bodies that threw), published at worker exit like tasks/granules.
+  std::uint64_t job_granule_faults PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t job_granule_retries PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t job_granules_poisoned PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t job_map_faults PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t watchdog_flags PAX_GUARDED_BY(mu) = 0;
+  std::uint64_t worker_faults PAX_GUARDED_BY(mu) = 0;
 
   // Worker-side totals, published at worker exit / job completion.
   std::uint64_t tasks PAX_GUARDED_BY(mu) = 0;
@@ -330,12 +356,18 @@ class JobHandle {
     return job_->state.load(std::memory_order_acquire);
   }
 
-  /// True when the job reached a terminal state (complete, cancelled, or
-  /// rejected). Implies stats() is final (the terminal flip is a release
-  /// store made under the job mutex AFTER the final bookkeeping writes).
+  /// True when the job reached a terminal state (complete, cancelled,
+  /// rejected, or failed). Implies stats() is final (the terminal flip is a
+  /// release store made under the job mutex AFTER the final bookkeeping
+  /// writes — including, for kFailed, the fault accounting and
+  /// fault_summary).
   [[nodiscard]] bool done() const { return is_terminal(state()); }
 
-  /// Block until the job reaches a terminal state; returns it.
+  /// Block until the job reaches a terminal state; returns it. A job that
+  /// faults terminally wakes this wait exactly like a completing one: the
+  /// finalize election flips it to kFailed and notifies, so wait() returns
+  /// kFailed with stats() final (fault_summary, retry and poison counts
+  /// included). test_fault pins this contract.
   JobState wait() {
     PAX_CHECK_MSG(job_ != nullptr, "empty JobHandle");
     RankedUniqueLock lock(job_->mu);

@@ -36,10 +36,14 @@ PoolRuntime::PoolRuntime(PoolConfig config)
   mid_.steal_fails = metrics_.register_counter("worker.steal_fail_spins");
   mid_.rotations = metrics_.register_counter("worker.rotations");
   mid_.job_locks = metrics_.register_counter("worker.job_lock_acquisitions");
+  mid_.faulted = metrics_.register_counter("worker.faulted");
   metrics_.bind(config_.workers);
   workers_.reserve(config_.workers);
   for (WorkerId w = 0; w < config_.workers; ++w)
     workers_.emplace_back([this, w] { worker_main(w); });
+  // The stuck-granule watchdog (DESIGN.md §15). Always started: with no
+  // timeout-carrying job it parks on wd_cv_ and costs nothing.
+  watchdog_ = std::jthread([this] { watchdog_main(); });
 }
 
 PoolRuntime::~PoolRuntime() { shutdown(); }
@@ -78,7 +82,8 @@ JobHandle PoolRuntime::submit(const PhaseProgram& program,
   // Job construction (executive setup) happens outside the pool lock.
   auto job = std::make_shared<detail::Job>(id, opts.priority, program, bodies,
                                            config, opts.costs, dispatch,
-                                           shard_config, deadline_tp);
+                                           shard_config, deadline_tp,
+                                           opts.granule_timeout);
   // Back-reference set before the job is published anywhere (handle or job
   // list); never written again.
   job->ctl = ctl_;
@@ -121,6 +126,12 @@ JobHandle PoolRuntime::submit(const PhaseProgram& program,
   // notify_all, not notify_one: drain() waits on the same cv and a
   // notify_one could land on a drainer instead of an idle worker.
   ctl_->cv.notify_all();
+  // A timeout-carrying job starts the watchdog polling (pass through wd_mu_
+  // so a watchdog between its job scan and its wait cannot miss the wake).
+  if (opts.granule_timeout.count() > 0) {
+    { RankedLock lock(wd_mu_); }
+    wd_cv_.notify_all();
+  }
   return JobHandle(std::move(job));
 }
 
@@ -134,6 +145,15 @@ void PoolRuntime::drain() {
 
 void PoolRuntime::shutdown() {
   drain();
+  // Stop the watchdog first: after drain() there is no job left to watch,
+  // and joining it here keeps shutdown() deterministic (the jthread member
+  // destructor would otherwise race the pool teardown below).
+  {
+    RankedLock lock(wd_mu_);
+    wd_stop_ = true;
+  }
+  wd_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   {
     RankedLock lock(ctl_->mu);
     ctl_->stop = true;
@@ -151,6 +171,12 @@ PoolStats PoolRuntime::stats() const {
   s.jobs_rejected = ctl_->jobs_rejected;
   s.jobs_deadline_missed = ctl_->jobs_deadline_missed;
   s.jobs_deadline_met = ctl_->jobs_deadline_met;
+  s.jobs_failed = ctl_->jobs_failed;
+  s.granule_faults = ctl_->worker_faults;
+  s.granule_retries = ctl_->job_granule_retries;
+  s.granules_poisoned = ctl_->job_granules_poisoned;
+  s.map_faults = ctl_->job_map_faults;
+  s.watchdog_flags = ctl_->watchdog_flags;
   s.tasks_executed = ctl_->tasks;
   s.granules_executed = ctl_->granules;
   s.exec_lock_acquisitions = ctl_->lock_acquisitions;
@@ -179,8 +205,15 @@ PoolStats PoolRuntime::stats() const {
   s.metrics.push("pool.jobs_completed", ctl_->jobs_completed);
   s.metrics.push("pool.jobs_cancelled", ctl_->jobs_cancelled);
   s.metrics.push("pool.jobs_rejected", ctl_->jobs_rejected);
+  s.metrics.push("pool.jobs_failed", ctl_->jobs_failed);
   s.metrics.push("pool.deadline_missed", ctl_->jobs_deadline_missed);
   s.metrics.push("pool.deadline_met", ctl_->jobs_deadline_met);
+  s.metrics.push("fault.bodies", ctl_->worker_faults);
+  s.metrics.push("fault.job_bodies", ctl_->job_granule_faults);
+  s.metrics.push("fault.retries", ctl_->job_granule_retries);
+  s.metrics.push("fault.poisoned", ctl_->job_granules_poisoned);
+  s.metrics.push("fault.map", ctl_->job_map_faults);
+  s.metrics.push("fault.watchdog_flags", ctl_->watchdog_flags);
   s.metrics.push("exec.control_acquisitions", ctl_->exec_control_acquisitions);
   s.metrics.push("exec.control_hold_ns", ctl_->exec_lock_hold_ns);
   s.metrics.push("shard.hits", ctl_->shard_hits);
@@ -213,6 +246,21 @@ void PoolRuntime::worker_main(WorkerId id) {
   std::uint64_t steal_fails = 0;
   std::uint64_t last_resident = kNoJobId;
   std::shared_ptr<detail::Job> job;  // resident job
+
+  // Fault hand-off (DESIGN.md §15): drain_local's exception barrier parks
+  // fault records in the job dispatcher's per-worker buffer; report them
+  // through the job executive's fail path before the next refill — a
+  // faulted ticket must never retire as a completion. Cold path: the
+  // conservative pool wake afterwards (retries = new work, or a poison
+  // flipped the executive finished) costs nothing that matters.
+  auto report_faults = [&](detail::Job& j) {
+    std::vector<GranuleFault>& fb = j.dispatcher.fault_buffer(id);
+    if (fb.empty()) return;
+    j.exec.fail_batch(id, fb);
+    fb.clear();
+    (void)j.refresh_probes();  // wake unconditionally below — faults are cold
+    ctl_->wake();
+  };
 
   while (true) {
     if (job == nullptr) {
@@ -254,8 +302,11 @@ void PoolRuntime::worker_main(WorkerId id) {
     // pool mutex in the kFinished arm (the two locks are never nested).
     std::uint64_t finished_peak = 0;
     bool fin_cancelled = false;
+    bool fin_failed = false;
+    bool fin_watchdog = false;
     bool fin_has_deadline = false;
     bool fin_missed = false;
+    FaultStats fin_faults{};
     {
       RankedLock jlock(job->mu);
       ++locks;
@@ -312,9 +363,20 @@ void PoolRuntime::worker_main(WorkerId id) {
         // a handle saw done() but stats() without finished_at — the race
         // this path exists to close.
         PAX_DCHECK(!job->exec.work_available());
+        // Fault facts read BEFORE the job mutex: fault_stats() takes the
+        // executive control mutex, which must never nest under the job
+        // mutex (rank order). The executive is finished, so the snapshot
+        // is final; losers of the election below just discard it.
+        const FaultStats exec_fs = job->exec.fault_stats();
+        const bool exec_faulted = job->exec.faulted();
         RankedLock jlock(job->mu);
         if (job->state.load(std::memory_order_relaxed) == JobState::kRunning) {
           const bool was_cancelled = job->cancel_requested;
+          const bool was_watchdog = job->watchdog_expired;
+          // Terminal precedence: an explicit cancel beats the fault flip
+          // (the caller withdrew the work; whether it also faulted on the
+          // way down is a detail), faults beat completion.
+          const bool failed = !was_cancelled && (exec_faulted || was_watchdog);
           const auto now = std::chrono::steady_clock::now();
           job->finished_at = now;
           job->stats.peak_local_queue = job->dispatcher.peak_occupancy();
@@ -328,15 +390,40 @@ void PoolRuntime::worker_main(WorkerId id) {
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     job->deadline - now);
             // Cancelled jobs never count as misses: the caller withdrew the
-            // deadline along with the work.
-            job->stats.deadline_missed = !was_cancelled && now > job->deadline;
+            // deadline along with the work. Failed jobs don't either — they
+            // produced no result to be late (jobs_failed counts them).
+            job->stats.deadline_missed =
+                !was_cancelled && !failed && now > job->deadline;
+          }
+          // Fault accounting, written before the terminal flip so done()
+          // implies it is final. The executive-side counts are
+          // authoritative: every fail() is counted there, while a worker's
+          // BodyLoopStats::faulted delta may still be unmerged here (its
+          // ticket retired through fail_batch before its stats merge).
+          job->stats.granule_faults = exec_fs.faults;
+          job->stats.granule_retries = exec_fs.retries;
+          job->stats.granules_poisoned = exec_fs.poisoned;
+          job->stats.map_faults = exec_fs.map_faults;
+          job->stats.watchdog_expired = was_watchdog;
+          if (exec_fs.any()) {
+            job->stats.fault_summary =
+                "phase " + std::to_string(exec_fs.first_phase) + " [" +
+                std::to_string(exec_fs.first_range.lo) + "," +
+                std::to_string(exec_fs.first_range.hi) +
+                "): " + exec_fs.first_what;
+          } else if (was_watchdog) {
+            job->stats.fault_summary = "granule exceeded watchdog timeout";
           }
           fin_cancelled = was_cancelled;
+          fin_failed = failed;
+          fin_watchdog = was_watchdog;
+          fin_faults = exec_fs;
           fin_has_deadline = job->has_deadline();
           fin_missed = job->stats.deadline_missed;
-          job->state.store(
-              was_cancelled ? JobState::kCancelled : JobState::kComplete,
-              std::memory_order_release);
+          job->state.store(was_cancelled ? JobState::kCancelled
+                           : failed      ? JobState::kFailed
+                                         : JobState::kComplete,
+                           std::memory_order_release);
           out = Outcome::kFinished;
         } else {
           out = Outcome::kGone;  // a peer won the finalize
@@ -360,6 +447,7 @@ void PoolRuntime::worker_main(WorkerId id) {
         job->dispatcher.drain_local(job->bodies, id, done, step);
         delta += step;
         totals += step;
+        report_faults(*job);
         break;
       }
       case Outcome::kRetry:
@@ -373,6 +461,8 @@ void PoolRuntime::worker_main(WorkerId id) {
           ctl_->remove_job_locked(job);
           if (fin_cancelled) {
             ++ctl_->jobs_cancelled;
+          } else if (fin_failed) {
+            ++ctl_->jobs_failed;
           } else {
             ++ctl_->jobs_completed;
             if (fin_has_deadline) {
@@ -382,6 +472,11 @@ void PoolRuntime::worker_main(WorkerId id) {
                 ++ctl_->jobs_deadline_met;
             }
           }
+          ctl_->job_granule_faults += fin_faults.faults;
+          ctl_->job_granule_retries += fin_faults.retries;
+          ctl_->job_granules_poisoned += fin_faults.poisoned;
+          ctl_->job_map_faults += fin_faults.map_faults;
+          if (fin_watchdog) ++ctl_->watchdog_flags;
           ctl_->exec_control_acquisitions += ss.control_acquisitions;
           ctl_->exec_lock_hold_ns += ss.control_hold_ns;
           ctl_->shard_hits += ss.shard_hits + ss.sibling_hits;
@@ -411,6 +506,7 @@ void PoolRuntime::worker_main(WorkerId id) {
             job->dispatcher.drain_local(job->bodies, id, done, step);
             delta += step;
             totals += step;
+            report_faults(*job);
             break;  // keep residency; the next critical section retires
           }
           ++steal_fails;
@@ -442,8 +538,10 @@ void PoolRuntime::worker_main(WorkerId id) {
   metrics_.add(mid_.steal_fails, id, steal_fails);
   metrics_.add(mid_.rotations, id, rotations);
   metrics_.add(mid_.job_locks, id, locks);
+  metrics_.add(mid_.faulted, id, totals.faulted);
   RankedLock lock(ctl_->mu);
   ctl_->busy[id] += totals.busy;
+  ctl_->worker_faults += totals.faulted;
   ctl_->worker_wall[id] = wall;
   ctl_->tasks += totals.tasks;
   ctl_->granules += totals.granules;
@@ -451,6 +549,90 @@ void PoolRuntime::worker_main(WorkerId id) {
   ctl_->rotations += rotations;
   ctl_->steals += steals;
   ctl_->steal_fail_spins += steal_fails;
+}
+
+void PoolRuntime::watchdog_main() {
+  std::vector<std::shared_ptr<detail::Job>> watched;
+  while (true) {
+    watched.clear();
+    std::chrono::nanoseconds shortest{0};
+    {
+      RankedLock lock(ctl_->mu);
+      for (const auto& j : ctl_->jobs) {
+        if (j->granule_timeout.count() <= 0) continue;
+        watched.push_back(j);
+        if (shortest.count() == 0 || j->granule_timeout < shortest)
+          shortest = j->granule_timeout;
+      }
+    }
+    const std::uint64_t now = obs::trace_now_ns();
+    for (const auto& job : watched) {
+      if (job->state.load(std::memory_order_acquire) != JobState::kRunning)
+        continue;
+      const auto bound = static_cast<std::uint64_t>(job->granule_timeout.count());
+      for (WorkerId w = 0; w < config_.workers; ++w) {
+        // A non-zero cell means worker w is inside a body of this job right
+        // now (the job's dispatcher owns the cell; it is cleared on body
+        // exit). Relaxed staleness only delays a flag by one poll.
+        const std::uint64_t b = job->dispatcher.exec_begin_ns(w);
+        if (b != 0 && now > b && now - b > bound) {
+          watchdog_escalate(job, w);
+          break;
+        }
+      }
+    }
+    // Sleep under wd_mu_ ONLY — never held across the scan/escalation above.
+    // Poll at a quarter of the shortest active timeout (clamped to a sane
+    // band); with nothing to watch, park until a timeout-carrying submit or
+    // shutdown notifies.
+    RankedUniqueLock lock(wd_mu_);
+    if (wd_stop_) break;
+    if (watched.empty()) {
+      wd_cv_.wait(lock);
+    } else {
+      const auto poll = std::clamp<std::chrono::nanoseconds>(
+          shortest / 4, std::chrono::microseconds{100},
+          std::chrono::milliseconds{10});
+      wd_cv_.wait_for(lock, poll);
+    }
+    if (wd_stop_) break;
+  }
+}
+
+void PoolRuntime::watchdog_escalate(const std::shared_ptr<detail::Job>& job,
+                                    WorkerId stuck_worker) {
+  // Latch the flag under the job mutex (idempotent; finalize reads it under
+  // the same mutex). A cancel already in flight wins the terminal
+  // precedence, so don't pile the watchdog on top of it.
+  bool flagged = false;
+  {
+    RankedLock jlock(job->mu);
+    if (!job->watchdog_expired && !job->cancel_requested &&
+        job->state.load(std::memory_order_relaxed) == JobState::kRunning) {
+      job->watchdog_expired = true;
+      flagged = true;
+    }
+  }
+  if (!flagged) return;
+  // kWatchdogFlag goes on the control track: the pool installs no
+  // control-track core sink (see PoolConfig::trace), so the watchdog is
+  // that ring's only writer — the single-writer contract holds.
+  if (config_.trace != nullptr) {
+    obs::TraceRecord r;
+    r.ts_ns = obs::trace_now_ns();
+    r.job = job->id;
+    r.aux = stuck_worker;
+    r.worker = obs::kControlTrack;
+    r.kind = obs::TraceKind::kWatchdogFlag;
+    config_.trace->control_ring().emit(r);
+  }
+  // PR 9's escalation machinery: stop handouts, recall buffered work. The
+  // escalation is cooperative — once the stuck granule returns and in-
+  // flight work drains, an adopting worker finalizes the job as kFailed.
+  // Wake the pool in case every worker is asleep (the finalize probe treats
+  // a finished executive as runnable).
+  job->exec.request_stop();
+  ctl_->wake();
 }
 
 void PoolRuntime::trace_event(WorkerId w, std::uint64_t job_id,

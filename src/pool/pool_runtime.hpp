@@ -106,6 +106,13 @@ class PoolRuntime {
     /// (kAutoShards = inherit); an override that disagrees with an explicit
     /// pool-level count fails at submit time.
     std::uint32_t shards = kAutoShards;
+    /// Stuck-granule bound (DESIGN.md §15); <= 0 = none. When a single body
+    /// invocation of this job runs longer than this, the pool's watchdog
+    /// thread flags the job and escalates through the stop/recall machinery:
+    /// handouts stop, buffered work is recalled, and once the stuck granule
+    /// finally returns (the escalation is cooperative — nothing is killed)
+    /// the job finalizes as JobState::kFailed. Sibling jobs are unaffected.
+    std::chrono::nanoseconds granule_timeout{0};
   };
 
   /// Submit a program for execution. `program` and `bodies` are borrowed
@@ -154,6 +161,18 @@ class PoolRuntime {
   /// Emit a worker-track job-lifecycle record (no-op when tracing is off).
   void trace_event(WorkerId w, std::uint64_t job_id, obs::TraceKind kind);
 
+  /// Stuck-granule watchdog (DESIGN.md §15): samples each timeout-carrying
+  /// job's per-worker exec-begin cells (Dispatcher::exec_begin_ns) and
+  /// escalates overruns. Holds wd_mu_ only while sleeping — never across an
+  /// escalation, which walks ctl_->mu, then the job mutex, then the job
+  /// executive, strictly one at a time (the documented pool lock
+  /// discipline; nesting any of them under a kSleep mutex would invert the
+  /// rank order and abort under the validator).
+  void watchdog_main();
+  /// Flag `job` (idempotent) and escalate through PR 9's stop/recall path.
+  void watchdog_escalate(const std::shared_ptr<detail::Job>& job,
+                         WorkerId stuck_worker);
+
   PoolConfig config_;
   /// Heap-traffic snapshot at construction (alloc_stats; zeros without the
   /// hooks), so stats() can report the pool's allocator footprint.
@@ -164,7 +183,7 @@ class PoolRuntime {
   obs::MetricsRegistry metrics_;
   struct MetricIds {
     obs::MetricId tasks, granules, busy_ns, wall_ns, steals, steal_fails,
-        rotations, job_locks;
+        rotations, job_locks, faulted;
   } mid_{};
 
   /// Shared control block (detail::PoolCtl, job.hpp): the pool mutex, the
@@ -174,6 +193,16 @@ class PoolRuntime {
   std::shared_ptr<detail::PoolCtl> ctl_;
 
   std::vector<std::jthread> workers_;  ///< last member: joins before teardown
+
+  /// Watchdog sleep mutex/cv (rank: sleep — held alone, never while
+  /// escalating). Guards only the stop latch; submit() notifies when a
+  /// timeout-carrying job arrives so an idle watchdog starts polling.
+  RankedMutex<LockRank::kSleep> wd_mu_;
+  std::condition_variable_any wd_cv_;
+  bool wd_stop_ PAX_GUARDED_BY(wd_mu_) = false;
+  /// Declared after workers_: destroyed (joined) first, and shutdown() stops
+  /// it explicitly before joining the workers.
+  std::jthread watchdog_;
 };
 
 }  // namespace pax::pool

@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -70,6 +71,21 @@ struct JobStats {
   /// deadline − terminal time: positive = finished with this much headroom,
   /// negative = this far past the deadline. Zero when has_deadline is false.
   std::chrono::nanoseconds deadline_slack{0};
+  /// Fault containment (DESIGN.md §15). The executive-side counters below
+  /// are written once, at the terminal transition (the finalize path reads
+  /// the job executive's FaultStats before taking the job mutex), so they
+  /// are final exactly when done() — a mid-run stats() snapshot reports
+  /// them as zero even while faults are being retried.
+  std::uint64_t granule_faults = 0;    ///< phase bodies that threw
+  std::uint64_t granule_retries = 0;   ///< faulted ranges re-enqueued
+  std::uint64_t granules_poisoned = 0; ///< granules past the retry budget
+  std::uint64_t map_faults = 0;        ///< GranuleMapFn throws (edge degraded)
+  /// True when the stuck-granule watchdog escalated this job (a granule
+  /// exceeded SubmitOptions::granule_timeout). Implies kFailed unless a
+  /// cancel won the terminal race.
+  bool watchdog_expired = false;
+  /// First fault site, human-readable (empty when the job never faulted).
+  std::string fault_summary;
 };
 
 /// Pool-wide accounting. All worker-side totals (tasks, granules, lock
@@ -89,6 +105,20 @@ struct PoolStats {
   /// rejected (see JobStats::deadline_missed) / completed within it.
   std::uint64_t jobs_deadline_missed = 0;
   std::uint64_t jobs_deadline_met = 0;
+  /// Jobs that ended in JobState::kFailed (poisoned granule or watchdog
+  /// escalation). Disjoint from completed/cancelled/rejected; failed jobs
+  /// take no part in the deadline met/missed tally.
+  std::uint64_t jobs_failed = 0;
+  /// Fault containment (DESIGN.md §15): granule_faults is the worker-side
+  /// count of bodies that threw (published at worker exit, like the other
+  /// worker totals); the rest are executive-side sums accumulated when each
+  /// job finalizes. test_fault pins the two accounting paths consistent.
+  std::uint64_t granule_faults = 0;
+  std::uint64_t granule_retries = 0;
+  std::uint64_t granules_poisoned = 0;
+  std::uint64_t map_faults = 0;
+  /// Stuck-granule watchdog escalations (one per flagged job).
+  std::uint64_t watchdog_flags = 0;
   std::uint64_t tasks_executed = 0;     ///< worker-side totals
   std::uint64_t granules_executed = 0;  ///< worker-side totals
   /// Job-bookkeeping critical sections across workers (adoption rounds).

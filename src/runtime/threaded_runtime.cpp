@@ -20,6 +20,15 @@ RtConfig validated(RtConfig c) {
   return c;
 }
 
+/// The runtime's fault knobs are authoritative: mirror them into the
+/// executive config so callers tune retry policy in one place (RtConfig),
+/// exactly like workers/batch/shards.
+ExecConfig with_fault_knobs(ExecConfig c, const RtConfig& rt) {
+  c.max_granule_retries = rt.max_granule_retries;
+  c.retry_backoff_ticks = rt.retry_backoff_ticks;
+  return c;
+}
+
 }  // namespace
 
 double RtResult::utilization() const {
@@ -44,7 +53,7 @@ ThreadedRuntime::ThreadedRuntime(const PhaseProgram& program, ExecConfig config,
     : program_(program),
       bodies_(bodies),
       rt_config_(validated(rt_config)),
-      exec_(program, config, costs,
+      exec_(program, with_fault_knobs(config, rt_config_), costs,
             ShardConfig{.shards = rt_config_.shards,
                         .workers = rt_config_.workers,
                         .batch = rt_config_.batch,
@@ -65,6 +74,7 @@ ThreadedRuntime::ThreadedRuntime(const PhaseProgram& program, ExecConfig config,
   mid_.steals = metrics_.register_counter("worker.steals");
   mid_.steal_fails = metrics_.register_counter("worker.steal_fail_spins");
   mid_.wait_wakeups = metrics_.register_counter("worker.wait_wakeups");
+  mid_.faulted = metrics_.register_counter("worker.faulted");
   metrics_.bind(rt_config_.workers);
 }
 
@@ -106,6 +116,21 @@ void ThreadedRuntime::worker_main(WorkerId id) {
            (rt_config_.steal && dispatcher_.stealable_by(id));
   };
 
+  // Fault reporting: drain_local's exception barrier parks fault records in
+  // the dispatcher's per-worker buffer; hand them to the executive's fail
+  // path (one cold control section) before the next refill — a faulted
+  // ticket must go through fail(), never through the completion retire.
+  // Always announce afterwards: a fault batch can enqueue retries (new
+  // work), poison the program (stop → finished), or recall shard buffers;
+  // faults are cold, so the conservative wake costs nothing that matters.
+  auto report_faults = [&] {
+    std::vector<GranuleFault>& fb = dispatcher_.fault_buffer(id);
+    if (fb.empty()) return;
+    exec_.fail_batch(id, fb);
+    fb.clear();
+    wake_all();
+  };
+
   while (true) {
     // Deposit the previous drain's tickets and refill the local run-queue:
     // home shard first, sibling shards next, control sweep as the fallback.
@@ -134,6 +159,7 @@ void ThreadedRuntime::worker_main(WorkerId id) {
           // 2-wide (victim + one thief) while the rest sleep.
           if (got > 1) cv_.notify_one();
           dispatcher_.drain_local(bodies_, id, done, stats);
+          report_faults();
           continue;
         }
         ++steal_fail_spins;
@@ -176,6 +202,7 @@ void ThreadedRuntime::worker_main(WorkerId id) {
     }
 
     dispatcher_.drain_local(bodies_, id, done, stats);
+    report_faults();
   }
 
   // Publish per-worker accounting. The worker wall clock closes here, inside
@@ -191,6 +218,7 @@ void ThreadedRuntime::worker_main(WorkerId id) {
   metrics_.add(mid_.steals, id, steals);
   metrics_.add(mid_.steal_fails, id, steal_fail_spins);
   metrics_.add(mid_.wait_wakeups, id, wait_locks);
+  metrics_.add(mid_.faulted, id, stats.faulted);
   RankedLock lock(mu_);
   busy_[id] += stats.busy;
   worker_wall_[id] = wall;
@@ -199,6 +227,7 @@ void ThreadedRuntime::worker_main(WorkerId id) {
   wait_locks_ += wait_locks;
   steals_ += steals;
   steal_fail_spins_ += steal_fail_spins;
+  granule_faults_ += stats.faulted;
 }
 
 RtResult ThreadedRuntime::run() {
@@ -253,6 +282,7 @@ RtResult ThreadedRuntime::run() {
     res.wait_lock_acquisitions = wait_locks_;
     res.steals = steals_;
     res.steal_fail_spins = steal_fail_spins_;
+    res.granule_faults = granule_faults_;
   }
   const ShardStatsView ss = exec_.stats();
   res.refill_lock_acquisitions = ss.control_acquisitions;
@@ -277,6 +307,18 @@ RtResult ThreadedRuntime::run() {
   // the core's final writes before these reads.
   res.ledger = exec_.core_unsynchronized().ledger();
   res.diagnostics = exec_.core_unsynchronized().diagnostics();
+  // Fault accounting (quiescent core — same ordering argument as above).
+  const FaultStats& fs = exec_.core_unsynchronized().fault_stats();
+  res.granule_retries = fs.retries;
+  res.granules_poisoned = fs.poisoned;
+  res.map_faults = fs.map_faults;
+  res.faulted = exec_.faulted();
+  if (fs.any()) {
+    res.fault_summary = "phase " + std::to_string(fs.first_phase) + " [" +
+                        std::to_string(fs.first_range.lo) + "," +
+                        std::to_string(fs.first_range.hi) + "): " +
+                        fs.first_what;
+  }
 
   // Unified metrics surface: worker-cell sums first, then the control-plane
   // and derived values pushed as plain snapshot entries (single-writer here;
@@ -298,6 +340,11 @@ RtResult ThreadedRuntime::run() {
   res.metrics.push("heap.allocs", res.heap_allocs);
   res.metrics.push("heap.bytes", res.heap_bytes);
   res.metrics.push("run.wall_ns", static_cast<std::uint64_t>(res.wall.count()));
+  res.metrics.push("fault.bodies", res.granule_faults);
+  res.metrics.push("fault.retries", res.granule_retries);
+  res.metrics.push("fault.poisoned", res.granules_poisoned);
+  res.metrics.push("fault.map", res.map_faults);
+  res.metrics.push("fault.terminal", res.faulted ? 1 : 0);
   if (rt_config_.trace != nullptr) {
     res.metrics.push("trace.emitted", rt_config_.trace->total_emitted());
     res.metrics.push("trace.dropped", rt_config_.trace->total_dropped());

@@ -78,6 +78,14 @@ struct RtConfig {
   bool steal = true;
   /// Steal-rate signal halves the effective grain during rundown.
   bool adaptive_grain = true;
+  /// Fault containment (DESIGN.md §15): how many times a faulted granule
+  /// range is re-enqueued before its granules are poisoned and the program
+  /// ends in the faulted terminal. Mirrored into ExecConfig at construction
+  /// — the runtime knob is authoritative for threaded runs.
+  std::uint32_t max_granule_retries = 2;
+  /// Base of the exponential retry backoff, in executive completion ticks
+  /// (see ExecConfig::retry_backoff_ticks). Mirrored like the retry budget.
+  std::uint32_t retry_backoff_ticks = 1;
   /// Optional trace buffer (non-owning; must outlive the runtime and be
   /// sized for >= `workers`). Null = tracing off: every emit site in the
   /// executive, dispatcher and worker loop is one untaken branch. When set,
@@ -140,6 +148,20 @@ struct RtResult {
   std::uint64_t steals = 0;
   /// Steal attempts that found every peer queue dry.
   std::uint64_t steal_fail_spins = 0;
+  /// Fault containment (DESIGN.md §15): bodies that threw (caught by the
+  /// dispatcher's exception barrier), retry re-enqueues, granules poisoned
+  /// after the retry budget, and GranuleMapFn faults (edge degraded to
+  /// wholesale release at completion).
+  std::uint64_t granule_faults = 0;
+  std::uint64_t granule_retries = 0;
+  std::uint64_t granules_poisoned = 0;
+  std::uint64_t map_faults = 0;
+  /// True when the program ended in the faulted terminal: a poisoned granule
+  /// made the dataflow unsatisfiable and the remaining work was recalled
+  /// (granules_executed < the program total on this path).
+  bool faulted = false;
+  /// First fault site, human-readable (empty when no fault occurred).
+  std::string fault_summary;
   /// High-water mark of local run-queue occupancy across workers.
   std::uint64_t peak_local_queue = 0;
   /// Process-wide heap traffic during run() (all threads), measured when the
@@ -206,7 +228,7 @@ class ThreadedRuntime {
   obs::MetricsRegistry metrics_;
   struct MetricIds {
     obs::MetricId tasks, granules, busy_ns, wall_ns, steals, steal_fails,
-        wait_wakeups;
+        wait_wakeups, faulted;
   } mid_{};
 
   /// Event-sink chain storage. The core holds raw pointers into these, so
@@ -234,6 +256,7 @@ class ThreadedRuntime {
   std::uint64_t wait_locks_ PAX_GUARDED_BY(mu_) = 0;
   std::uint64_t steals_ PAX_GUARDED_BY(mu_) = 0;
   std::uint64_t steal_fail_spins_ PAX_GUARDED_BY(mu_) = 0;
+  std::uint64_t granule_faults_ PAX_GUARDED_BY(mu_) = 0;
   /// run-once latch; touched only by the (single) thread that calls run().
   bool ran_ = false;
 };

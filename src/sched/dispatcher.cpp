@@ -10,6 +10,8 @@ Dispatcher::Dispatcher(DispatchConfig config)
     : config_(config),
       capacity_(config.effective_capacity()),
       scratch_(config.workers),
+      faults_(config.workers),
+      exec_cells_(std::make_unique<ExecCell[]>(config.workers)),
       window_size_(std::max<std::uint64_t>(16, 4ull * config.workers)) {
   PAX_CHECK_MSG(config_.workers > 0, "need at least one worker");
   PAX_CHECK_MSG(config_.batch > 0, "batch must be at least 1");
@@ -19,6 +21,9 @@ Dispatcher::Dispatcher(DispatchConfig config)
   for (std::uint32_t w = 0; w < config_.workers; ++w) {
     queues_.push_back(std::make_unique<LocalRunQueue>(capacity_));
     scratch_[w].reserve(capacity_);
+    // drain_local bounds done.size() + faults.size() by capacity_, so this
+    // reserve makes the barrier's append allocation-free forever.
+    faults_[w].reserve(capacity_);
   }
 }
 
@@ -95,14 +100,44 @@ void Dispatcher::push_reversed(WorkerId w, const std::vector<Assignment>& buf) {
 void Dispatcher::drain_local(const rt::BodyTable& bodies, WorkerId w,
                              std::vector<Ticket>& done, BodyLoopStats& stats) {
   Assignment a;
-  while (done.size() < capacity_ && queues_[w]->pop(a)) {
+  std::vector<GranuleFault>& faults = faults_[w];
+  while (done.size() + faults.size() < capacity_ && queues_[w]->pop(a)) {
     const auto t0 = std::chrono::steady_clock::now();
-    bodies.of(a.phase)(a.range, w);
+    // Watchdog cell: begin stamp before the body, cleared after. Relaxed —
+    // the watchdog's sample is a heuristic staleness probe, and the cell is
+    // this worker's own cache line.
+    exec_cells_[w].begin_ns.store(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t0.time_since_epoch())
+                .count()),
+        std::memory_order_relaxed);
+    bool ok = true;
+    // The exception barrier (DESIGN.md §15). Only the body call is inside
+    // the try: queue/stats manipulation must never be attributed to a user
+    // fault. The no-throw path through a try block is free (table-driven
+    // unwinding); the catch arms are the cold path and may do what they
+    // like except allocate — record_fault appends into a preallocated
+    // buffer and copies a bounded message.
+    try {
+      bodies.of(a.phase)(a.range, w);
+    } catch (const std::exception& e) {
+      ok = false;
+      record_fault(w, a, e.what());
+    } catch (...) {
+      ok = false;
+      record_fault(w, a, "unknown exception in phase body");
+    }
     const auto t1 = std::chrono::steady_clock::now();
+    exec_cells_[w].begin_ns.store(0, std::memory_order_relaxed);
     stats.busy += std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0);
-    stats.granules += a.range.size();
-    ++stats.tasks;
-    done.push_back(a.ticket);
+    if (ok) {
+      stats.granules += a.range.size();
+      ++stats.tasks;
+      done.push_back(a.ticket);
+    } else {
+      ++stats.faulted;
+    }
     if (config_.trace != nullptr) {
       // Both records stamp from t0/t1 — the same reads that feed stats.busy
       // — and both are emitted after the body, so tracing perturbs neither
@@ -162,6 +197,19 @@ std::size_t Dispatcher::try_steal(WorkerId w) {
   note_event(/*was_steal=*/true);
   trace_event(w, obs::TraceKind::kStealSuccess, static_cast<std::uint32_t>(got));
   return got;
+}
+
+void Dispatcher::record_fault(WorkerId w, const Assignment& a,
+                              const char* what) {
+  GranuleFault f;
+  f.ticket = a.ticket;
+  f.phase = a.phase;
+  f.range = a.range;
+  f.worker = w;
+  f.set_what(what);
+  faults_[w].push_back(f);  // reserved to capacity_; never reallocates
+  trace_event(w, obs::TraceKind::kGranuleFault,
+              static_cast<std::uint32_t>(a.range.size()));
 }
 
 void Dispatcher::trace_event(WorkerId w, obs::TraceKind kind, std::uint32_t aux) {

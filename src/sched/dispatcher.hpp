@@ -80,12 +80,14 @@ struct DispatchConfig {
 struct BodyLoopStats {
   std::chrono::nanoseconds busy{0};  ///< wall time inside phase bodies
   std::uint64_t tasks = 0;
-  std::uint64_t granules = 0;
+  std::uint64_t granules = 0;  ///< granules completed (faulted ones excluded)
+  std::uint64_t faulted = 0;   ///< bodies that threw (caught by the barrier)
 
   BodyLoopStats& operator+=(const BodyLoopStats& o) {
     busy += o.busy;
     tasks += o.tasks;
     granules += o.granules;
+    faulted += o.faulted;
     return *this;
   }
 };
@@ -130,8 +132,31 @@ class Dispatcher {
   /// the next refill's retire. Stops early once `done` reaches the queue
   /// capacity so retirement (and the enablements it fires) is never deferred
   /// past one queue's worth of work.
+  ///
+  /// Exception barrier (DESIGN.md §15): a throwing phase body does not kill
+  /// the process. The barrier catches, diverts the ticket into `w`'s fault
+  /// buffer (never onto `done` — a faulted ticket must go through
+  /// ExecutiveCore::fail, not complete), and keeps draining. The no-fault
+  /// path pays only the untaken try: no allocation, no extra clock read.
   void drain_local(const rt::BodyTable& bodies, WorkerId w,
                    std::vector<Ticket>& done, BodyLoopStats& stats);
+
+  /// `w`'s pending fault records (filled by drain_local's barrier).
+  /// Owner-only, like the local queue: the worker reports them via
+  /// ExecutiveCore::fail / ShardedExecutive::fail_batch and clears. The
+  /// buffer is preallocated to queue capacity, and drain_local bounds
+  /// done+faults by that capacity, so appending never reallocates.
+  [[nodiscard]] std::vector<GranuleFault>& fault_buffer(WorkerId w) {
+    return faults_[w];
+  }
+
+  /// Steady-clock ns at which worker `w` entered the phase body it is
+  /// currently executing, or 0 when it is not inside one. Relaxed sampling
+  /// cell for the stuck-granule watchdog; each worker owns its own cache
+  /// line, so the two stores per task cost the body loop nothing.
+  [[nodiscard]] std::uint64_t exec_begin_ns(WorkerId w) const {
+    return exec_cells_[w].begin_ns.load(std::memory_order_relaxed);
+  }
 
   /// Rundown stealing: move a FIFO range from the most-loaded peer queue
   /// into `w`'s queue. Returns the number of assignments stolen (0 = every
@@ -158,6 +183,15 @@ class Dispatcher {
   void note_event(bool was_steal);
   /// Emit a worker-track instant record (no-op when tracing is off).
   void trace_event(WorkerId w, obs::TraceKind kind, std::uint32_t aux);
+  /// Cold half of the exception barrier: record the fault into `w`'s
+  /// preallocated buffer and emit the kGranuleFault instant.
+  void record_fault(WorkerId w, const Assignment& a, const char* what);
+
+  /// One watchdog sampling cell per worker; alignas keeps each worker's
+  /// relaxed stores on a private cache line.
+  struct alignas(64) ExecCell {
+    std::atomic<std::uint64_t> begin_ns{0};
+  };
 
   DispatchConfig config_;
   std::size_t capacity_;
@@ -169,6 +203,10 @@ class Dispatcher {
   /// only by worker w's thread (refill and try_steal are called by the
   /// owner), so it needs no guard by construction.
   std::vector<std::vector<Assignment>> scratch_;
+  /// Worker-private fault buffers (same ownership rule as scratch_).
+  std::vector<std::vector<GranuleFault>> faults_;
+  /// Watchdog sampling cells (see exec_begin_ns).
+  std::unique_ptr<ExecCell[]> exec_cells_;
 
   // Steal-rate signal: over a window of productive acquisitions (refills
   // that returned work, successful steals), a steal share >= 1/4 halves the

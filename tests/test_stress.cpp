@@ -86,10 +86,36 @@ TEST(Stress, ThreeRuntimeSweepShard5) { run_shard(5, 8); }
 TEST(Stress, ThreeRuntimeSweepShard6) { run_shard(6, 8); }
 TEST(Stress, ThreeRuntimeSweepShard7) { run_shard(7, 8); }
 
+/// Fault-dimension shard: the same seed space with seeded transient faults
+/// injected into the bodies (testing_util.hpp run_fault_checked) — the
+/// exception barrier, retry machinery and fault accounting must preserve
+/// exactly-once retirement and the stats-sum identities on both runtimes
+/// and both shard engines.
+void run_fault_shard(std::uint64_t shard, std::uint64_t n_shards) {
+  if (const char* replay = std::getenv("PAX_STRESS_SEED");
+      replay != nullptr && *replay != '\0') {
+    if (shard == 0)
+      pax::testing::run_fault_checked(std::strtoull(replay, nullptr, 10));
+    return;
+  }
+  const std::uint64_t n = total_seeds();
+  const std::uint64_t lo = shard * n / n_shards;
+  const std::uint64_t hi = (shard + 1) * n / n_shards;
+  for (std::uint64_t s = lo; s < hi; ++s) {
+    pax::testing::run_fault_checked(kSeedBase + s);
+    if (::testing::Test::HasFatalFailure()) return;  // seed already traced
+  }
+}
+
 TEST(Stress, ServeSweepShard0) { run_serve_shard(0, 4); }
 TEST(Stress, ServeSweepShard1) { run_serve_shard(1, 4); }
 TEST(Stress, ServeSweepShard2) { run_serve_shard(2, 4); }
 TEST(Stress, ServeSweepShard3) { run_serve_shard(3, 4); }
+
+TEST(Stress, FaultSweepShard0) { run_fault_shard(0, 4); }
+TEST(Stress, FaultSweepShard1) { run_fault_shard(1, 4); }
+TEST(Stress, FaultSweepShard2) { run_fault_shard(2, 4); }
+TEST(Stress, FaultSweepShard3) { run_fault_shard(3, 4); }
 
 // A handful of pinned seeds that exercised distinct machinery when the
 // harness was introduced (indirect subsets + elevation, deferred splits,

@@ -31,9 +31,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -241,6 +244,100 @@ inline rt::BodyTable make_recording_bodies(const GeneratedProgram& g,
   for (std::size_t p = 0; p < g.phases.size(); ++p) {
     const std::uint64_t seed = g.seed;
     bodies.set(g.phases[p], [p, seed, &rec, &sink](GranuleRange r, WorkerId) {
+      std::uint64_t acc = 0;
+      for (GranuleId gr = r.lo; gr < r.hi; ++gr) {
+        std::uint64_t s = seed ^ (p * 0x9E37ULL) ^ gr;
+        const std::uint64_t iters = splitmix64(s) % 256;
+        for (std::uint64_t i = 0; i < iters; ++i) acc += (i ^ s) * 0x9E3779B9ULL;
+      }
+      sink.fetch_add(acc, std::memory_order_relaxed);
+      rec.record(p, r);
+    });
+  }
+  return bodies;
+}
+
+/// Seeded fault-injection budgets (DESIGN.md §15): a per-(phase, granule)
+/// atomic count of how many times that granule's body attempt must throw
+/// before it is allowed to succeed. kAlways never decrements — the granule
+/// throws on every attempt, which drives the retry budget to exhaustion and
+/// the program into the faulted terminal.
+class FaultInjector {
+ public:
+  static constexpr std::uint32_t kAlways = ~std::uint32_t{0};
+
+  explicit FaultInjector(const std::vector<GranuleId>& granules) {
+    budgets_.reserve(granules.size());
+    for (GranuleId n : granules)
+      budgets_.push_back(
+          std::make_unique<std::vector<std::atomic<std::uint32_t>>>(n));
+  }
+
+  void set_throws(std::size_t phase, GranuleId g, std::uint32_t n) {
+    (*budgets_[phase])[g].store(n, std::memory_order_relaxed);
+  }
+
+  /// One body attempt at (phase, granule): true = the body must throw now.
+  /// Decrements the budget (kAlways excepted) so a retried granule
+  /// eventually succeeds — the transient-fault model.
+  bool should_throw(std::size_t phase, GranuleId g) {
+    auto& cell = (*budgets_[phase])[g];
+    std::uint32_t cur = cell.load(std::memory_order_relaxed);
+    while (true) {
+      if (cur == 0) return false;
+      if (cur == kAlways) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (cell.compare_exchange_weak(cur, cur - 1, std::memory_order_relaxed)) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+
+  /// Throws actually taken (the expected fault count on the other side of
+  /// the barrier — RtResult::granule_faults / JobStats::granule_faults).
+  [[nodiscard]] std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::unique_ptr<std::vector<std::atomic<std::uint32_t>>>> budgets_;
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+/// Optional slow-granule injection (watchdog fodder): the body sleeps this
+/// long when it executes the named granule. sleep <= 0 disables it.
+struct SlowGranuleSpec {
+  std::size_t phase = 0;
+  GranuleId granule = 0;
+  std::chrono::nanoseconds sleep{0};
+};
+
+/// Recording bodies with seeded fault injection layered in. The injection
+/// decision runs FIRST, before any recording: a throwing attempt must leave
+/// the recorder untouched, because the executive re-enqueues the whole
+/// range on retry and expect_exactly_once must still hold once the program
+/// completes.
+inline rt::BodyTable make_faulty_bodies(const GeneratedProgram& g,
+                                        ExecutionRecorder& rec,
+                                        std::atomic<std::uint64_t>& sink,
+                                        FaultInjector& inj,
+                                        SlowGranuleSpec slow = {}) {
+  rt::BodyTable bodies;
+  for (std::size_t p = 0; p < g.phases.size(); ++p) {
+    const std::uint64_t seed = g.seed;
+    bodies.set(g.phases[p], [p, seed, slow, &rec, &sink,
+                             &inj](GranuleRange r, WorkerId) {
+      for (GranuleId gr = r.lo; gr < r.hi; ++gr)
+        if (inj.should_throw(p, gr))
+          throw std::runtime_error("injected fault: phase " +
+                                   std::to_string(p) + " granule " +
+                                   std::to_string(gr));
+      if (slow.sleep.count() > 0 && p == slow.phase && slow.granule >= r.lo &&
+          slow.granule < r.hi)
+        std::this_thread::sleep_for(slow.sleep);
       std::uint64_t acc = 0;
       for (GranuleId gr = r.lo; gr < r.hi; ++gr) {
         std::uint64_t s = seed ^ (p * 0x9E37ULL) ^ gr;
@@ -489,6 +586,126 @@ inline void run_sim_checked(const GeneratedProgram& g) {
   EXPECT_EQ(r1.makespan, r2.makespan) << "simulation not deterministic";
   EXPECT_EQ(r1.exec_ticks, r2.exec_ticks);
   EXPECT_EQ(r1.tasks_executed, r2.tasks_executed);
+}
+
+/// Fault-dimension stress (DESIGN.md §15): seed a plan of transient faults
+/// (each site throws a bounded number of times, then succeeds on retry) and
+/// run the generated program through the threaded runtime AND the pool on
+/// the seed's shard engine, checking that the barrier + retry machinery
+/// preserves every invariant the fault-free sweep pins:
+///
+///   * exactly-once retirement of every granule (a throwing attempt records
+///     nothing, so retries do not double-count),
+///   * fault accounting identities: faults == injected throws on both the
+///     worker-side and executive-side paths, retries == faults (every
+///     transient fault is within budget), zero poisoned granules,
+///   * the terminal state is success — transient faults must never fail the
+///     program or the job, and sibling pool counters stay consistent.
+inline void run_fault_checked(std::uint64_t seed) {
+  SCOPED_TRACE("fault seed=" + std::to_string(seed) +
+               " (replay: PAX_STRESS_SEED=" + std::to_string(seed) +
+               " ctest -R Stress.FaultSweep)");
+  const GeneratedProgram g = generate_program(seed);
+  Rng rng(seed ^ 0xFA017ULL);
+  auto pick = [&](std::uint64_t lo, std::uint64_t hi) {  // inclusive
+    return lo + rng() % (hi - lo + 1);
+  };
+
+  // Transient plan: a handful of sites, each throwing once or twice.
+  // Duplicate sites are fine — set_throws overwrites, and the expected
+  // count comes from FaultInjector::injected(), not from the plan.
+  struct Site {
+    std::size_t phase;
+    GranuleId granule;
+    std::uint32_t throws;
+  };
+  std::vector<Site> sites;
+  const std::size_t n_sites = pick(1, 6);
+  for (std::size_t i = 0; i < n_sites; ++i) {
+    const std::size_t p = pick(0, g.phases.size() - 1);
+    sites.push_back({p, static_cast<GranuleId>(pick(0, g.granules[p] - 1)),
+                     static_cast<std::uint32_t>(pick(1, 2))});
+  }
+  // Retry budget must cover the worst stack-up of sites in one grain-sized
+  // range (attempts are bumped range-wide per fault, so colocated sites
+  // compound): 6 sites x 2 throws = 12 < 16.
+  constexpr std::uint32_t kBudget = 16;
+
+  // Threaded arm.
+  {
+    ExecutionRecorder rec(g.granules);
+    FaultInjector inj(g.granules);
+    for (const Site& s : sites) inj.set_throws(s.phase, s.granule, s.throws);
+    std::atomic<std::uint64_t> sink{0};
+    rt::BodyTable bodies = make_faulty_bodies(g, rec, sink, inj);
+    rt::RtConfig rc;
+    rc.workers = g.workers;
+    rc.batch = g.batch;
+    rc.shards = g.shards;
+    rc.lockfree = g.lockfree;
+    rc.steal = g.steal;
+    rc.adaptive_grain = g.adaptive_grain;
+    rc.max_granule_retries = kBudget;
+    rc.retry_backoff_ticks = static_cast<std::uint32_t>(pick(0, 3));
+    rt::RtResult res = rt::ThreadedRuntime(g.program, g.exec,
+                                           CostModel::free_of_charge(), bodies,
+                                           rc)
+                           .run();
+    rec.expect_exactly_once();
+    EXPECT_FALSE(res.faulted);
+    EXPECT_EQ(res.granules_executed, g.total);
+    EXPECT_EQ(res.granule_faults, inj.injected())
+        << "worker-side fault count disagrees with injected throws";
+    EXPECT_EQ(res.granule_retries, inj.injected())
+        << "every transient fault is within budget, so retries == faults";
+    EXPECT_EQ(res.granules_poisoned, 0u);
+    EXPECT_EQ(res.map_faults, 0u);
+    EXPECT_FALSE(res.fault_summary.empty());
+  }
+
+  // Pool arm (fresh recorder and budgets).
+  {
+    ExecutionRecorder rec(g.granules);
+    FaultInjector inj(g.granules);
+    for (const Site& s : sites) inj.set_throws(s.phase, s.granule, s.throws);
+    std::atomic<std::uint64_t> sink{0};
+    rt::BodyTable bodies = make_faulty_bodies(g, rec, sink, inj);
+
+    pool::PoolConfig pc;
+    pc.workers = g.workers;
+    pc.batch = g.batch;
+    pc.shards = g.shards;
+    pc.lockfree = g.lockfree;
+    pc.steal = g.steal;
+    pc.adaptive_grain = g.adaptive_grain;
+    ExecConfig ec = g.exec;
+    ec.max_granule_retries = kBudget;
+    ec.retry_backoff_ticks = static_cast<std::uint32_t>(pick(0, 3));
+
+    pool::PoolRuntime pool(pc);
+    pool::JobHandle h = pool.submit(g.program, bodies, ec);
+    EXPECT_EQ(h.wait(), pool::JobState::kComplete);
+    pool.shutdown();
+
+    rec.expect_exactly_once();
+    const pool::JobStats js = h.stats();
+    EXPECT_EQ(js.granules, g.total);
+    EXPECT_EQ(js.granule_faults, inj.injected());
+    EXPECT_EQ(js.granule_retries, inj.injected());
+    EXPECT_EQ(js.granules_poisoned, 0u);
+    EXPECT_TRUE(inj.injected() == 0 || !js.fault_summary.empty());
+    const pool::PoolStats ps = pool.stats();
+    EXPECT_EQ(ps.jobs_completed, 1u);
+    EXPECT_EQ(ps.jobs_failed, 0u);
+    EXPECT_EQ(ps.granules_executed, g.total);
+    EXPECT_EQ(ps.granule_faults, inj.injected())
+        << "pool worker-side fault total disagrees with injected throws";
+    EXPECT_EQ(ps.granule_retries, inj.injected())
+        << "executive-side retry sum disagrees — the two accounting paths "
+           "must cross-check";
+    EXPECT_EQ(ps.granules_poisoned, 0u);
+    EXPECT_EQ(ps.watchdog_flags, 0u);
+  }
 }
 
 /// The full cross-runtime check for one seed.

@@ -44,6 +44,10 @@ AUX_INSTANTS = {
     "job_finalize",
     "granules_enabled",
     "program_finished",
+    "granule_fault",
+    "granule_retry",
+    "granule_poisoned",
+    "watchdog_flag",
 }
 
 
